@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the §6.2 speed claims: analytical evaluation
+//! must be orders of magnitude faster than cycle-level simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmt_core::{IntervalModel, ModelConfig};
+use pmt_profiler::{Profiler, ProfilerConfig};
+use pmt_sim::{OooSimulator, SimConfig};
+use pmt_uarch::MachineConfig;
+use pmt_workloads::WorkloadSpec;
+
+fn bench_model_vs_sim(c: &mut Criterion) {
+    let spec = WorkloadSpec::by_name("astar").unwrap();
+    let n = 50_000u64;
+    let machine = MachineConfig::nehalem();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(n));
+
+    let mut group = c.benchmark_group("design-point-evaluation");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("interval-model", n), |b| {
+        b.iter(|| {
+            IntervalModel::with_config(&machine, ModelConfig::default())
+                .predict(&profile)
+                .cpi()
+        })
+    });
+    group.bench_function(BenchmarkId::new("cycle-level-sim", n), |b| {
+        b.iter(|| {
+            OooSimulator::new(SimConfig::new(machine.clone()))
+                .run(&mut spec.trace(n))
+                .cpi()
+        })
+    });
+    group.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let spec = WorkloadSpec::by_name("milc").unwrap();
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.bench_function("profile-50k-inst", |b| {
+        b.iter(|| {
+            Profiler::new(ProfilerConfig::fast_test())
+                .profile_named("milc", &mut spec.trace(50_000))
+                .total_instructions
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::by_name("gcc").unwrap();
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    group.bench_function("generate-100k-inst", |b| {
+        b.iter(|| pmt_trace::collect_trace(spec.trace(100_000), u64::MAX).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_vs_sim, bench_profiler, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Run every experiment binary in sequence (the full reproduction pass).
+//! Heavy space sweeps inherit the default sub-sampling; override with
+//! PMT_SPACE_STRIDE / PMT_SIM_INSTRUCTIONS / PMT_INSTRUCTIONS.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "tbl6_1_reference",
+    "fig3_1_uops",
+    "fig3_4_chains",
+    "fig3_6_dispatch_limits",
+    "fig3_7_base_component",
+    "fig3_9_entropy_fit",
+    "fig3_10_predictors",
+    "fig4_2_cache_mpki",
+    "fig4_3_no_mlp",
+    "fig4_4_cold_capacity",
+    "fig4_7_stride_classes",
+    "fig4_9_llc_chaining",
+    "fig5_2_mix_sampling",
+    "fig5_4_interpolation",
+    "fig5_5_dep_sampling",
+    "fig5_6_branch_component",
+    "fig6_1_cpi_stacks",
+    "fig6_3_sample_budget",
+    "fig6_4_separate_vs_combined",
+    "tbl6_2_component_errors",
+    "fig6_5_space_performance",
+    "fig6_8_space_power",
+    "fig6_14_phases",
+    "fig6_15_mlp_models",
+    "tbl7_1_power_constraint",
+    "fig7_3_dvfs",
+    "fig7_4_pareto",
+    "fig7_7_pareto_metrics",
+    "fig7_10_empirical",
+    "speedup",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for name in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("!! {name} exited with {status}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared experiment plumbing.
+
+use pmt_branch::{EntropyMissModel, EntropyProfiler, PredictorSim};
+use pmt_core::{IntervalModel, ModelConfig, Prediction};
+use pmt_trace::{collect_trace, UopClass};
+use pmt_uarch::{PredictorConfig, PredictorKind};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_sim::{OooSimulator, SimConfig, SimResult};
+use pmt_uarch::MachineConfig;
+use pmt_workloads::{suite, WorkloadSpec};
+
+/// Common experiment knobs (overridable via env for quick sweeps).
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Instructions per workload.
+    pub instructions: u64,
+    /// Profiler configuration.
+    pub profiler: ProfilerConfig,
+    /// Model configuration.
+    pub model: ModelConfig,
+}
+
+impl HarnessConfig {
+    /// Default experiment scale: 1M instructions, thesis sampling scaled
+    /// down 10× (100/10k) so every workload yields ~100 micro-traces.
+    pub fn default_scale() -> HarnessConfig {
+        let instructions = std::env::var("PMT_INSTRUCTIONS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000_000);
+        let mut profiler = ProfilerConfig::thesis_default();
+        profiler.sampling = pmt_trace::SamplingConfig {
+            micro_trace_instructions: 1_000,
+            window_instructions: 10_000,
+        };
+        HarnessConfig {
+            instructions,
+            profiler,
+            model: ModelConfig::thesis_best(),
+        }
+    }
+
+    /// Train the entropy model on the suite (one-time cost, thesis
+    /// Fig 3.8) and install it.
+    pub fn with_trained_entropy(mut self) -> HarnessConfig {
+        let trained = train_entropy_model((self.instructions / 4).max(100_000));
+        self.model = self.model.with_entropy_model(trained);
+        self
+    }
+}
+
+/// One workload evaluated by both the model and the simulator.
+#[derive(Clone, Debug)]
+pub struct Evaluated {
+    /// Workload name.
+    pub name: String,
+    /// Model prediction.
+    pub prediction: Prediction,
+    /// Simulator ground truth.
+    pub sim: SimResult,
+}
+
+impl Evaluated {
+    /// Signed relative CPI error (model − sim)/sim.
+    pub fn cpi_error(&self) -> f64 {
+        (self.prediction.cpi() - self.sim.cpi()) / self.sim.cpi()
+    }
+}
+
+/// Profile one workload.
+pub fn profile_one(spec: &WorkloadSpec, cfg: &HarnessConfig) -> ApplicationProfile {
+    Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(cfg.instructions))
+}
+
+/// Profile the whole suite (parallel).
+pub fn profile_suite(cfg: &HarnessConfig) -> Vec<ApplicationProfile> {
+    parallel_map(suite(), |spec| profile_one(&spec, cfg))
+}
+
+/// Simulate the whole suite on one machine (parallel).
+pub fn simulate_suite(machine: &MachineConfig, cfg: &HarnessConfig) -> Vec<SimResult> {
+    parallel_map(suite(), |spec| {
+        OooSimulator::new(SimConfig::new(machine.clone())).run(&mut spec.trace(cfg.instructions))
+    })
+}
+
+/// Train the entropy → miss-rate lines the way thesis Fig 3.8 does: per
+/// workload, profile the linear branch entropy and simulate each predictor
+/// family on the same branch stream, then fit one line per family.
+pub fn train_entropy_model(instructions: u64) -> EntropyMissModel {
+    let pts: Vec<(f64, Vec<f64>)> = parallel_map(suite(), |spec| {
+        let uops = collect_trace(spec.trace(instructions), u64::MAX);
+        let mut entropy = EntropyProfiler::new(8);
+        let mut sims: Vec<PredictorSim> = PredictorKind::ALL
+            .iter()
+            .map(|&k| PredictorSim::from_config(&PredictorConfig::sized_4kb(k)))
+            .collect();
+        for u in uops.iter().filter(|u| u.class == UopClass::Branch) {
+            entropy.record(u.static_id, u.taken);
+            for s in sims.iter_mut() {
+                s.predict_and_update(u.static_id, u.taken);
+            }
+        }
+        (
+            entropy.entropy(),
+            sims.iter().map(|s| s.miss_rate()).collect(),
+        )
+    });
+    let mut model = EntropyMissModel::new();
+    for (i, kind) in PredictorKind::ALL.iter().enumerate() {
+        let series: Vec<(f64, f64)> = pts.iter().map(|(e, m)| (*e, m[i])).collect();
+        model.train(*kind, &series);
+    }
+    model
+}
+
+/// Evaluate the whole suite: model vs simulator on one machine.
+pub fn evaluate_suite(machine: &MachineConfig, cfg: &HarnessConfig) -> Vec<Evaluated> {
+    let profiles = profile_suite(cfg);
+    let sims = simulate_suite(machine, cfg);
+    let model = IntervalModel::with_config(machine, cfg.model.clone());
+    profiles
+        .into_iter()
+        .zip(sims)
+        .map(|(profile, sim)| Evaluated {
+            name: profile.name.clone(),
+            prediction: model.predict(&profile),
+            sim,
+        })
+        .collect()
+}
+
+/// Order-preserving parallel map over owned items.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(items);
+    let results = std::sync::Mutex::new(Vec::<(usize, R)>::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let item = queue.lock().unwrap().pop();
+                let Some((i, item)) = item else { break };
+                let r = f(item);
+                results.lock().unwrap().push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Mean absolute value of a series.
+pub fn mean_abs_error(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:6.1}%", x * 100.0)
+}
+
+/// Print a header row.
+pub fn print_header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+    println!("{}", "-".repeat(cols.len() * 12));
+}
+
+/// Print an aligned row.
+pub fn print_row(name: &str, values: &[String]) {
+    println!("{name:<12}\t{}", values.join("\t"));
+}

@@ -1,0 +1,13 @@
+//! Experiment harness utilities shared by the per-figure binaries.
+//!
+//! Every thesis table and figure has a binary under `src/bin/` (see
+//! `DESIGN.md` §4 for the index); this library holds the common plumbing:
+//! suite iteration, profile/simulation caching, error metrics and aligned
+//! text-table output.
+
+pub mod harness;
+
+pub use harness::{
+    evaluate_suite, train_entropy_model, mean_abs_error, parallel_map, pct, print_header, print_row, profile_one,
+    profile_suite, simulate_suite, Evaluated, HarnessConfig,
+};

@@ -1,0 +1,39 @@
+//! Branch predictors and the linear branch entropy model (thesis §3.5).
+//!
+//! The micro-architecture independent model must predict branch
+//! misprediction rates *without* simulating a predictor. Following De
+//! Pestel et al. (as adopted by the thesis), this crate provides:
+//!
+//! * [`PredictorSim`] — functional simulators for the five predictor
+//!   families of thesis Fig 3.10 (GAg, GAp, PAp, gshare, tournament),
+//!   used to produce training data and simulator ground truth,
+//! * [`EntropyProfiler`] — the linear branch entropy metric of
+//!   Eqs 3.13–3.15: `E = Σ n(b,H)·2·min(p,1−p) / N_b` over per-branch
+//!   taken probabilities conditioned on local history patterns,
+//! * [`LinearFit`] / [`EntropyMissModel`] — the one-time linear regression
+//!   from entropy to per-predictor misprediction rates (Fig 3.8/3.9).
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_branch::{EntropyProfiler, PredictorSim};
+//! use pmt_uarch::{PredictorConfig, PredictorKind};
+//!
+//! let mut sim = PredictorSim::from_config(&PredictorConfig::sized_4kb(PredictorKind::Gshare));
+//! let mut entropy = EntropyProfiler::new(8);
+//! for i in 0..10_000u64 {
+//!     let taken = i % 2 == 0; // perfectly periodic
+//!     sim.predict_and_update(0x40, taken);
+//!     entropy.record(0x40, taken);
+//! }
+//! assert!(sim.miss_rate() < 0.01);
+//! assert!(entropy.entropy() < 0.01);
+//! ```
+
+mod entropy;
+mod fit;
+mod predictors;
+
+pub use entropy::EntropyProfiler;
+pub use fit::{EntropyMissModel, LinearFit};
+pub use predictors::PredictorSim;

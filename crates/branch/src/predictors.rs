@@ -1,0 +1,295 @@
+//! Functional simulators for the five predictor families of thesis
+//! Fig 3.10.
+
+use pmt_uarch::{PredictorConfig, PredictorKind};
+
+/// Two-bit saturating counter.
+#[derive(Clone, Copy, Debug, Default)]
+struct Counter2(u8);
+
+impl Counter2 {
+    #[inline]
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    #[inline]
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Engine {
+    /// Global history → global table.
+    GAg { table: Vec<Counter2> },
+    /// Global history, per-branch tables (pc bits concatenated).
+    GAp { table: Vec<Counter2> },
+    /// Local histories, per-branch tables.
+    PAp {
+        table: Vec<Counter2>,
+        local_hist: Vec<u64>,
+    },
+    /// pc XOR global history.
+    Gshare { table: Vec<Counter2> },
+    /// GAp vs PAp with a per-branch meta chooser.
+    Tournament {
+        gap: Vec<Counter2>,
+        pap: Vec<Counter2>,
+        pap_hist: Vec<u64>,
+        meta: Vec<Counter2>,
+    },
+}
+
+/// A functional branch predictor simulator with miss-rate accounting.
+#[derive(Clone, Debug)]
+pub struct PredictorSim {
+    engine: Engine,
+    global_hist: u64,
+    hist_mask: u64,
+    index_mask: u64,
+    predictions: u64,
+    misses: u64,
+}
+
+const LOCAL_HIST_ENTRIES: usize = 1024;
+
+impl PredictorSim {
+    /// Build the simulator for a predictor configuration.
+    pub fn from_config(config: &PredictorConfig) -> PredictorSim {
+        let entries = 1usize << config.table_index_bits;
+        let table = vec![Counter2::default(); entries];
+        let engine = match config.kind {
+            PredictorKind::GAg => Engine::GAg { table },
+            PredictorKind::GAp => Engine::GAp { table },
+            PredictorKind::PAp => Engine::PAp {
+                table,
+                local_hist: vec![0; LOCAL_HIST_ENTRIES],
+            },
+            PredictorKind::Gshare => Engine::Gshare { table },
+            PredictorKind::Tournament => Engine::Tournament {
+                gap: vec![Counter2::default(); entries],
+                pap: vec![Counter2::default(); entries],
+                pap_hist: vec![0; LOCAL_HIST_ENTRIES],
+                meta: vec![Counter2::default(); entries / 4],
+            },
+        };
+        PredictorSim {
+            engine,
+            global_hist: 0,
+            hist_mask: (1u64 << config.history_bits.min(63)) - 1,
+            index_mask: entries as u64 - 1,
+            predictions: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn pc_hash(pc: u64) -> u64 {
+        // Fibonacci mixing: synthetic (and real) branch addresses are
+        // highly structured; without mixing, distinct branches alias
+        // pathologically in the index bits.
+        (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24
+    }
+
+    /// Predict the branch at `pc`, then update with the real outcome.
+    /// Returns the prediction.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let im = self.index_mask;
+        let gh = self.global_hist & self.hist_mask;
+        let pch = Self::pc_hash(pc);
+        let pred = match &mut self.engine {
+            Engine::GAg { table } => {
+                let idx = (gh & im) as usize;
+                let p = table[idx].predict();
+                table[idx].update(taken);
+                p
+            }
+            Engine::GAp { table } => {
+                // Concatenate pc bits with the history (per-branch tables).
+                let idx = (((pch << 6) | (gh & 0x3f)) & im) as usize;
+                let p = table[idx].predict();
+                table[idx].update(taken);
+                p
+            }
+            Engine::PAp { table, local_hist } => {
+                let lh_idx = (pch as usize) % LOCAL_HIST_ENTRIES;
+                let lh = local_hist[lh_idx] & self.hist_mask;
+                let idx = (((pch << 6) | (lh & 0x3f)) & im) as usize;
+                let p = table[idx].predict();
+                table[idx].update(taken);
+                local_hist[lh_idx] = (lh << 1) | taken as u64;
+                p
+            }
+            Engine::Gshare { table } => {
+                let idx = ((pch ^ gh) & im) as usize;
+                let p = table[idx].predict();
+                table[idx].update(taken);
+                p
+            }
+            Engine::Tournament {
+                gap,
+                pap,
+                pap_hist,
+                meta,
+            } => {
+                let gap_idx = (((pch << 6) | (gh & 0x3f)) & im) as usize;
+                let lh_idx = (pch as usize) % LOCAL_HIST_ENTRIES;
+                let lh = pap_hist[lh_idx] & self.hist_mask;
+                let pap_idx = (((pch << 6) | (lh & 0x3f)) & im) as usize;
+                let meta_idx = (pch as usize) & (meta.len() - 1);
+                let gap_pred = gap[gap_idx].predict();
+                let pap_pred = pap[pap_idx].predict();
+                let use_pap = meta[meta_idx].predict();
+                let p = if use_pap { pap_pred } else { gap_pred };
+                // Meta learns which component was right (only when they
+                // disagree).
+                if gap_pred != pap_pred {
+                    meta[meta_idx].update(pap_pred == taken);
+                }
+                gap[gap_idx].update(taken);
+                pap[pap_idx].update(taken);
+                pap_hist[lh_idx] = (lh << 1) | taken as u64;
+                p
+            }
+        };
+        self.global_hist = ((self.global_hist << 1) | taken as u64) & self.hist_mask;
+        self.predictions += 1;
+        if pred != taken {
+            self.misses += 1;
+        }
+        pred
+    }
+
+    /// Branches predicted so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Mispredictions so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Misprediction rate so far (0 if nothing predicted).
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.predictions as f64
+        }
+    }
+
+    /// Mispredictions per kilo instruction, given an instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmt_uarch::PredictorConfig;
+
+    fn sim(kind: PredictorKind) -> PredictorSim {
+        PredictorSim::from_config(&PredictorConfig::sized_4kb(kind))
+    }
+
+    #[test]
+    fn all_predictors_learn_always_taken() {
+        for kind in PredictorKind::ALL {
+            let mut s = sim(kind);
+            for _ in 0..10_000 {
+                s.predict_and_update(0x40, true);
+            }
+            assert!(s.miss_rate() < 0.01, "{kind} failed always-taken");
+        }
+    }
+
+    #[test]
+    fn history_predictors_learn_alternation() {
+        for kind in [
+            PredictorKind::GAg,
+            PredictorKind::GAp,
+            PredictorKind::PAp,
+            PredictorKind::Gshare,
+            PredictorKind::Tournament,
+        ] {
+            let mut s = sim(kind);
+            for i in 0..20_000u64 {
+                s.predict_and_update(0x40, i % 2 == 0);
+            }
+            assert!(s.miss_rate() < 0.05, "{kind}: {}", s.miss_rate());
+        }
+    }
+
+    #[test]
+    fn random_branches_miss_about_half() {
+        // xorshift pseudo-random outcomes.
+        let mut x = 88172645463325252u64;
+        let mut s = sim(PredictorKind::Gshare);
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s.predict_and_update(0x40, x & 1 == 1);
+        }
+        assert!(
+            (s.miss_rate() - 0.5).abs() < 0.05,
+            "random stream: {}",
+            s.miss_rate()
+        );
+    }
+
+    #[test]
+    fn pap_separates_interleaved_branches() {
+        // Two branches with opposite constant behaviour at aliasing pcs.
+        let mut s = sim(PredictorKind::PAp);
+        for _ in 0..20_000 {
+            s.predict_and_update(0x100, true);
+            s.predict_and_update(0x200, false);
+        }
+        assert!(s.miss_rate() < 0.01, "{}", s.miss_rate());
+    }
+
+    #[test]
+    fn tournament_beats_components_on_mixed_workload() {
+        // One branch needs global correlation, another local patterns.
+        let run = |kind: PredictorKind| {
+            let mut s = sim(kind);
+            let mut hist = 0u64;
+            for i in 0..40_000u64 {
+                // Branch A: correlated with previous outcome of B.
+                let a = hist & 1 == 1;
+                s.predict_and_update(0x100, a);
+                // Branch B: period-3 local pattern.
+                let b = i % 3 == 0;
+                s.predict_and_update(0x200, b);
+                hist = (hist << 1) | b as u64;
+            }
+            s.miss_rate()
+        };
+        let tour = run(PredictorKind::Tournament);
+        assert!(tour < 0.05, "tournament should learn both: {tour}");
+    }
+
+    #[test]
+    fn mpki_scales_with_instructions() {
+        let mut s = sim(PredictorKind::GAg);
+        let mut x = 9u64;
+        for _ in 0..1_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.predict_and_update(0x40, x >> 63 == 1);
+        }
+        let mpki = s.mpki(100_000);
+        assert!(mpki > 0.0 && mpki < 10.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Functional cache hierarchy simulation.
+//!
+//! The thesis validates its StatStack-based cache model against functional
+//! cache simulation (Fig 4.2) and classifies misses into cold and
+//! capacity/conflict (Fig 4.4). This crate provides that substrate:
+//!
+//! * [`SetAssocCache`] — one set-associative LRU cache level,
+//! * [`HierarchySim`] — an inclusive three-level data path plus the L1-I
+//!   instruction path, with per-level hit/miss/cold statistics,
+//! * [`StridePrefetcher`] — the per-PC stride prefetcher of thesis §4.9,
+//! * [`Mshr`] — a miss-status-handling-register file used by the timed
+//!   simulator (thesis §4.6).
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_cachesim::HierarchySim;
+//! use pmt_uarch::CacheHierarchy;
+//!
+//! let mut sim = HierarchySim::new(CacheHierarchy::nehalem(), None);
+//! // Stream far beyond L1: every new line misses everywhere (cold).
+//! for i in 0..10_000u64 {
+//!     sim.access_data(i * 64, false, 0x400);
+//! }
+//! let stats = sim.stats();
+//! assert_eq!(stats.l1d.load_misses, 10_000);
+//! assert_eq!(stats.l3.cold_load_misses, 10_000);
+//! ```
+
+mod cache;
+mod hierarchy;
+mod mshr;
+mod prefetcher;
+
+pub use cache::SetAssocCache;
+pub use hierarchy::{AccessOutcome, HierarchySim, HierarchyStats, LevelStats};
+pub use mshr::Mshr;
+pub use prefetcher::StridePrefetcher;

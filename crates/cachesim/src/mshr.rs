@@ -1,0 +1,101 @@
+//! Miss status handling registers (thesis §4.6).
+
+/// A finite file of miss status handling registers.
+///
+/// Each entry tracks one outstanding cache-line fill and its completion
+/// cycle. Requests to an already outstanding line coalesce; requests that
+/// find the file full must stall until the earliest entry frees up.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    entries: Vec<(u64, u64)>, // (line, ready_cycle)
+    capacity: usize,
+}
+
+impl Mshr {
+    /// Create a file with `capacity` entries.
+    pub fn new(capacity: usize) -> Mshr {
+        Mshr {
+            entries: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Drop entries whose fill completed at or before `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    /// Whether `line` is already outstanding; returns its ready cycle.
+    pub fn outstanding(&self, line: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
+    }
+
+    /// Try to allocate an entry for `line` completing at `ready`.
+    ///
+    /// Returns `Ok(ready)` when allocated or coalesced, or `Err(free_at)` —
+    /// the cycle at which the earliest entry frees — when the file is full.
+    pub fn allocate(&mut self, line: u64, ready: u64, now: u64) -> Result<u64, u64> {
+        self.expire(now);
+        if let Some(r) = self.outstanding(line) {
+            return Ok(r); // coalesce
+        }
+        if self.entries.len() >= self.capacity {
+            let free_at = self
+                .entries
+                .iter()
+                .map(|&(_, r)| r)
+                .min()
+                .expect("full file is non-empty");
+            return Err(free_at);
+        }
+        self.entries.push((line, ready));
+        Ok(ready)
+    }
+
+    /// Outstanding entry count.
+    pub fn in_flight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Earliest cycle at which any entry frees (`None` if empty).
+    pub fn earliest_free(&self) -> Option<u64> {
+        self.entries.iter().map(|&(_, r)| r).min()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_until_full() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.allocate(1, 100, 0), Ok(100));
+        assert_eq!(m.allocate(2, 120, 0), Ok(120));
+        assert_eq!(m.allocate(3, 130, 0), Err(100), "full → earliest free");
+    }
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut m = Mshr::new(1);
+        assert_eq!(m.allocate(7, 50, 0), Ok(50));
+        assert_eq!(m.allocate(7, 99, 10), Ok(50), "coalesced to first fill");
+        assert_eq!(m.in_flight(), 1);
+    }
+
+    #[test]
+    fn expiry_frees_entries() {
+        let mut m = Mshr::new(1);
+        m.allocate(1, 10, 0).unwrap();
+        assert!(m.allocate(2, 30, 5).is_err());
+        assert_eq!(m.allocate(2, 30, 10), Ok(30), "entry expired at 10");
+    }
+}

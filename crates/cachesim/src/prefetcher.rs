@@ -1,0 +1,122 @@
+//! Per-PC stride prefetcher (thesis §4.9, Fig 4.10).
+
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    pc: u64,
+    last_addr: u64,
+    stride: i64,
+    confident: bool,
+}
+
+/// A classic per-PC stride prefetcher with a limited-size LRU table.
+///
+/// A static load's entry records its last address and last stride; two
+/// consecutive equal strides make the entry confident, after which every
+/// access issues a prefetch one stride ahead. Loads evicted from the table
+/// between recurrences lose their training (thesis Fig 4.10's example with
+/// loads A–D and a two-entry table).
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    table: VecDeque<Entry>,
+    capacity: usize,
+}
+
+impl StridePrefetcher {
+    /// Create a prefetcher tracking up to `capacity` static loads.
+    pub fn new(capacity: usize) -> StridePrefetcher {
+        StridePrefetcher {
+            table: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Observe a load (`pc`, `addr`); returns the address to prefetch, if
+    /// the entry is confident.
+    pub fn train(&mut self, pc: u64, addr: u64) -> Option<u64> {
+        if let Some(pos) = self.table.iter().position(|e| e.pc == pc) {
+            let mut e = self.table.remove(pos).expect("position just found");
+            let new_stride = addr as i64 - e.last_addr as i64;
+            e.confident = new_stride == e.stride && new_stride != 0;
+            e.stride = new_stride;
+            e.last_addr = addr;
+            let target = if e.confident {
+                addr.checked_add_signed(e.stride)
+            } else {
+                None
+            };
+            self.table.push_front(e);
+            return target;
+        }
+        // New entry; evict LRU if full.
+        if self.table.len() >= self.capacity {
+            self.table.pop_back();
+        }
+        self.table.push_front(Entry {
+            pc,
+            last_addr: addr,
+            stride: 0,
+            confident: false,
+        });
+        None
+    }
+
+    /// Number of tracked static loads.
+    pub fn tracked(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_equal_strides() {
+        let mut pf = StridePrefetcher::new(8);
+        assert_eq!(pf.train(0x10, 100), None); // first sight
+        assert_eq!(pf.train(0x10, 116), None); // first stride observed
+        assert_eq!(pf.train(0x10, 132), Some(148)); // confident
+        assert_eq!(pf.train(0x10, 148), Some(164));
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut pf = StridePrefetcher::new(8);
+        pf.train(0x10, 100);
+        pf.train(0x10, 116);
+        assert!(pf.train(0x10, 132).is_some());
+        assert_eq!(pf.train(0x10, 200), None); // irregular jump
+        assert_eq!(pf.train(0x10, 216), None); // new stride, once
+        assert_eq!(pf.train(0x10, 232), Some(248));
+    }
+
+    #[test]
+    fn table_eviction_loses_training_like_fig_4_10() {
+        // Thesis Fig 4.10: with a 2-entry table, load D is evicted by B and
+        // C between recurrences and never becomes prefetchable.
+        let mut pf = StridePrefetcher::new(2);
+        pf.train(0xD, 0); // D1
+        pf.train(0xB, 1000); // B1
+        pf.train(0xC, 2000); // C1  (D evicted)
+        assert_eq!(pf.train(0xD, 8192), None, "D restarts training");
+        assert_eq!(pf.tracked(), 2);
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut pf = StridePrefetcher::new(4);
+        pf.train(0x10, 64);
+        pf.train(0x10, 64);
+        assert_eq!(pf.train(0x10, 64), None);
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut pf = StridePrefetcher::new(4);
+        pf.train(0x10, 1000);
+        pf.train(0x10, 936);
+        assert_eq!(pf.train(0x10, 872), Some(808));
+    }
+}

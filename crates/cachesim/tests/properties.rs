@@ -1,0 +1,82 @@
+//! Property-based tests: the set-associative LRU cache against a reference
+//! implementation.
+
+use pmt_cachesim::SetAssocCache;
+use pmt_uarch::CacheConfig;
+use proptest::prelude::*;
+
+/// Reference model: per-set recency lists built naively.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> RefCache {
+        RefCache {
+            sets: vec![Vec::new(); cfg.sets() as usize],
+            ways: cfg.associativity as usize,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.sets() - 1,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        let hit = if let Some(p) = set.iter().position(|&t| t == line) {
+            set.remove(p);
+            true
+        } else {
+            false
+        };
+        set.insert(0, line);
+        set.truncate(self.ways);
+        hit
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_reference_lru(
+        addrs in prop::collection::vec(0u64..16384, 100..3000)
+    ) {
+        let cfg = CacheConfig::new(4, 4, 64, 1); // 4 KB, 4-way
+        let mut dut = SetAssocCache::new(&cfg);
+        let mut reference = RefCache::new(&cfg);
+        for &a in &addrs {
+            let (hit, _) = dut.access(a);
+            let ref_hit = reference.access(a);
+            prop_assert_eq!(hit, ref_hit, "divergence at address {}", a);
+        }
+    }
+
+    #[test]
+    fn resident_lines_never_exceed_capacity(
+        addrs in prop::collection::vec(0u64..1_000_000, 100..2000)
+    ) {
+        let cfg = CacheConfig::new(2, 2, 64, 1);
+        let capacity = cfg.lines() as usize;
+        let mut dut = SetAssocCache::new(&cfg);
+        for &a in &addrs {
+            dut.access(a);
+            prop_assert!(dut.resident_lines() <= capacity);
+        }
+    }
+
+    #[test]
+    fn hit_after_access_unless_evicted(
+        addrs in prop::collection::vec(0u64..4096, 1..500)
+    ) {
+        let cfg = CacheConfig::new(8, 8, 64, 1);
+        let mut dut = SetAssocCache::new(&cfg);
+        for &a in &addrs {
+            dut.access(a);
+            prop_assert!(dut.probe(a), "just-accessed line must be resident");
+        }
+    }
+}

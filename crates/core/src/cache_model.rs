@@ -1,0 +1,165 @@
+//! Cache miss-rate derivation from reuse-distance profiles via StatStack
+//! (thesis §4.2): each level of the inclusive hierarchy is modeled
+//! independently as a fully-associative LRU cache of the same capacity.
+
+use pmt_statstack::{ReuseHistogram, StackDistanceModel};
+use pmt_uarch::CacheHierarchy;
+use serde::{Deserialize, Serialize};
+
+/// Per-level miss ratios for one access type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MissRatios {
+    /// L1 miss ratio.
+    pub l1: f64,
+    /// L2 miss ratio (per access, not per L1 miss).
+    pub l2: f64,
+    /// L3 miss ratio (per access).
+    pub l3: f64,
+}
+
+impl MissRatios {
+    /// Fraction of accesses that hit exactly in L2.
+    pub fn l2_hit(&self) -> f64 {
+        (self.l1 - self.l2).max(0.0)
+    }
+
+    /// Fraction of accesses that hit exactly in L3 (the "LLC hits" feeding
+    /// the chaining penalty, §4.8).
+    pub fn l3_hit(&self) -> f64 {
+        (self.l2 - self.l3).max(0.0)
+    }
+}
+
+/// The fitted per-level cache model for one access type.
+#[derive(Clone, Debug)]
+pub struct CacheModel {
+    model: StackDistanceModel,
+    /// Critical reuse distances per data level.
+    pub critical_rd: [u64; 3],
+    /// Miss ratios per level.
+    pub ratios: MissRatios,
+}
+
+impl CacheModel {
+    /// Fit StatStack to a reuse histogram and evaluate it for a hierarchy.
+    pub fn fit(hist: &ReuseHistogram, caches: &CacheHierarchy) -> CacheModel {
+        let model = StackDistanceModel::from_reuse(hist);
+        let lines = [
+            caches.l1d.lines(),
+            caches.l2.lines(),
+            caches.l3.lines(),
+        ];
+        let critical_rd = [
+            model.critical_reuse_distance(lines[0]),
+            model.critical_reuse_distance(lines[1]),
+            model.critical_reuse_distance(lines[2]),
+        ];
+        let ratios = MissRatios {
+            l1: model.miss_ratio(lines[0]),
+            l2: model.miss_ratio(lines[1]),
+            l3: model.miss_ratio(lines[2]),
+        };
+        CacheModel {
+            model,
+            critical_rd,
+            ratios,
+        }
+    }
+
+    /// Fit for the instruction path (L1-I geometry, then shared L2/L3).
+    pub fn fit_inst(hist: &ReuseHistogram, caches: &CacheHierarchy) -> CacheModel {
+        let model = StackDistanceModel::from_reuse(hist);
+        let lines = [
+            caches.l1i.lines(),
+            caches.l2.lines(),
+            caches.l3.lines(),
+        ];
+        let critical_rd = [
+            model.critical_reuse_distance(lines[0]),
+            model.critical_reuse_distance(lines[1]),
+            model.critical_reuse_distance(lines[2]),
+        ];
+        let ratios = MissRatios {
+            l1: model.miss_ratio(lines[0]),
+            l2: model.miss_ratio(lines[1]),
+            l3: model.miss_ratio(lines[2]),
+        };
+        CacheModel {
+            model,
+            critical_rd,
+            ratios,
+        }
+    }
+
+    /// The underlying StatStack model.
+    pub fn stack_model(&self) -> &StackDistanceModel {
+        &self.model
+    }
+
+    /// Cold-access fraction of the fitted histogram.
+    pub fn cold_fraction(&self) -> f64 {
+        self.model.cold_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmt_statstack::ReuseRecorder;
+    use pmt_uarch::CacheHierarchy;
+
+    fn hist_of_cycle(lines: u64, touches: u64) -> ReuseHistogram {
+        let mut rec = ReuseRecorder::new();
+        for i in 0..touches {
+            rec.record(i % lines);
+        }
+        rec.histogram().clone()
+    }
+
+    #[test]
+    fn l1_resident_set_has_no_misses() {
+        // 256 lines (16 KB of 64 B lines) cycled: fits the 32 KB L1.
+        let hist = hist_of_cycle(256, 100_000);
+        let m = CacheModel::fit(&hist, &CacheHierarchy::nehalem());
+        assert!(m.ratios.l1 < 0.02, "{:?}", m.ratios);
+        assert!(m.ratios.l3 < 0.02);
+    }
+
+    #[test]
+    fn l2_resident_set_misses_l1_only() {
+        // 2048 lines = 128 KB: misses L1 (512 lines), fits L2 (4096).
+        let hist = hist_of_cycle(2048, 300_000);
+        let m = CacheModel::fit(&hist, &CacheHierarchy::nehalem());
+        assert!(m.ratios.l1 > 0.9, "{:?}", m.ratios);
+        assert!(m.ratios.l2 < 0.05, "{:?}", m.ratios);
+    }
+
+    #[test]
+    fn dram_set_misses_everywhere() {
+        // 262144 lines = 16 MB: beyond the 8 MB L3.
+        let hist = hist_of_cycle(262_144, 600_000);
+        let m = CacheModel::fit(&hist, &CacheHierarchy::nehalem());
+        assert!(m.ratios.l3 > 0.9, "{:?}", m.ratios);
+    }
+
+    #[test]
+    fn ratios_are_monotone_down_the_hierarchy() {
+        let hist = hist_of_cycle(5_000, 200_000);
+        let m = CacheModel::fit(&hist, &CacheHierarchy::nehalem());
+        assert!(m.ratios.l1 >= m.ratios.l2);
+        assert!(m.ratios.l2 >= m.ratios.l3);
+        assert!(m.critical_rd[0] <= m.critical_rd[1]);
+        assert!(m.critical_rd[1] <= m.critical_rd[2]);
+    }
+
+    #[test]
+    fn l2_l3_hit_fractions() {
+        let r = MissRatios {
+            l1: 0.5,
+            l2: 0.3,
+            l3: 0.1,
+        };
+        assert!((r.l2_hit() - 0.2).abs() < 1e-12);
+        assert!((r.l3_hit() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! The chained-LLC-hit penalty (thesis §4.8, Eqs 4.7–4.12).
+//!
+//! Out-of-order execution hides load latencies shorter than the ROB fill
+//! time — except when several LLC hits sit on the *same* dependence path,
+//! where their serialized latencies exceed what the window can hide.
+
+use pmt_profiler::LoadDependenceDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the chaining penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChainInputs {
+    /// LLC hits per ROB window: `h_LLC(ROB)` (loads that miss L2, hit L3).
+    pub llc_hits_per_rob: f64,
+    /// Loads per ROB window: `L̄(ROB)`.
+    pub loads_per_rob: f64,
+    /// Fraction of loads heading a dependence path: `f(1)`.
+    pub independent_load_fraction: f64,
+    /// LLC hit latency `c_LLC` in cycles.
+    pub llc_latency: f64,
+    /// ROB size in μops.
+    pub rob: f64,
+    /// Effective dispatch rate.
+    pub deff: f64,
+}
+
+impl ChainInputs {
+    /// Assemble from a load-dependence distribution.
+    pub fn from_distribution(
+        f: &LoadDependenceDistribution,
+        llc_hit_ratio: f64,
+        loads_per_rob: f64,
+        llc_latency: f64,
+        rob: f64,
+        deff: f64,
+    ) -> ChainInputs {
+        ChainInputs {
+            llc_hits_per_rob: llc_hit_ratio * loads_per_rob,
+            loads_per_rob,
+            independent_load_fraction: f.independent_fraction().max(1e-3),
+            llc_latency,
+            rob,
+            deff: deff.max(1e-3),
+        }
+    }
+}
+
+/// Penalty per ROB window of instructions (Eq 4.11).
+pub fn chain_penalty_per_window(inp: &ChainInputs) -> f64 {
+    if inp.llc_hits_per_rob <= 0.0 || inp.loads_per_rob <= 0.0 {
+        return 0.0;
+    }
+    // Number of load dependence paths (Eq: p_load = f(1)·L̄).
+    let paths = (inp.independent_load_fraction * inp.loads_per_rob).max(1e-6);
+    // Average loads per path.
+    let loads_per_path = inp.loads_per_rob / paths;
+    // Eq 4.7: average LLC hits per path.
+    let lhc_avg = inp.llc_hits_per_rob / paths;
+    // Eq 4.8: longest chain bound.
+    let lhc_max = inp.llc_hits_per_rob.min(loads_per_path);
+    // Eq 4.9: expected longest chain.
+    let lhc_exp = lhc_avg + (lhc_max - lhc_avg).max(0.0) / paths.max(1.0);
+    // Eq 4.10: serialized latency of the chain.
+    let serialized = inp.llc_latency * lhc_exp;
+    // Eq 4.11: only the part the window cannot hide is a penalty.
+    (serialized - inp.rob / inp.deff).max(0.0)
+}
+
+/// Total penalty over a stream of `total_uops` (Eq 4.12).
+pub fn chain_penalty_total(inp: &ChainInputs, total_uops: f64) -> f64 {
+    if inp.rob <= 0.0 {
+        return 0.0;
+    }
+    chain_penalty_per_window(inp) * (total_uops / inp.rob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_inputs() -> ChainInputs {
+        ChainInputs {
+            llc_hits_per_rob: 8.0,
+            loads_per_rob: 32.0,
+            independent_load_fraction: 0.25,
+            llc_latency: 30.0,
+            rob: 128.0,
+            deff: 4.0,
+        }
+    }
+
+    #[test]
+    fn few_hits_no_penalty() {
+        let mut inp = base_inputs();
+        inp.llc_hits_per_rob = 1.0;
+        // One hit: 30 cycles < 32-cycle fill time → hidden.
+        assert_eq!(chain_penalty_per_window(&inp), 0.0);
+    }
+
+    #[test]
+    fn chained_hits_exceed_fill_time() {
+        let inp = base_inputs();
+        // paths = 8, loads/path = 4, LHC_avg = 1, LHC_max = 4,
+        // LHC_exp = 1 + 3/8 = 1.375 → 41.25 cycles > 32 → penalty 9.25.
+        let p = chain_penalty_per_window(&inp);
+        assert!((p - 9.25).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn more_independence_means_less_penalty() {
+        let mut chained = base_inputs();
+        chained.independent_load_fraction = 0.05;
+        let mut indep = base_inputs();
+        indep.independent_load_fraction = 0.8;
+        assert!(
+            chain_penalty_per_window(&chained) > chain_penalty_per_window(&indep),
+            "chained {} vs indep {}",
+            chain_penalty_per_window(&chained),
+            chain_penalty_per_window(&indep)
+        );
+    }
+
+    #[test]
+    fn bigger_rob_hides_more() {
+        let small = base_inputs();
+        let mut big = base_inputs();
+        big.rob = 256.0;
+        assert!(chain_penalty_per_window(&big) <= chain_penalty_per_window(&small));
+    }
+
+    #[test]
+    fn total_scales_with_stream_length() {
+        let inp = base_inputs();
+        let per = chain_penalty_per_window(&inp);
+        let total = chain_penalty_total(&inp, 1280.0);
+        assert!((total - per * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcc_like_scenario_produces_visible_component() {
+        // Thesis Fig 4.9: an LLC-hit-heavy phase adds ~20% to the CPI.
+        let inp = ChainInputs {
+            llc_hits_per_rob: 12.0,
+            loads_per_rob: 36.0,
+            independent_load_fraction: 0.15,
+            llc_latency: 30.0,
+            rob: 128.0,
+            deff: 3.0,
+        };
+        let p = chain_penalty_per_window(&inp);
+        assert!(p > 10.0, "{p}");
+    }
+}

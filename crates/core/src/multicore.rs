@@ -1,0 +1,290 @@
+//! Multi-core extension (thesis §8.2.1 — listed as future work).
+//!
+//! Co-running workloads interact through the shared last-level cache and
+//! the memory bus. This module extends the single-core interval model with
+//! a fixed-point contention model:
+//!
+//! 1. every core is first predicted with the full shared LLC,
+//! 2. the LLC is partitioned in proportion to each core's *L2-miss
+//!    intensity* (accesses flowing into the LLC per cycle — the quantity
+//!    that drives natural LRU sharing),
+//! 3. each core is re-predicted with its effective LLC share, and the
+//!    memory bus transfer time is inflated by the co-runners' DRAM traffic,
+//! 4. repeat until the partition stabilizes.
+//!
+//! The result preserves the framework's key property: co-schedule
+//! exploration from the same single-core profiles, with no multi-core
+//! simulation.
+
+use crate::config::ModelConfig;
+use crate::model::{IntervalModel, Prediction};
+use pmt_profiler::ApplicationProfile;
+use pmt_uarch::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Prediction for one co-scheduled core.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CorePrediction {
+    /// The core's workload name.
+    pub workload: String,
+    /// Prediction under contention.
+    pub shared: Prediction,
+    /// Prediction running alone on the same machine.
+    pub solo: Prediction,
+    /// Effective LLC capacity share in [0, 1].
+    pub llc_share: f64,
+}
+
+impl CorePrediction {
+    /// Slowdown versus running alone (≥ 1).
+    pub fn slowdown(&self) -> f64 {
+        if self.solo.cycles > 0.0 {
+            self.shared.cycles / self.solo.cycles
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The co-run prediction for all cores.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CorunPrediction {
+    /// Per-core outcomes, in input order.
+    pub cores: Vec<CorePrediction>,
+    /// Fixed-point iterations used.
+    pub iterations: u32,
+}
+
+impl CorunPrediction {
+    /// System throughput: Σ IPC under contention.
+    pub fn throughput_ipc(&self) -> f64 {
+        self.cores.iter().map(|c| c.shared.ipc()).sum()
+    }
+
+    /// Average per-core slowdown.
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 1.0;
+        }
+        self.cores.iter().map(|c| c.slowdown()).sum::<f64>() / self.cores.len() as f64
+    }
+}
+
+/// The multi-core interval model.
+#[derive(Clone, Debug)]
+pub struct MulticoreModel {
+    machine: MachineConfig,
+    config: ModelConfig,
+    max_iterations: u32,
+}
+
+impl MulticoreModel {
+    /// A model for `machine`, whose L3 is shared by all co-scheduled cores.
+    pub fn new(machine: &MachineConfig, config: ModelConfig) -> MulticoreModel {
+        MulticoreModel {
+            machine: machine.clone(),
+            config,
+            max_iterations: 4,
+        }
+    }
+
+    /// Predict a co-schedule of one workload per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty.
+    pub fn predict(&self, profiles: &[&ApplicationProfile]) -> CorunPrediction {
+        assert!(!profiles.is_empty(), "empty co-schedule");
+        let n = profiles.len();
+        let solo_model = IntervalModel::with_config(&self.machine, self.config.clone());
+        let solos: Vec<Prediction> = profiles.iter().map(|p| solo_model.predict(p)).collect();
+        if n == 1 {
+            return CorunPrediction {
+                cores: vec![CorePrediction {
+                    workload: profiles[0].name.clone(),
+                    shared: solos[0].clone(),
+                    solo: solos[0].clone(),
+                    llc_share: 1.0,
+                }],
+                iterations: 0,
+            };
+        }
+
+        // Fixed point on LLC shares, seeded by the solo LLC intensities.
+        let mut shares = self.shares_from(&solos);
+        let mut shared: Vec<Prediction> = Vec::new();
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            shared = profiles
+                .iter()
+                .zip(&shares)
+                .map(|(p, &share)| self.predict_with_share(p, share, &solos, n))
+                .collect();
+            let new_shares = self.shares_from(&shared);
+            let delta: f64 = shares
+                .iter()
+                .zip(&new_shares)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            shares = new_shares;
+            if delta < 0.01 {
+                break;
+            }
+        }
+
+        CorunPrediction {
+            cores: profiles
+                .iter()
+                .zip(shared)
+                .zip(&shares)
+                .map(|((p, s), &share)| CorePrediction {
+                    workload: p.name.clone(),
+                    shared: s,
+                    solo: solos[profiles.iter().position(|q| q.name == p.name).unwrap()].clone(),
+                    llc_share: share,
+                })
+                .collect(),
+            iterations,
+        }
+    }
+
+    /// LLC shares proportional to each core's LLC-access intensity
+    /// (L2 misses per cycle — what actually competes for LRU residency).
+    fn shares_from(&self, predictions: &[Prediction]) -> Vec<f64> {
+        let intensity: Vec<f64> = predictions
+            .iter()
+            .map(|p| {
+                let accesses = p.activity.l3_accesses.max(1.0);
+                accesses / p.cycles.max(1.0)
+            })
+            .collect();
+        let total: f64 = intensity.iter().sum();
+        intensity
+            .iter()
+            .map(|i| (i / total).clamp(0.05, 0.95))
+            .collect()
+    }
+
+    /// Re-predict one core with a scaled effective LLC and a bus slowed by
+    /// the co-runners.
+    fn predict_with_share(
+        &self,
+        profile: &ApplicationProfile,
+        share: f64,
+        solos: &[Prediction],
+        n_cores: usize,
+    ) -> Prediction {
+        let mut m = self.machine.clone();
+        let scaled_kb = ((m.caches.l3.size_kb as f64 * share) as u32).max(m.caches.l2.size_kb * 2);
+        m.caches.l3 = pmt_uarch::CacheConfig::new(
+            scaled_kb,
+            m.caches.l3.associativity,
+            m.caches.l3.line_bytes,
+            m.caches.l3.latency,
+        );
+        // Bus contention: the line transfer time stretches with total DRAM
+        // pressure. A simple M/D/1-flavoured inflation bounded by the core
+        // count keeps the model stable.
+        let solo_dram_per_cycle: f64 = solos
+            .iter()
+            .map(|p| p.activity.dram_accesses / p.cycles.max(1.0))
+            .sum();
+        let util =
+            (solo_dram_per_cycle * m.mem.bus_transfer_cycles as f64).min(0.95 * n_cores as f64);
+        let inflation = (1.0 + util).min(n_cores as f64);
+        m.mem.bus_transfer_cycles =
+            ((m.mem.bus_transfer_cycles as f64) * inflation).round() as u32;
+        IntervalModel::with_config(&m, self.config.clone()).predict(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmt_profiler::{Profiler, ProfilerConfig};
+    use pmt_workloads::WorkloadSpec;
+
+    fn profile(name: &str) -> ApplicationProfile {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        Profiler::new(ProfilerConfig::fast_test()).profile_named(name, &mut spec.trace(40_000))
+    }
+
+    fn model() -> MulticoreModel {
+        MulticoreModel::new(&MachineConfig::nehalem(), ModelConfig::default())
+    }
+
+    #[test]
+    fn single_core_equals_solo() {
+        let p = profile("astar");
+        let out = model().predict(&[&p]);
+        assert_eq!(out.cores.len(), 1);
+        assert!((out.cores[0].slowdown() - 1.0).abs() < 1e-12);
+        assert_eq!(out.cores[0].llc_share, 1.0);
+    }
+
+    #[test]
+    fn corunning_never_speeds_anyone_up() {
+        let a = profile("milc");
+        let b = profile("mcf");
+        let out = model().predict(&[&a, &b]);
+        for c in &out.cores {
+            assert!(
+                c.slowdown() >= 0.999,
+                "{} sped up under contention: {}",
+                c.workload,
+                c.slowdown()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_pairs_hurt_more_than_compute_pairs() {
+        let mem = model().predict(&[&profile("milc"), &profile("mcf")]);
+        let cpu = model().predict(&[&profile("hmmer"), &profile("namd")]);
+        assert!(
+            mem.mean_slowdown() > cpu.mean_slowdown(),
+            "memory pair {} vs compute pair {}",
+            mem.mean_slowdown(),
+            cpu.mean_slowdown()
+        );
+    }
+
+    #[test]
+    fn llc_shares_sum_to_about_one() {
+        let a = profile("soplex");
+        let b = profile("gcc");
+        let out = model().predict(&[&a, &b]);
+        let total: f64 = out.cores.iter().map(|c| c.llc_share).sum();
+        assert!((0.8..=1.2).contains(&total), "{total}");
+    }
+
+    #[test]
+    fn cache_hog_takes_the_larger_share() {
+        let hog = profile("mcf"); // LLC-intense
+        let mouse = profile("hmmer"); // cache-resident
+        let out = model().predict(&[&hog, &mouse]);
+        assert!(
+            out.cores[0].llc_share > out.cores[1].llc_share,
+            "{:?}",
+            out.cores.iter().map(|c| c.llc_share).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn four_way_corun_is_worse_than_two_way() {
+        let p = profile("libquantum");
+        let two = model().predict(&[&p, &p]);
+        let four = model().predict(&[&p, &p, &p, &p]);
+        assert!(four.mean_slowdown() >= two.mean_slowdown() * 0.99);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_bounded() {
+        let a = profile("wrf");
+        let b = profile("bzip2");
+        let out = model().predict(&[&a, &b]);
+        let t = out.throughput_ipc();
+        assert!(t > 0.0 && t < 8.0, "{t}");
+    }
+}

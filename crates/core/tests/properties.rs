@@ -1,0 +1,72 @@
+//! Property-based tests for the interval-model components.
+
+use pmt_core::dispatch::effective_dispatch_rate;
+use pmt_core::llc_chaining::{chain_penalty_per_window, ChainInputs};
+use pmt_core::mlp::mshr_soft_cap;
+use pmt_trace::UopClass;
+use pmt_uarch::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn deff_respects_all_bounds(
+        counts in prop::collection::vec(0.0f64..1e5, UopClass::COUNT),
+        cp in 1.0f64..200.0,
+        lat in 0.5f64..10.0
+    ) {
+        let m = MachineConfig::nehalem();
+        let mut arr = [0.0; UopClass::COUNT];
+        arr.copy_from_slice(&counts);
+        let b = effective_dispatch_rate(&m, &arr, cp, lat);
+        prop_assert!(b.effective > 0.0);
+        prop_assert!(b.effective <= m.core.dispatch_width as f64 + 1e-9);
+        prop_assert!(b.effective <= b.dependence_limit + 1e-9);
+        prop_assert!(b.effective <= b.port_limit + 1e-9);
+        prop_assert!(b.effective <= b.unit_limit + 1e-9);
+    }
+
+    #[test]
+    fn longer_critical_paths_never_speed_dispatch(
+        counts in prop::collection::vec(1.0f64..1e4, UopClass::COUNT),
+        cp in 1.0f64..100.0
+    ) {
+        let m = MachineConfig::nehalem();
+        let mut arr = [0.0; UopClass::COUNT];
+        arr.copy_from_slice(&counts);
+        let short = effective_dispatch_rate(&m, &arr, cp, 1.0).effective;
+        let long = effective_dispatch_rate(&m, &arr, cp * 2.0, 1.0).effective;
+        prop_assert!(long <= short + 1e-9);
+    }
+
+    #[test]
+    fn mshr_cap_is_monotone_and_bounded(raw in 0.0f64..200.0, mshr in 1u32..64) {
+        let capped = mshr_soft_cap(raw, mshr);
+        prop_assert!(capped <= raw + 1e-9);
+        prop_assert!(capped >= raw.min(mshr as f64) - 1e-9);
+        // Monotone in raw parallelism.
+        let more = mshr_soft_cap(raw + 1.0, mshr);
+        prop_assert!(more >= capped);
+    }
+
+    #[test]
+    fn chain_penalty_is_nonnegative_and_monotone_in_hits(
+        hits in 0.0f64..40.0,
+        loads in 1.0f64..64.0,
+        f1 in 0.01f64..1.0
+    ) {
+        let mk = |h: f64| ChainInputs {
+            llc_hits_per_rob: h,
+            loads_per_rob: loads.max(h),
+            independent_load_fraction: f1,
+            llc_latency: 30.0,
+            rob: 128.0,
+            deff: 3.0,
+        };
+        let p = chain_penalty_per_window(&mk(hits));
+        prop_assert!(p >= 0.0);
+        let p_more = chain_penalty_per_window(&mk(hits + 5.0));
+        prop_assert!(p_more + 1e-9 >= p);
+    }
+}

@@ -1,0 +1,85 @@
+//! Constrained design selection (thesis §7.2, Table 7.1).
+
+use crate::sweep::PointOutcome;
+
+/// The fastest design whose predicted power fits `budget_w`, by model
+/// coordinates. Returns `None` when nothing fits.
+pub fn fastest_under_power<'a>(
+    outcomes: &'a [PointOutcome],
+    budget_w: f64,
+) -> Option<&'a PointOutcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.model_power <= budget_w)
+        .min_by(|a, b| a.model_seconds.partial_cmp(&b.model_seconds).unwrap())
+}
+
+/// The lowest-power design whose predicted delay fits `deadline_s`.
+pub fn frugalest_under_delay<'a>(
+    outcomes: &'a [PointOutcome],
+    deadline_s: f64,
+) -> Option<&'a PointOutcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.model_seconds <= deadline_s)
+        .min_by(|a, b| a.model_power.partial_cmp(&b.model_power).unwrap())
+}
+
+/// The design minimizing energy (power × delay) outright.
+pub fn min_energy(outcomes: &[PointOutcome]) -> Option<&PointOutcome> {
+    outcomes.iter().min_by(|a, b| {
+        (a.model_power * a.model_seconds)
+            .partial_cmp(&(b.model_power * b.model_seconds))
+            .unwrap()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: usize, seconds: f64, power: f64) -> PointOutcome {
+        PointOutcome {
+            design_id: id,
+            workload: "w".into(),
+            model_cpi: 1.0,
+            model_power: power,
+            model_seconds: seconds,
+            sim_cpi: None,
+            sim_power: None,
+            sim_seconds: None,
+        }
+    }
+
+    fn sample() -> Vec<PointOutcome> {
+        vec![
+            outcome(0, 1.0, 30.0),
+            outcome(1, 1.5, 18.0),
+            outcome(2, 2.5, 12.0),
+            outcome(3, 0.8, 45.0),
+        ]
+    }
+
+    #[test]
+    fn power_budget_picks_fastest_fitting() {
+        let o = sample();
+        assert_eq!(fastest_under_power(&o, 20.0).unwrap().design_id, 1);
+        assert_eq!(fastest_under_power(&o, 100.0).unwrap().design_id, 3);
+        assert!(fastest_under_power(&o, 5.0).is_none());
+    }
+
+    #[test]
+    fn deadline_picks_frugalest_fitting() {
+        let o = sample();
+        assert_eq!(frugalest_under_delay(&o, 1.6).unwrap().design_id, 1);
+        assert_eq!(frugalest_under_delay(&o, 0.9).unwrap().design_id, 3);
+        assert!(frugalest_under_delay(&o, 0.1).is_none());
+    }
+
+    #[test]
+    fn min_energy_balances_both() {
+        let o = sample();
+        // Energies: 30, 27, 30, 36 → design 1.
+        assert_eq!(min_energy(&o).unwrap().design_id, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! DVFS exploration (thesis §7.3, Table 7.2, Fig 7.3).
+//!
+//! Changing the clock changes memory latency *in cycles* (DRAM
+//! nanoseconds are fixed), so every operating point gets a rescaled
+//! machine description before the model runs.
+
+use pmt_core::{IntervalModel, ModelConfig, Prediction};
+use pmt_power::PowerModel;
+use pmt_profiler::ApplicationProfile;
+use pmt_uarch::{MachineConfig, OperatingPoint};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated operating point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DvfsOutcome {
+    /// The operating point.
+    pub point: OperatingPoint,
+    /// Predicted CPI at this point.
+    pub cpi: f64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Total power in watts.
+    pub power: f64,
+    /// Energy in joules.
+    pub energy: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+    /// Energy-delay-squared product (the thesis' metric).
+    pub ed2p: f64,
+}
+
+/// Rescale a machine description to an operating point: clock, voltage
+/// and the memory-subsystem latencies expressed in core cycles.
+pub fn machine_at(base: &MachineConfig, point: OperatingPoint) -> MachineConfig {
+    let mut m = base.clone();
+    let scale = point.frequency_ghz / base.core.frequency_ghz;
+    m.core.frequency_ghz = point.frequency_ghz;
+    m.core.vdd = point.vdd;
+    m.mem.dram_latency = ((base.mem.dram_latency as f64) * scale).round().max(1.0) as u32;
+    m.mem.bus_transfer_cycles =
+        ((base.mem.bus_transfer_cycles as f64) * scale).round().max(1.0) as u32;
+    m.name = format!("{}@{:.2}GHz", base.name, point.frequency_ghz);
+    m
+}
+
+/// Evaluate a profile across operating points.
+pub fn explore(
+    base: &MachineConfig,
+    points: &[OperatingPoint],
+    profile: &ApplicationProfile,
+    model_cfg: &ModelConfig,
+) -> Vec<DvfsOutcome> {
+    points
+        .iter()
+        .map(|&point| {
+            let machine = machine_at(base, point);
+            let prediction: Prediction =
+                IntervalModel::with_config(&machine, model_cfg.clone()).predict(profile);
+            let seconds = prediction.seconds_at(point.frequency_ghz);
+            let power = PowerModel::new(&machine).power(&prediction.activity);
+            DvfsOutcome {
+                point,
+                cpi: prediction.cpi(),
+                seconds,
+                power: power.total(),
+                energy: power.energy(seconds),
+                edp: power.edp(seconds),
+                ed2p: power.ed2p(seconds),
+            }
+        })
+        .collect()
+}
+
+/// The operating point minimizing ED²P.
+pub fn best_ed2p(outcomes: &[DvfsOutcome]) -> Option<&DvfsOutcome> {
+    outcomes
+        .iter()
+        .min_by(|a, b| a.ed2p.partial_cmp(&b.ed2p).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmt_profiler::{Profiler, ProfilerConfig};
+    use pmt_uarch::nehalem_dvfs_points;
+    use pmt_workloads::WorkloadSpec;
+
+    fn profile(name: &str) -> ApplicationProfile {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        Profiler::new(ProfilerConfig::fast_test()).profile_named(name, &mut spec.trace(30_000))
+    }
+
+    #[test]
+    fn memory_latency_scales_with_clock() {
+        let base = MachineConfig::nehalem();
+        let fast = machine_at(&base, OperatingPoint::new(5.32, 1.3));
+        assert_eq!(fast.mem.dram_latency, 400);
+        let slow = machine_at(&base, OperatingPoint::new(1.33, 0.9));
+        assert_eq!(slow.mem.dram_latency, 100);
+    }
+
+    #[test]
+    fn higher_frequency_is_faster_but_hotter() {
+        let base = MachineConfig::nehalem();
+        let p = profile("hmmer");
+        let out = explore(
+            &base,
+            &nehalem_dvfs_points(),
+            &p,
+            &ModelConfig::default(),
+        );
+        assert_eq!(out.len(), 5);
+        let slowest = &out[0];
+        let fastest = out.last().unwrap();
+        assert!(fastest.seconds < slowest.seconds);
+        assert!(fastest.power > slowest.power);
+    }
+
+    #[test]
+    fn memory_bound_workload_gains_less_from_frequency() {
+        let base = MachineConfig::nehalem();
+        let out_mem = explore(
+            &base,
+            &nehalem_dvfs_points(),
+            &profile("milc"),
+            &ModelConfig::default(),
+        );
+        let out_cpu = explore(
+            &base,
+            &nehalem_dvfs_points(),
+            &profile("hmmer"),
+            &ModelConfig::default(),
+        );
+        let speedup = |o: &[DvfsOutcome]| o[0].seconds / o.last().unwrap().seconds;
+        assert!(
+            speedup(&out_cpu) > speedup(&out_mem),
+            "cpu-bound {} vs mem-bound {}",
+            speedup(&out_cpu),
+            speedup(&out_mem)
+        );
+    }
+
+    #[test]
+    fn best_ed2p_is_an_interior_or_boundary_point() {
+        let base = MachineConfig::nehalem();
+        let out = explore(
+            &base,
+            &nehalem_dvfs_points(),
+            &profile("gcc"),
+            &ModelConfig::default(),
+        );
+        let best = best_ed2p(&out).unwrap();
+        assert!(out.iter().all(|o| best.ed2p <= o.ed2p));
+    }
+}

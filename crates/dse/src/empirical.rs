@@ -1,0 +1,187 @@
+//! The empirical comparator model (thesis §7.5).
+//!
+//! A per-workload ridge regression from design-space coordinates to CPI
+//! and power, trained on simulated samples — the black-box alternative the
+//! thesis compares its mechanistic model against (Figs 7.10–7.13). It
+//! interpolates well on average but misses trend shapes, which is exactly
+//! what the Pareto metrics expose.
+
+use pmt_uarch::DesignPoint;
+use serde::{Deserialize, Serialize};
+
+/// Feature vector of a design point: normalized log-scaled parameters plus
+/// pairwise products (a quadratic basis).
+fn features(p: &DesignPoint) -> Vec<f64> {
+    let (w, rob, l1, l2, l3) = p.coords;
+    let raw = [
+        (w as f64).ln(),
+        (rob as f64).ln(),
+        (l1 as f64).ln(),
+        (l2 as f64).ln(),
+        (l3 as f64).ln(),
+    ];
+    let mut f = vec![1.0];
+    f.extend_from_slice(&raw);
+    for i in 0..raw.len() {
+        for j in i..raw.len() {
+            f.push(raw[i] * raw[j]);
+        }
+    }
+    f
+}
+
+/// A fitted ridge regression (one output).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Ridge {
+    weights: Vec<f64>,
+}
+
+impl Ridge {
+    /// Fit `y ≈ X·w` with L2 regularization `lambda`.
+    fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Ridge {
+        let n_feat = xs[0].len();
+        // Normal equations: (XᵀX + λI) w = Xᵀy.
+        let mut a = vec![vec![0.0; n_feat]; n_feat];
+        let mut b = vec![0.0; n_feat];
+        for (x, &y) in xs.iter().zip(ys) {
+            for i in 0..n_feat {
+                b[i] += x[i] * y;
+                for j in 0..n_feat {
+                    a[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        let weights = solve(a, b);
+        Ridge { weights }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.weights).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue;
+        }
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = if a[row][row].abs() < 1e-12 {
+            0.0
+        } else {
+            acc / a[row][row]
+        };
+    }
+    x
+}
+
+/// The per-workload empirical model: design coordinates → (CPI, power).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EmpiricalModel {
+    cpi: Ridge,
+    power: Ridge,
+}
+
+impl EmpiricalModel {
+    /// Train on simulated (design, CPI, power) samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two training samples are given.
+    pub fn train(samples: &[(&DesignPoint, f64, f64)]) -> EmpiricalModel {
+        assert!(samples.len() >= 2, "need training data");
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(p, _, _)| features(p)).collect();
+        let cpis: Vec<f64> = samples.iter().map(|&(_, c, _)| c).collect();
+        let powers: Vec<f64> = samples.iter().map(|&(_, _, p)| p).collect();
+        EmpiricalModel {
+            cpi: Ridge::fit(&xs, &cpis, 1e-3),
+            power: Ridge::fit(&xs, &powers, 1e-3),
+        }
+    }
+
+    /// Predicted CPI for a design.
+    pub fn predict_cpi(&self, point: &DesignPoint) -> f64 {
+        self.cpi.predict(&features(point)).max(0.05)
+    }
+
+    /// Predicted power for a design.
+    pub fn predict_power(&self, point: &DesignPoint) -> f64 {
+        self.power.predict(&features(point)).max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmt_uarch::DesignSpace;
+
+    #[test]
+    fn solver_inverts_small_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_linear_function_of_design_parameters() {
+        let points = DesignSpace::thesis_table_6_3().enumerate();
+        // Synthetic truth: CPI = 3/ln(width) + 100/rob; power = width².
+        let truth: Vec<(&DesignPoint, f64, f64)> = points
+            .iter()
+            .map(|p| {
+                let (w, rob, _, _, _) = p.coords;
+                (
+                    p,
+                    3.0 / (w as f64).ln() + 100.0 / rob as f64,
+                    (w as f64).powi(2),
+                )
+            })
+            .collect();
+        let model = EmpiricalModel::train(&truth);
+        for (p, cpi, power) in truth.iter().step_by(17) {
+            let pc = model.predict_cpi(p);
+            let pp = model.predict_power(p);
+            assert!((pc - cpi).abs() / cpi < 0.25, "cpi {pc} vs {cpi}");
+            assert!((pp - power).abs() / power < 0.25, "power {pp} vs {power}");
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_bounded_below() {
+        let points = DesignSpace::small().enumerate();
+        let truth: Vec<(&DesignPoint, f64, f64)> =
+            points.iter().map(|p| (p, 1.0, 20.0)).collect();
+        let model = EmpiricalModel::train(&truth);
+        assert!(model.predict_cpi(&points[0]) > 0.0);
+        assert!(model.predict_power(&points[0]) > 0.0);
+    }
+}

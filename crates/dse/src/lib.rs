@@ -1,0 +1,36 @@
+//! Design-space exploration (thesis Ch 7).
+//!
+//! The point of a micro-architecture independent model is sweeping large
+//! design spaces from one profile. This crate provides:
+//!
+//! * [`SpaceEvaluation`] — evaluate the interval model (and optionally the
+//!   reference simulator) over a [`DesignSpace`](pmt_uarch::DesignSpace) ×
+//!   workload grid, in parallel,
+//! * [`ParetoFront`] — non-dominated (delay, power) extraction plus the
+//!   pruning-quality metrics of §7.4: sensitivity, specificity, accuracy
+//!   and the hypervolume ratio (HVR, Fig 7.8),
+//! * [`dvfs`] — voltage/frequency sweeps and ED²P optimization (§7.3),
+//! * [`constrain`] — optimal-design selection under power or performance
+//!   budgets (§7.2, Table 7.1),
+//! * [`EmpiricalModel`] — the ridge-regression comparator of §7.5.
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_dse::ParetoFront;
+//!
+//! // Three designs: two non-dominated, one dominated.
+//! let pts = vec![(1.0, 10.0), (2.0, 5.0), (2.5, 11.0)];
+//! let front = ParetoFront::of(&pts);
+//! assert!(front.is_optimal(0) && front.is_optimal(1) && !front.is_optimal(2));
+//! ```
+
+pub mod constrain;
+pub mod dvfs;
+mod empirical;
+mod pareto;
+mod sweep;
+
+pub use empirical::EmpiricalModel;
+pub use pareto::{ParetoFront, PruningQuality};
+pub use sweep::{PointOutcome, SpaceEvaluation, SweepConfig};

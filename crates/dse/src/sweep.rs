@@ -1,0 +1,238 @@
+//! Parallel design-space sweeps (thesis §6.2.4, §7.4).
+
+use pmt_core::{IntervalModel, ModelConfig};
+use pmt_power::PowerModel;
+use pmt_profiler::ApplicationProfile;
+use pmt_sim::{OooSimulator, SimConfig};
+use pmt_uarch::DesignPoint;
+use pmt_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// One (design, workload) evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PointOutcome {
+    /// Design point id.
+    pub design_id: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Model-predicted CPI.
+    pub model_cpi: f64,
+    /// Model-predicted total power (W).
+    pub model_power: f64,
+    /// Model-predicted execution seconds.
+    pub model_seconds: f64,
+    /// Simulator CPI (None if the sweep was model-only).
+    pub sim_cpi: Option<f64>,
+    /// Simulator power (W).
+    pub sim_power: Option<f64>,
+    /// Simulator execution seconds.
+    pub sim_seconds: Option<f64>,
+}
+
+impl PointOutcome {
+    /// Model (delay, power) coordinates for Pareto analysis.
+    pub fn model_coords(&self) -> (f64, f64) {
+        (self.model_seconds, self.model_power)
+    }
+
+    /// Simulator (delay, power) coordinates, if simulated.
+    pub fn sim_coords(&self) -> Option<(f64, f64)> {
+        Some((self.sim_seconds?, self.sim_power?))
+    }
+
+    /// Relative CPI error, if simulated.
+    pub fn cpi_error(&self) -> Option<f64> {
+        let s = self.sim_cpi?;
+        Some((self.model_cpi - s) / s)
+    }
+
+    /// Relative power error, if simulated.
+    pub fn power_error(&self) -> Option<f64> {
+        let s = self.sim_power?;
+        Some((self.model_power - s) / s)
+    }
+}
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Model configuration (entropy model etc.).
+    pub model: ModelConfig,
+    /// Also run the cycle-level simulator for ground truth.
+    pub with_simulation: bool,
+    /// Instructions per simulation (ignored for the model, which uses the
+    /// profile).
+    pub sim_instructions: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            model: ModelConfig::default(),
+            with_simulation: false,
+            sim_instructions: 200_000,
+        }
+    }
+}
+
+/// A design-space × workload evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct SpaceEvaluation {
+    /// All outcomes, grouped by workload-major order.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl SpaceEvaluation {
+    /// Evaluate the model for one profiled workload over all design
+    /// points; optionally simulate for truth (parallel over points).
+    pub fn run(
+        points: &[DesignPoint],
+        profile: &ApplicationProfile,
+        spec: Option<&WorkloadSpec>,
+        cfg: &SweepConfig,
+    ) -> SpaceEvaluation {
+        assert!(
+            !cfg.with_simulation || spec.is_some(),
+            "simulation needs the workload spec"
+        );
+        let outcomes = parallel_map_ref(points, |point| {
+            Self::evaluate_point(point, profile, spec, cfg)
+        });
+        SpaceEvaluation { outcomes }
+    }
+
+    fn evaluate_point(
+        point: &DesignPoint,
+        profile: &ApplicationProfile,
+        spec: Option<&WorkloadSpec>,
+        cfg: &SweepConfig,
+    ) -> PointOutcome {
+        let machine = &point.machine;
+        let model = IntervalModel::with_config(machine, cfg.model.clone());
+        let prediction = model.predict(profile);
+        let power_model = PowerModel::new(machine);
+        let model_power = power_model.power(&prediction.activity).total();
+        let model_seconds = prediction.seconds_at(machine.core.frequency_ghz);
+
+        let (sim_cpi, sim_power, sim_seconds) = if cfg.with_simulation {
+            let spec = spec.expect("checked in run()");
+            let r = OooSimulator::new(SimConfig::new(machine.clone()))
+                .run(&mut spec.trace(cfg.sim_instructions));
+            let p = power_model.power(&r.activity).total();
+            (
+                Some(r.cpi()),
+                Some(p),
+                Some(r.seconds_at(machine.core.frequency_ghz)),
+            )
+        } else {
+            (None, None, None)
+        };
+
+        PointOutcome {
+            design_id: point.id,
+            workload: profile.name.clone(),
+            model_cpi: prediction.cpi(),
+            model_power,
+            model_seconds,
+            sim_cpi,
+            sim_power,
+            sim_seconds,
+        }
+    }
+
+    /// Model (delay, power) coordinates in design-id order.
+    pub fn model_points(&self) -> Vec<(f64, f64)> {
+        self.outcomes.iter().map(|o| o.model_coords()).collect()
+    }
+
+    /// Simulator coordinates (empty if not simulated).
+    pub fn sim_points(&self) -> Vec<(f64, f64)> {
+        self.outcomes.iter().filter_map(|o| o.sim_coords()).collect()
+    }
+}
+
+/// Order-preserving parallel map over a slice.
+pub fn parallel_map_ref<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(items.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().unwrap().push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmt_profiler::{Profiler, ProfilerConfig};
+    use pmt_uarch::DesignSpace;
+
+    fn profile() -> ApplicationProfile {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(30_000))
+    }
+
+    #[test]
+    fn model_only_sweep_covers_space() {
+        let points = DesignSpace::small().enumerate();
+        let eval = SpaceEvaluation::run(&points, &profile(), None, &SweepConfig::default());
+        assert_eq!(eval.outcomes.len(), 32);
+        for o in &eval.outcomes {
+            assert!(o.model_cpi > 0.0);
+            assert!(o.model_power > 0.0);
+            assert!(o.sim_cpi.is_none());
+        }
+    }
+
+    #[test]
+    fn bigger_machines_predictably_cost_power() {
+        let points = DesignSpace::small().enumerate();
+        let eval = SpaceEvaluation::run(&points, &profile(), None, &SweepConfig::default());
+        // The smallest and largest configurations by resources.
+        let small = &eval.outcomes[0];
+        let big = eval.outcomes.last().unwrap();
+        assert!(big.model_power > small.model_power);
+    }
+
+    #[test]
+    fn simulated_sweep_fills_truth() {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        let points = DesignSpace::small().enumerate()[..4].to_vec();
+        let cfg = SweepConfig {
+            with_simulation: true,
+            sim_instructions: 10_000,
+            ..Default::default()
+        };
+        let eval = SpaceEvaluation::run(&points, &profile(), Some(&spec), &cfg);
+        for o in &eval.outcomes {
+            assert!(o.sim_cpi.unwrap() > 0.0);
+            assert!(o.cpi_error().is_some());
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map_ref(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

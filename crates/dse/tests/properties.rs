@@ -1,0 +1,69 @@
+//! Property-based tests for Pareto machinery.
+
+use pmt_dse::{ParetoFront, PruningQuality};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 2..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn front_members_are_mutually_nondominated(pts in arb_points()) {
+        let front = ParetoFront::of(&pts);
+        let idx = front.indices();
+        prop_assert!(!idx.is_empty());
+        for &i in &idx {
+            for &j in &idx {
+                if i == j { continue; }
+                let dom = pts[j].0 <= pts[i].0 && pts[j].1 <= pts[i].1
+                    && (pts[j].0 < pts[i].0 || pts[j].1 < pts[i].1);
+                prop_assert!(!dom);
+            }
+        }
+    }
+
+    #[test]
+    fn every_dominated_point_has_a_dominator_on_the_front(pts in arb_points()) {
+        let front = ParetoFront::of(&pts);
+        for i in 0..pts.len() {
+            if front.is_optimal(i) { continue; }
+            let found = front.indices().iter().any(|&j| {
+                pts[j].0 <= pts[i].0 && pts[j].1 <= pts[i].1
+                    && (pts[j].0 < pts[i].0 || pts[j].1 < pts[i].1)
+            });
+            prop_assert!(found, "dominated point {i} lacks a frontier dominator");
+        }
+    }
+
+    #[test]
+    fn metrics_are_probabilities(truth in arb_points(), noise in 0.5f64..2.0) {
+        let predicted: Vec<(f64, f64)> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, &(d, p))| if i % 2 == 0 { (d * noise, p) } else { (d, p * noise) })
+            .collect();
+        let q = PruningQuality::evaluate(&truth, &predicted);
+        for v in [q.sensitivity, q.specificity, q.accuracy, q.hvr] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn self_prediction_is_perfect(truth in arb_points()) {
+        let q = PruningQuality::evaluate(&truth, &truth);
+        prop_assert_eq!(q.sensitivity, 1.0);
+        prop_assert_eq!(q.specificity, 1.0);
+        prop_assert!((q.hvr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_scaling_preserves_pruning(truth in arb_points(), s in 0.1f64..10.0) {
+        let scaled: Vec<(f64, f64)> = truth.iter().map(|&(d, p)| (d * s, p * s)).collect();
+        let q = PruningQuality::evaluate(&truth, &scaled);
+        prop_assert_eq!(q.sensitivity, 1.0);
+        prop_assert_eq!(q.specificity, 1.0);
+    }
+}

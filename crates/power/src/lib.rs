@@ -1,0 +1,34 @@
+//! McPAT-style analytical power model (thesis §2.4, §3.6, §4.10).
+//!
+//! Power splits into static leakage (`P_s = I_l·V_dd`, Eq 2.1, with
+//! leakage proportional to structure area) and dynamic switching power
+//! (`P_d = ½·C·V²·a·f`, Eq 2.2, with the activity factor `a` measured or
+//! predicted per structure — Eq 3.16). Like the thesis, which feeds both
+//! Sniper-measured and model-predicted activity counts into the *same*
+//! McPAT, this crate's [`PowerModel`] consumes an
+//! [`ActivityVector`](pmt_uarch::ActivityVector) regardless of origin, so
+//! power prediction error measures exactly the activity/time prediction
+//! error.
+//!
+//! The per-structure area and energy tables are calibrated so the
+//! reference Nehalem-style core at 45 nm dissipates a realistic budget
+//! (~15–40 W across the suite) with roughly 40% static share (§2.4).
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_power::PowerModel;
+//! use pmt_uarch::{ActivityVector, MachineConfig};
+//!
+//! let machine = MachineConfig::nehalem();
+//! let mut activity = ActivityVector::default();
+//! activity.cycles = 1e9; // one second at 2.66 GHz... of mostly idling
+//! let breakdown = PowerModel::new(&machine).power(&activity);
+//! assert!(breakdown.static_w > 0.0);
+//! ```
+
+mod breakdown;
+mod model;
+
+pub use breakdown::{PowerBreakdown, PowerComponent};
+pub use model::PowerModel;

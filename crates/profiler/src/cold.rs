@@ -1,0 +1,156 @@
+//! Cold-miss window distributions for the cold-miss MLP model
+//! (thesis §4.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Distribution of cold misses (first-ever line touches) over ROB-sized
+/// μop windows, per ROB grid size.
+///
+/// The cold-miss MLP model needs `m_cold(ROB)`: the average number of cold
+/// misses per ROB window *containing at least one*, which captures the
+/// burstiness of cold misses that uniform spreading would destroy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColdMissProfile {
+    rob_sizes: Vec<u32>,
+    mean_cold_per_window: Vec<f64>,
+    frac_windows_with_cold: Vec<f64>,
+    total_cold: u64,
+    total_uops: u64,
+}
+
+impl ColdMissProfile {
+    /// Build from the μop positions of every cold miss in a stream of
+    /// `total_uops` μops.
+    pub fn from_positions(positions: &[u64], total_uops: u64, rob_grid: &[u32]) -> ColdMissProfile {
+        let mut mean_cold = Vec::with_capacity(rob_grid.len());
+        let mut frac_windows = Vec::with_capacity(rob_grid.len());
+        for &rob in rob_grid {
+            let rob64 = rob as u64;
+            let n_windows = if total_uops == 0 {
+                0
+            } else {
+                total_uops.div_ceil(rob64)
+            };
+            if n_windows == 0 {
+                mean_cold.push(0.0);
+                frac_windows.push(0.0);
+                continue;
+            }
+            // positions are sorted (stream order); count per stepping
+            // window.
+            let mut windows_with = 0u64;
+            let mut i = 0usize;
+            while i < positions.len() {
+                let w = positions[i] / rob64;
+                let mut j = i;
+                while j < positions.len() && positions[j] / rob64 == w {
+                    j += 1;
+                }
+                windows_with += 1;
+                i = j;
+            }
+            let mean = if windows_with == 0 {
+                0.0
+            } else {
+                positions.len() as f64 / windows_with as f64
+            };
+            mean_cold.push(mean);
+            frac_windows.push(windows_with as f64 / n_windows as f64);
+        }
+        ColdMissProfile {
+            rob_sizes: rob_grid.to_vec(),
+            mean_cold_per_window: mean_cold,
+            frac_windows_with_cold: frac_windows,
+            total_cold: positions.len() as u64,
+            total_uops,
+        }
+    }
+
+    /// An empty profile on a grid.
+    pub fn empty(rob_grid: &[u32]) -> ColdMissProfile {
+        Self::from_positions(&[], 0, rob_grid)
+    }
+
+    /// Average cold misses per window containing at least one, at an
+    /// arbitrary ROB size (nearest-grid lookup with linear blend).
+    pub fn mean_cold_per_rob(&self, rob: u32) -> f64 {
+        interp(&self.rob_sizes, &self.mean_cold_per_window, rob)
+    }
+
+    /// Fraction of windows containing at least one cold miss.
+    pub fn window_fraction(&self, rob: u32) -> f64 {
+        interp(&self.rob_sizes, &self.frac_windows_with_cold, rob)
+    }
+
+    /// Total cold misses observed.
+    pub fn total_cold(&self) -> u64 {
+        self.total_cold
+    }
+
+    /// Cold misses per μop.
+    pub fn cold_per_uop(&self) -> f64 {
+        if self.total_uops == 0 {
+            0.0
+        } else {
+            self.total_cold as f64 / self.total_uops as f64
+        }
+    }
+}
+
+fn interp(xs: &[u32], ys: &[f64], x: u32) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    match xs.binary_search(&x) {
+        Ok(i) => ys[i],
+        Err(0) => ys[0],
+        Err(i) if i >= xs.len() => ys[xs.len() - 1],
+        Err(i) => {
+            let (x0, x1) = (xs[i - 1] as f64, xs[i] as f64);
+            let t = (x as f64 - x0) / (x1 - x0);
+            ys[i - 1] * (1.0 - t) + ys[i] * t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_cold_misses() {
+        // One cold miss every 64 μops over 6400 μops.
+        let positions: Vec<u64> = (0..100u64).map(|i| i * 64).collect();
+        let p = ColdMissProfile::from_positions(&positions, 6_400, &[64, 128]);
+        // Every 64-μop window has exactly one.
+        assert!((p.mean_cold_per_rob(64) - 1.0).abs() < 1e-9);
+        assert!((p.window_fraction(64) - 1.0).abs() < 1e-9);
+        // Every 128-μop window has two.
+        assert!((p.mean_cold_per_rob(128) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_cold_misses() {
+        // 50 cold misses all in the first window, then nothing.
+        let positions: Vec<u64> = (0..50u64).collect();
+        let p = ColdMissProfile::from_positions(&positions, 10_000, &[128]);
+        assert!((p.mean_cold_per_rob(128) - 50.0).abs() < 1e-9);
+        assert!(p.window_fraction(128) < 0.02);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = ColdMissProfile::empty(&[64, 128]);
+        assert_eq!(p.mean_cold_per_rob(64), 0.0);
+        assert_eq!(p.total_cold(), 0);
+        assert_eq!(p.cold_per_uop(), 0.0);
+    }
+
+    #[test]
+    fn interpolation_between_grid_points() {
+        let positions: Vec<u64> = (0..100u64).map(|i| i * 64).collect();
+        let p = ColdMissProfile::from_positions(&positions, 6_400, &[64, 128]);
+        let mid = p.mean_cold_per_rob(96);
+        assert!(mid > 1.0 && mid < 2.0);
+    }
+}

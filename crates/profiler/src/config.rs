@@ -1,0 +1,103 @@
+//! Profiler configuration.
+
+use pmt_trace::SamplingConfig;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the profiling pass.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Micro-trace/window sampling schedule (thesis §5.1).
+    pub sampling: SamplingConfig,
+    /// ROB sizes at which dependence chains are profiled; other sizes are
+    /// interpolated logarithmically (thesis §5.2).
+    pub rob_grid: Vec<u32>,
+    /// Cache line size assumed for reuse-distance profiling.
+    pub line_bytes: u32,
+    /// Local-history length for the linear branch entropy metric.
+    pub entropy_history_bits: u32,
+    /// Window (in μops) over which the inter-load dependence distribution
+    /// f(ℓ) is computed.
+    pub load_dep_window: u32,
+    /// Maximum distinct strides kept per static load.
+    pub max_strides_tracked: usize,
+}
+
+impl ProfilerConfig {
+    /// The thesis defaults: 1k/1M sampling, ROB grid 16..256 step 16,
+    /// 64-byte lines.
+    pub fn thesis_default() -> ProfilerConfig {
+        ProfilerConfig {
+            sampling: SamplingConfig::thesis_default(),
+            rob_grid: (1..=16).map(|i| i * 16).collect(),
+            line_bytes: 64,
+            entropy_history_bits: 8,
+            load_dep_window: 256,
+            max_strides_tracked: 16,
+        }
+    }
+
+    /// A configuration for fast unit/integration tests: micro-traces of
+    /// 500 instructions every 5k.
+    pub fn fast_test() -> ProfilerConfig {
+        ProfilerConfig {
+            sampling: SamplingConfig {
+                micro_trace_instructions: 500,
+                window_instructions: 5_000,
+            },
+            ..Self::thesis_default()
+        }
+    }
+
+    /// Exhaustive profiling (every instruction lands in a micro-trace of
+    /// the given window size).
+    pub fn exhaustive(window: u64) -> ProfilerConfig {
+        ProfilerConfig {
+            sampling: SamplingConfig::exhaustive(window),
+            ..Self::thesis_default()
+        }
+    }
+
+    /// Validate grid ordering and basic ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rob_grid.is_empty() {
+            return Err("empty ROB grid".into());
+        }
+        if self.rob_grid.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("ROB grid must be strictly increasing".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".into());
+        }
+        if self.entropy_history_bits > 24 {
+            return Err("entropy history too long".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self::thesis_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_default_is_valid() {
+        let c = ProfilerConfig::thesis_default();
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.rob_grid.first(), Some(&16));
+        assert_eq!(c.rob_grid.last(), Some(&256));
+        assert_eq!(c.rob_grid.len(), 16);
+    }
+
+    #[test]
+    fn validation_rejects_bad_grid() {
+        let mut c = ProfilerConfig::thesis_default();
+        c.rob_grid = vec![32, 16];
+        assert!(c.validate().is_err());
+    }
+}

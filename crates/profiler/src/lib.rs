@@ -1,0 +1,48 @@
+//! The micro-architecture independent application profiler (thesis Ch 3–5;
+//! the "AIP" tool of the open-sourced framework).
+//!
+//! One pass over the dynamic μop stream produces an
+//! [`ApplicationProfile`] containing every input the interval model needs,
+//! none of which depends on a concrete micro-architecture:
+//!
+//! * instruction mix and μops/instruction (full and sampled — Fig 5.2),
+//! * dependence chains AP/ABP/CP on an ROB-size grid with logarithmic
+//!   interpolation (Alg 3.1, Eqs 5.2–5.4),
+//! * linear branch entropy (Eqs 3.13–3.15),
+//! * reuse-distance histograms for loads, stores and instruction fetches
+//!   (StatStack inputs, §4.2),
+//! * cold-miss window distributions (cold-miss MLP model, §4.4),
+//! * per-static-load stride / spacing / reuse distributions and the
+//!   inter-load dependence distribution f(ℓ) (stride MLP model, §4.5),
+//! * per-micro-trace profiles enabling the per-sample model evaluation
+//!   that the TC'16 extension showed improves accuracy (§6.2).
+//!
+//! Profiling is a *one-time cost per application*: the same profile serves
+//! every machine configuration in a design space.
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_profiler::{Profiler, ProfilerConfig};
+//! use pmt_workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::by_name("astar").unwrap();
+//! let profile = Profiler::new(ProfilerConfig::fast_test())
+//!     .profile(&mut spec.trace(50_000));
+//! assert!(profile.mix.uops_per_instruction() > 1.0);
+//! assert!(!profile.micro_traces.is_empty());
+//! ```
+
+mod cold;
+mod config;
+mod deps;
+mod profile;
+mod profiler;
+mod strides;
+
+pub use cold::ColdMissProfile;
+pub use config::ProfilerConfig;
+pub use deps::{DependenceProfile, LoadDependenceDistribution};
+pub use profile::{ApplicationProfile, BranchProfile, MemoryProfile, MicroTraceProfile};
+pub use profiler::Profiler;
+pub use strides::{StaticLoadProfile, StrideCategory};

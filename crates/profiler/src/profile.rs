@@ -1,0 +1,140 @@
+//! The assembled application profile.
+
+use crate::cold::ColdMissProfile;
+use crate::deps::{DependenceProfile, LoadDependenceDistribution};
+use crate::strides::StaticLoadProfile;
+use pmt_statstack::ReuseHistogram;
+use pmt_trace::{InstructionMix, SamplingConfig};
+use serde::{Deserialize, Serialize};
+
+/// Branch behaviour summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BranchProfile {
+    /// Linear branch entropy E ∈ [0, 1] (Eq 3.15).
+    pub entropy: f64,
+    /// Dynamic branches per instruction.
+    pub branches_per_instruction: f64,
+    /// Dynamic branches observed (sampled).
+    pub branches: u64,
+    /// Distinct static branches observed.
+    pub static_branches: u64,
+}
+
+/// Memory behaviour summary (StatStack inputs + cold-miss distributions).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Reuse-distance histogram of load accesses (distances measured in
+    /// combined load+store accesses, per thesis §4.2).
+    pub loads: ReuseHistogram,
+    /// Reuse-distance histogram of store accesses.
+    pub stores: ReuseHistogram,
+    /// Reuse-distance histogram of instruction fetch-line accesses
+    /// (one access per line transition; distances in line accesses).
+    pub inst: ReuseHistogram,
+    /// Fetch-line accesses per instruction (≈ 1/instructions-per-line,
+    /// plus taken-branch discontinuities).
+    pub inst_accesses_per_instruction: f64,
+    /// Cold-miss window distributions (μop positions of first touches).
+    pub cold: ColdMissProfile,
+    /// Loads per μop.
+    pub loads_per_uop: f64,
+    /// Stores per μop.
+    pub stores_per_uop: f64,
+}
+
+/// Profile of one micro-trace, kept separately so the model can be
+/// evaluated per sample and combined afterwards (the TC'16 insight that
+/// bursty behaviour must not be averaged away — thesis §1.2.2, §6.2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MicroTraceProfile {
+    /// Window index.
+    pub index: u64,
+    /// Instruction offset of the micro-trace start.
+    pub start_instruction: u64,
+    /// Instructions recorded.
+    pub instructions: u64,
+    /// Instructions this micro-trace stands for (window size).
+    pub weight_instructions: u64,
+    /// μops recorded.
+    pub uops: u64,
+    /// μop mix of the micro-trace.
+    pub mix: InstructionMix,
+    /// Dependence chains of the micro-trace.
+    pub deps: DependenceProfile,
+    /// Inter-load dependence distribution f(ℓ).
+    pub load_deps: LoadDependenceDistribution,
+    /// Per-static-load stride/spacing/reuse profiles.
+    pub static_loads: Vec<StaticLoadProfile>,
+    /// Load reuse-distance histogram local to this micro-trace (global
+    /// distances).
+    pub loads: ReuseHistogram,
+    /// Store reuse-distance histogram local to this micro-trace.
+    pub stores: ReuseHistogram,
+    /// Linear branch entropy within the micro-trace.
+    pub branch_entropy: f64,
+    /// Dynamic branches in the micro-trace.
+    pub branches: u64,
+    /// Cold misses (first-ever line touches) in the micro-trace.
+    pub cold_misses: u64,
+    /// Cold misses in the *entire window* this micro-trace stands for
+    /// (exact — the profiler streams the full trace). Cold misses happen
+    /// once, so extrapolating the micro-trace's cold count by the window
+    /// weight would badly overcharge memory stalls.
+    pub window_cold_misses: u64,
+    /// Store cold misses in the entire window (bandwidth accounting).
+    pub window_cold_store_misses: u64,
+}
+
+/// The complete micro-architecture independent application profile
+/// (thesis Fig 2.6's "application profiles" box).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationProfile {
+    /// Workload name.
+    pub name: String,
+    /// Sampling schedule used.
+    pub sampling: SamplingConfig,
+    /// Instructions in the full stream (recorded + skipped).
+    pub total_instructions: u64,
+    /// Instructions actually recorded in micro-traces.
+    pub profiled_instructions: u64,
+    /// Estimated μops in the full stream.
+    pub total_uops: f64,
+    /// Aggregate (sampled) μop mix.
+    pub mix: InstructionMix,
+    /// Aggregate full-stream μop mix (kept for the sampling-error
+    /// experiments of Fig 5.2; identical to `mix` under exhaustive
+    /// profiling).
+    pub full_mix: InstructionMix,
+    /// Aggregate dependence chains (instruction-weighted over
+    /// micro-traces).
+    pub deps: DependenceProfile,
+    /// Aggregate inter-load dependence distribution.
+    pub load_deps: LoadDependenceDistribution,
+    /// Branch behaviour.
+    pub branch: BranchProfile,
+    /// Memory behaviour.
+    pub memory: MemoryProfile,
+    /// Per-micro-trace profiles.
+    pub micro_traces: Vec<MicroTraceProfile>,
+}
+
+impl ApplicationProfile {
+    /// μops per instruction of the sampled mix.
+    pub fn uops_per_instruction(&self) -> f64 {
+        self.mix.uops_per_instruction()
+    }
+
+    /// Loads per instruction.
+    pub fn loads_per_instruction(&self) -> f64 {
+        self.mix.load_fraction() * self.uops_per_instruction()
+    }
+
+    /// Class-fraction array for latency weighting.
+    pub fn class_fractions(&self) -> [f64; pmt_trace::UopClass::COUNT] {
+        let mut out = [0.0; pmt_trace::UopClass::COUNT];
+        for c in pmt_trace::UopClass::ALL {
+            out[c.index()] = self.mix.fraction(c);
+        }
+        out
+    }
+}

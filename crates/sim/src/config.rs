@@ -1,0 +1,54 @@
+//! Simulator configuration.
+
+use pmt_uarch::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// Perfect mode: no branch mispredictions, all fetches and loads hit
+    /// L1 (used to validate the base component, thesis Fig 3.7).
+    pub perfect: bool,
+    /// Record a phase sample every this many committed instructions
+    /// (0 disables interval recording).
+    pub interval_instructions: u64,
+}
+
+impl SimConfig {
+    /// A default run of the given machine.
+    pub fn new(machine: MachineConfig) -> SimConfig {
+        SimConfig {
+            machine,
+            perfect: false,
+            interval_instructions: 0,
+        }
+    }
+
+    /// Enable perfect mode.
+    pub fn perfect(mut self) -> SimConfig {
+        self.perfect = true;
+        self
+    }
+
+    /// Enable per-interval phase samples.
+    pub fn with_intervals(mut self, instructions: u64) -> SimConfig {
+        self.interval_instructions = instructions;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::new(MachineConfig::nehalem())
+            .perfect()
+            .with_intervals(10_000);
+        assert!(c.perfect);
+        assert_eq!(c.interval_instructions, 10_000);
+    }
+}

@@ -1,0 +1,102 @@
+//! Simulation results: CPI stacks, activity and phase samples.
+
+use pmt_cachesim::HierarchyStats;
+use pmt_uarch::ActivityVector;
+pub use pmt_uarch::{CpiComponent, CpiStack};
+use serde::{Deserialize, Serialize};
+
+/// One phase sample (an interval of committed instructions).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Instructions committed at the end of this interval.
+    pub instructions: u64,
+    /// Cycles elapsed in this interval.
+    pub cycles: u64,
+    /// CPI of the interval.
+    pub cpi: f64,
+    /// DRAM CPI component of the interval.
+    pub dram_cpi: f64,
+}
+
+/// The full result of one simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Committed μops.
+    pub uops: u64,
+    /// CPI stack (sums to `cpi()`).
+    pub cpi_stack: CpiStack,
+    /// Activity factors for the power model.
+    pub activity: ActivityVector,
+    /// Cache hierarchy counters.
+    pub cache_stats: HierarchyStats,
+    /// Branch predictor lookups.
+    pub branch_lookups: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+    /// Measured MLP: average outstanding DRAM loads while ≥ 1 outstanding.
+    pub mlp: f64,
+    /// Phase samples (if enabled).
+    pub intervals: Vec<IntervalSample>,
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch MPKI.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branch_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Execution time in seconds at a clock frequency.
+    pub fn seconds_at(&self, frequency_ghz: f64) -> f64 {
+        self.cycles as f64 / (frequency_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_sums() {
+        let mut s = CpiStack::default();
+        s.add(CpiComponent::Base, 0.5);
+        s.add(CpiComponent::Dram, 0.3);
+        s.add(CpiComponent::Base, 0.1);
+        assert!((s.total() - 0.9).abs() < 1e-12);
+        assert!((s.get(CpiComponent::Base) - 0.6).abs() < 1e-12);
+        assert!((s.dram_fraction() - 0.3 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_labels_are_unique() {
+        let mut labels: Vec<_> = CpiComponent::ALL.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), CpiComponent::ALL.len());
+    }
+}

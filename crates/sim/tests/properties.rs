@@ -1,0 +1,46 @@
+//! Property-based tests for the cycle-level simulator.
+
+use pmt_sim::{OooSimulator, SimConfig};
+use pmt_uarch::MachineConfig;
+use pmt_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..500) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let run = || {
+            OooSimulator::new(SimConfig::new(MachineConfig::nehalem()))
+                .run(&mut spec.trace(5_000))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.branch_misses, b.branch_misses);
+    }
+
+    #[test]
+    fn cycles_respect_the_width_bound(seed in 0u64..500) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let r = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()))
+            .run(&mut spec.trace(5_000));
+        prop_assert_eq!(r.instructions, 5_000);
+        // Can never beat uops / dispatch width.
+        let floor = r.uops as f64 / 4.0;
+        prop_assert!(r.cycles as f64 + 1e-9 >= floor);
+        // CPI stack identity.
+        prop_assert!((r.cpi_stack.total() - r.cpi()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_mode_never_loses(seed in 0u64..200) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let real = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()))
+            .run(&mut spec.trace(4_000));
+        let perfect = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect())
+            .run(&mut spec.trace(4_000));
+        prop_assert!(perfect.cycles <= real.cycles);
+    }
+}

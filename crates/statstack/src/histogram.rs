@@ -1,0 +1,220 @@
+//! Log-linear reuse-distance histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact bins below this distance; log-linear bins above.
+const LINEAR_LIMIT: u64 = 128;
+/// Sub-bins per power-of-two octave above the linear range.
+const SUB_BINS: u64 = 16;
+/// Number of octaves covered (up to 2^(7 + OCTAVES)).
+const OCTAVES: u64 = 40;
+
+/// Total number of bins.
+const BIN_COUNT: usize = (LINEAR_LIMIT + OCTAVES * SUB_BINS) as usize;
+
+/// Map a distance to its bin index.
+#[inline]
+fn bin_of(d: u64) -> usize {
+    if d < LINEAR_LIMIT {
+        d as usize
+    } else {
+        let msb = 63 - d.leading_zeros() as u64; // ≥ 7
+        let octave = msb - 7;
+        let sub = (d >> (msb.saturating_sub(4))) & (SUB_BINS - 1);
+        let idx = LINEAR_LIMIT + octave * SUB_BINS + sub;
+        (idx as usize).min(BIN_COUNT - 1)
+    }
+}
+
+/// Representative (lower-bound) distance of a bin.
+#[inline]
+fn bin_floor(bin: usize) -> u64 {
+    let bin = bin as u64;
+    if bin < LINEAR_LIMIT {
+        bin
+    } else {
+        let rel = bin - LINEAR_LIMIT;
+        let octave = rel / SUB_BINS;
+        let sub = rel % SUB_BINS;
+        let msb = octave + 7;
+        (1u64 << msb) + (sub << msb.saturating_sub(4))
+    }
+}
+
+/// A histogram of reuse distances (number of intervening accesses between
+/// two touches of the same cache line; thesis Fig 4.1), with cold accesses
+/// (lines never touched before) tracked separately as infinite distance.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    counts: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseHistogram {
+    /// An empty histogram.
+    pub fn new() -> ReuseHistogram {
+        ReuseHistogram {
+            counts: vec![0; BIN_COUNT],
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one reuse at the given distance.
+    #[inline]
+    pub fn record(&mut self, distance: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BIN_COUNT];
+        }
+        self.counts[bin_of(distance)] += 1;
+        self.total += 1;
+    }
+
+    /// Record a cold access (no earlier touch of the line).
+    #[inline]
+    pub fn record_cold(&mut self) {
+        self.cold += 1;
+        self.total += 1;
+    }
+
+    /// Record a reuse `weight` times (for sampled profiling).
+    pub fn record_weighted(&mut self, distance: u64, weight: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BIN_COUNT];
+        }
+        self.counts[bin_of(distance)] += weight;
+        self.total += weight;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BIN_COUNT];
+        }
+        if !other.counts.is_empty() {
+            for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *a += b;
+            }
+        }
+        self.cold += other.cold;
+        self.total += other.total;
+    }
+
+    /// Total recorded accesses (reuses + cold).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of recorded reuses (non-cold).
+    pub fn reuses(&self) -> u64 {
+        self.total - self.cold
+    }
+
+    /// Fraction of cold accesses.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cold as f64 / self.total as f64
+        }
+    }
+
+    /// Iterate `(bin_floor_distance, count)` over non-empty bins in
+    /// increasing distance order.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bin_floor(i), c))
+    }
+
+    /// Internal: raw per-bin counts (for the model's cumulative pass).
+    pub(crate) fn raw_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Internal: bin floor for an index.
+    pub(crate) fn floor_of(bin: usize) -> u64 {
+        bin_floor(bin)
+    }
+
+    /// Internal: number of bins.
+    pub(crate) fn bin_count() -> usize {
+        BIN_COUNT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_distances_are_exact() {
+        for d in 0..LINEAR_LIMIT {
+            assert_eq!(bin_floor(bin_of(d)), d);
+        }
+    }
+
+    #[test]
+    fn bins_are_monotone() {
+        let mut last = 0;
+        for d in [0u64, 1, 127, 128, 129, 1000, 65536, 1 << 20, 1 << 30] {
+            let b = bin_of(d);
+            assert!(b >= last, "bin({d}) went backwards");
+            last = b;
+            assert!(bin_floor(b) <= d, "floor of bin({d}) exceeds d");
+        }
+    }
+
+    #[test]
+    fn bin_floor_error_is_bounded() {
+        // Log-linear binning with 16 sub-bins keeps relative error < 1/16.
+        for d in [200u64, 999, 12345, 1 << 18, (1 << 25) + 12345] {
+            let fl = bin_floor(bin_of(d));
+            let rel = (d - fl) as f64 / (d as f64);
+            assert!(rel < 1.0 / 16.0 + 1e-9, "{d} {fl}");
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut h = ReuseHistogram::new();
+        h.record(5);
+        h.record(5);
+        h.record_cold();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.cold(), 1);
+        assert_eq!(h.reuses(), 2);
+        assert!((h.cold_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let bins: Vec<_> = h.iter_bins().collect();
+        assert_eq!(bins, vec![(5, 2)]);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ReuseHistogram::new();
+        a.record(1);
+        let mut b = ReuseHistogram::new();
+        b.record(1);
+        b.record_cold();
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.cold(), 1);
+        assert_eq!(a.iter_bins().next(), Some((1, 2)));
+    }
+
+    #[test]
+    fn weighted_record_scales() {
+        let mut h = ReuseHistogram::new();
+        h.record_weighted(7, 100);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.iter_bins().next(), Some((7, 100)));
+    }
+}

@@ -1,0 +1,42 @@
+//! StatStack: a statistical cache model (thesis §4.2, after Eklöv &
+//! Hagersten).
+//!
+//! StatStack estimates miss ratios of fully-associative LRU caches of
+//! arbitrary size from a *reuse distance* distribution, which — unlike true
+//! stack distances — can be profiled with a per-line counter and sampling.
+//!
+//! * [`ReuseRecorder`] measures reuse distances over an address stream
+//!   (the profiler feeds it cache-line addresses),
+//! * [`ReuseHistogram`] stores them in log-linear bins,
+//! * [`StackDistanceModel`] converts the histogram to expected stack
+//!   distances and miss-ratio curves.
+//!
+//! The conversion uses the stationarity argument of the original paper: an
+//! access intervening in a reuse window of length `r`, observed `m` accesses
+//! before the window closes, contributes a unique line iff its own forward
+//! reuse distance exceeds `m`; hence the expected stack distance is
+//! `SD(r) = Σ_{m=0}^{r-1} P(RD > m)`, with cold accesses counting as
+//! infinite reuse distance.
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_statstack::{ReuseRecorder, StackDistanceModel};
+//!
+//! // The thesis Fig 4.1 stream: A B C B C A C A (line addresses).
+//! let mut rec = ReuseRecorder::new();
+//! for line in [0u64, 1, 2, 1, 2, 0, 2, 0] {
+//!     rec.record(line);
+//! }
+//! let model = StackDistanceModel::from_reuse(rec.histogram());
+//! // The reuse of A at distance 4 touches only 2 unique lines.
+//! assert!(model.stack_distance(4) <= 4.0);
+//! ```
+
+mod histogram;
+mod model;
+mod recorder;
+
+pub use histogram::ReuseHistogram;
+pub use model::StackDistanceModel;
+pub use recorder::ReuseRecorder;

@@ -1,0 +1,180 @@
+use crate::stream::TraceSource;
+use crate::uop::MicroOp;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the micro-trace/window sampling scheme (thesis §5.1).
+///
+/// Profiling alternates between recording a *micro-trace* of
+/// `micro_trace_instructions` and fast-forwarding to the end of a *window*
+/// of `window_instructions`. The thesis default is 1000-instruction
+/// micro-traces in 1M-instruction windows (sample rate 1/1000).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Instructions recorded per micro-trace.
+    pub micro_trace_instructions: u64,
+    /// Instructions per window (micro-trace + fast-forward).
+    pub window_instructions: u64,
+}
+
+impl SamplingConfig {
+    /// The thesis default: 1k-instruction micro-traces every 1M instructions.
+    pub fn thesis_default() -> SamplingConfig {
+        SamplingConfig {
+            micro_trace_instructions: 1_000,
+            window_instructions: 1_000_000,
+        }
+    }
+
+    /// A configuration that disables sampling (the whole stream is one
+    /// micro-trace per window of the same size).
+    pub fn exhaustive(window_instructions: u64) -> SamplingConfig {
+        SamplingConfig {
+            micro_trace_instructions: window_instructions,
+            window_instructions,
+        }
+    }
+
+    /// Fraction of instructions profiled.
+    pub fn sample_rate(&self) -> f64 {
+        self.micro_trace_instructions as f64 / self.window_instructions as f64
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self::thesis_default()
+    }
+}
+
+/// One recorded micro-trace together with its position in the stream.
+#[derive(Clone, Debug)]
+pub struct MicroTrace {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Instruction offset of the first recorded instruction.
+    pub start_instruction: u64,
+    /// Number of instructions recorded.
+    pub instructions: u64,
+    /// Number of instructions this micro-trace stands for (the window size,
+    /// except possibly for a truncated final window).
+    pub weight_instructions: u64,
+    /// Flat μop buffer of the recorded instructions.
+    pub uops: Vec<MicroOp>,
+}
+
+/// Sample micro-traces from a source per the given configuration, consuming
+/// the source to its end.
+///
+/// # Panics
+///
+/// Panics if `cfg.micro_trace_instructions` is zero or exceeds
+/// `cfg.window_instructions`.
+pub fn sample_micro_traces<S: TraceSource>(mut source: S, cfg: &SamplingConfig) -> Vec<MicroTrace> {
+    assert!(cfg.micro_trace_instructions > 0, "empty micro-traces");
+    assert!(
+        cfg.micro_trace_instructions <= cfg.window_instructions,
+        "micro-trace larger than window"
+    );
+    let mut out = Vec::new();
+    let mut index = 0u64;
+    let mut position = 0u64;
+    loop {
+        let mut uops = Vec::new();
+        let mut recorded = 0u64;
+        while recorded < cfg.micro_trace_instructions {
+            let want = (cfg.micro_trace_instructions - recorded) as usize;
+            let got = source.fill(&mut uops, want);
+            if got == 0 {
+                break;
+            }
+            recorded += got as u64;
+        }
+        if recorded == 0 {
+            break;
+        }
+        let to_skip = cfg.window_instructions - recorded;
+        let skipped = source.skip(to_skip);
+        out.push(MicroTrace {
+            index,
+            start_instruction: position,
+            instructions: recorded,
+            weight_instructions: recorded + skipped,
+            uops,
+        });
+        position += recorded + skipped;
+        index += 1;
+        if skipped < to_skip && recorded < cfg.micro_trace_instructions {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::VecTrace;
+    use crate::uop::{MicroOp, UopClass};
+
+    fn synthetic_trace(n: u64) -> VecTrace {
+        let uops = (0..n)
+            .map(|i| MicroOp::compute(UopClass::IntAlu, i * 4, 0))
+            .collect();
+        VecTrace::new(uops)
+    }
+
+    #[test]
+    fn default_matches_thesis() {
+        let cfg = SamplingConfig::default();
+        assert_eq!(cfg.micro_trace_instructions, 1_000);
+        assert_eq!(cfg.window_instructions, 1_000_000);
+        assert!((cfg.sample_rate() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_cover_all_windows() {
+        let cfg = SamplingConfig {
+            micro_trace_instructions: 10,
+            window_instructions: 100,
+        };
+        let traces = sample_micro_traces(synthetic_trace(1000), &cfg);
+        assert_eq!(traces.len(), 10);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.index, i as u64);
+            assert_eq!(t.instructions, 10);
+            assert_eq!(t.weight_instructions, 100);
+            assert_eq!(t.start_instruction, i as u64 * 100);
+            assert_eq!(t.uops.len(), 10);
+        }
+    }
+
+    #[test]
+    fn final_partial_window_is_kept() {
+        let cfg = SamplingConfig {
+            micro_trace_instructions: 10,
+            window_instructions: 100,
+        };
+        let traces = sample_micro_traces(synthetic_trace(235), &cfg);
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[2].instructions, 10);
+        assert_eq!(traces[2].weight_instructions, 35);
+    }
+
+    #[test]
+    fn exhaustive_records_everything() {
+        let cfg = SamplingConfig::exhaustive(100);
+        let traces = sample_micro_traces(synthetic_trace(250), &cfg);
+        let total: u64 = traces.iter().map(|t| t.instructions).sum();
+        assert_eq!(total, 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "micro-trace larger than window")]
+    fn rejects_inverted_config() {
+        let cfg = SamplingConfig {
+            micro_trace_instructions: 200,
+            window_instructions: 100,
+        };
+        let _ = sample_micro_traces(synthetic_trace(10), &cfg);
+    }
+}

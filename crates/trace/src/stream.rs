@@ -1,0 +1,214 @@
+use crate::uop::MicroOp;
+
+/// A streaming producer of dynamic instructions, the Pin-tool equivalent.
+///
+/// Implementations generate (or replay) the dynamic μop stream of an
+/// application. Consumers pull *instructions* in chunks; every chunk is a
+/// flat μop buffer in which instruction boundaries are marked by
+/// [`MicroOp::begins_instruction`].
+pub trait TraceSource {
+    /// Append the μops of up to `max_instructions` further instructions to
+    /// `buf`, returning the number of instructions appended. A return value
+    /// of `0` signals end of trace. `buf` is *not* cleared.
+    fn fill(&mut self, buf: &mut Vec<MicroOp>, max_instructions: usize) -> usize;
+
+    /// Fast-forward over `n` instructions without materializing them,
+    /// returning the number actually skipped (less than `n` at end of
+    /// trace). Generator state (addresses, branch histories, phase position)
+    /// must advance exactly as if the instructions had been produced.
+    fn skip(&mut self, n: u64) -> u64;
+
+    /// Total number of instructions this source will produce, if known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn fill(&mut self, buf: &mut Vec<MicroOp>, max_instructions: usize) -> usize {
+        (**self).fill(buf, max_instructions)
+    }
+    fn skip(&mut self, n: u64) -> u64 {
+        (**self).skip(n)
+    }
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn fill(&mut self, buf: &mut Vec<MicroOp>, max_instructions: usize) -> usize {
+        (**self).fill(buf, max_instructions)
+    }
+    fn skip(&mut self, n: u64) -> u64 {
+        (**self).skip(n)
+    }
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// A fully materialized trace, replayable as a [`TraceSource`].
+///
+/// Used in tests and wherever a trace must be consumed several times
+/// (e.g. validating the same stream against the simulator and the model).
+#[derive(Clone, Debug, Default)]
+pub struct VecTrace {
+    uops: Vec<MicroOp>,
+    /// Start offset (in μops) of each instruction.
+    starts: Vec<usize>,
+    cursor: usize,
+}
+
+impl VecTrace {
+    /// Wrap a flat μop buffer. Instruction boundaries are read from
+    /// [`MicroOp::begins_instruction`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is non-empty and its first μop does not begin an
+    /// instruction.
+    pub fn new(uops: Vec<MicroOp>) -> VecTrace {
+        if let Some(first) = uops.first() {
+            assert!(
+                first.begins_instruction,
+                "first μop must begin an instruction"
+            );
+        }
+        let starts = uops
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.begins_instruction)
+            .map(|(i, _)| i)
+            .collect();
+        VecTrace {
+            uops,
+            starts,
+            cursor: 0,
+        }
+    }
+
+    /// The underlying flat μop buffer.
+    pub fn uops(&self) -> &[MicroOp] {
+        &self.uops
+    }
+
+    /// Number of instructions in the trace.
+    pub fn instruction_count(&self) -> u64 {
+        self.starts.len() as u64
+    }
+
+    /// Reset the replay cursor to the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn fill(&mut self, buf: &mut Vec<MicroOp>, max_instructions: usize) -> usize {
+        let remaining = self.starts.len() - self.cursor;
+        let n = remaining.min(max_instructions);
+        if n == 0 {
+            return 0;
+        }
+        let from = self.starts[self.cursor];
+        let to = if self.cursor + n < self.starts.len() {
+            self.starts[self.cursor + n]
+        } else {
+            self.uops.len()
+        };
+        buf.extend_from_slice(&self.uops[from..to]);
+        self.cursor += n;
+        n
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let remaining = (self.starts.len() - self.cursor) as u64;
+        let n = remaining.min(n);
+        self.cursor += n as usize;
+        n
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.starts.len() as u64)
+    }
+}
+
+/// Drain up to `max_instructions` instructions from a source into one flat
+/// μop buffer.
+pub fn collect_trace<S: TraceSource>(mut source: S, max_instructions: u64) -> Vec<MicroOp> {
+    let mut buf = Vec::new();
+    let mut left = max_instructions;
+    while left > 0 {
+        let chunk = left.min(64 * 1024) as usize;
+        let got = source.fill(&mut buf, chunk);
+        if got == 0 {
+            break;
+        }
+        left -= got as u64;
+    }
+    buf
+}
+
+/// Count the instructions in a flat μop buffer.
+pub fn count_instructions(uops: &[MicroOp]) -> u64 {
+    uops.iter().filter(|u| u.begins_instruction).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::UopClass;
+
+    fn three_instruction_trace() -> Vec<MicroOp> {
+        vec![
+            MicroOp::load(0x0, 0, 16),
+            MicroOp::compute(UopClass::IntAlu, 0x0, 1),
+            MicroOp::compute(UopClass::IntAlu, 0x4, 0),
+            MicroOp::branch(0x8, 0, true),
+        ]
+    }
+
+    #[test]
+    fn vec_trace_counts_instructions() {
+        let t = VecTrace::new(three_instruction_trace());
+        assert_eq!(t.instruction_count(), 3);
+        assert_eq!(t.len_hint(), Some(3));
+    }
+
+    #[test]
+    fn fill_respects_instruction_boundaries() {
+        let mut t = VecTrace::new(three_instruction_trace());
+        let mut buf = Vec::new();
+        assert_eq!(t.fill(&mut buf, 1), 1);
+        assert_eq!(buf.len(), 2); // the 2-μop first instruction
+        assert_eq!(t.fill(&mut buf, 10), 2);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(t.fill(&mut buf, 10), 0);
+    }
+
+    #[test]
+    fn skip_fast_forwards() {
+        let mut t = VecTrace::new(three_instruction_trace());
+        assert_eq!(t.skip(2), 2);
+        let mut buf = Vec::new();
+        assert_eq!(t.fill(&mut buf, 10), 1);
+        assert_eq!(buf[0].class, UopClass::Branch);
+        assert_eq!(t.skip(5), 0);
+    }
+
+    #[test]
+    fn collect_trace_honours_limit() {
+        let mut t = VecTrace::new(three_instruction_trace());
+        let uops = collect_trace(&mut t, 2);
+        assert_eq!(count_instructions(&uops), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "first μop must begin an instruction")]
+    fn vec_trace_rejects_midstream_start() {
+        let mut uops = three_instruction_trace();
+        uops[0].begins_instruction = false;
+        let _ = VecTrace::new(uops);
+    }
+}

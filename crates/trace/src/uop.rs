@@ -1,0 +1,253 @@
+use serde::{Deserialize, Serialize};
+
+/// Classification of a micro-operation.
+///
+/// This is the taxonomy used by the instruction-mix profile (thesis
+/// Table 2.1) and by the issue-port contention model (thesis §3.4, Fig 3.5).
+/// `Move` covers register-to-register data movement that executes on the
+/// integer ALUs but is tracked separately in the mix.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum UopClass {
+    /// Integer ALU operation (add, sub, logic, shifts).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (non-pipelined on most machines).
+    IntDiv,
+    /// Floating-point add/sub/compare.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt (non-pipelined).
+    FpDiv,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Control-flow μop (conditional or unconditional).
+    Branch,
+    /// Register move / other glue μops.
+    Move,
+}
+
+impl UopClass {
+    /// All classes, in a stable order suitable for histogram indexing.
+    pub const ALL: [UopClass; 10] = [
+        UopClass::IntAlu,
+        UopClass::IntMul,
+        UopClass::IntDiv,
+        UopClass::FpAlu,
+        UopClass::FpMul,
+        UopClass::FpDiv,
+        UopClass::Load,
+        UopClass::Store,
+        UopClass::Branch,
+        UopClass::Move,
+    ];
+
+    /// Number of distinct classes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable dense index of this class in [`UopClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Class for a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= UopClass::COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> UopClass {
+        Self::ALL[index]
+    }
+
+    /// Whether the μop accesses memory.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, UopClass::Load | UopClass::Store)
+    }
+
+    /// Whether the μop is a control-flow operation.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, UopClass::Branch)
+    }
+
+    /// Whether the μop produces a register value other μops can consume.
+    ///
+    /// Stores and branches produce no register result.
+    #[inline]
+    pub fn produces_value(self) -> bool {
+        !matches!(self, UopClass::Store | UopClass::Branch)
+    }
+
+    /// Short display name as used in the thesis figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            UopClass::IntAlu => "INT ALU",
+            UopClass::IntMul => "INT multiply",
+            UopClass::IntDiv => "INT divide",
+            UopClass::FpAlu => "FP ALU",
+            UopClass::FpMul => "FP multiply",
+            UopClass::FpDiv => "FP divide",
+            UopClass::Load => "Load",
+            UopClass::Store => "Store",
+            UopClass::Branch => "Branch",
+            UopClass::Move => "Move",
+        }
+    }
+}
+
+impl std::fmt::Display for UopClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One dynamic micro-operation.
+///
+/// Register data dependences are encoded positionally: `dep1`/`dep2` give the
+/// distance, in μops, back to the producing μop in the dynamic μop stream
+/// (`0` means no dependence). This mirrors what the Architecture Independent
+/// Profiler extracts from a Pin run and is sufficient for every analysis in
+/// the thesis: dependence-chain profiling (Alg 3.1), inter-load dependence
+/// distributions (§4.5) and the reference out-of-order simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// Operation class.
+    pub class: UopClass,
+    /// True for the first μop of a macro-instruction.
+    pub begins_instruction: bool,
+    /// Branch outcome; meaningful only when `class == Branch`.
+    pub taken: bool,
+    /// Static address of the owning macro-instruction.
+    pub pc: u64,
+    /// Static identity of this μop (instruction address + decoder slot).
+    pub static_id: u64,
+    /// Distance in μops back to the first producer (`0` = none).
+    pub dep1: u32,
+    /// Distance in μops back to the second producer (`0` = none).
+    pub dep2: u32,
+    /// Effective byte address; meaningful only for `Load`/`Store`.
+    pub addr: u64,
+}
+
+impl MicroOp {
+    fn base(class: UopClass, pc: u64, slot: u8) -> MicroOp {
+        MicroOp {
+            class,
+            begins_instruction: slot == 0,
+            taken: false,
+            pc,
+            static_id: pc.wrapping_mul(8).wrapping_add(slot as u64),
+            dep1: 0,
+            dep2: 0,
+            addr: 0,
+        }
+    }
+
+    /// A non-memory, non-branch μop of the given class.
+    pub fn compute(class: UopClass, pc: u64, slot: u8) -> MicroOp {
+        debug_assert!(!class.is_memory() && !class.is_branch());
+        Self::base(class, pc, slot)
+    }
+
+    /// A load μop reading `addr`.
+    pub fn load(pc: u64, slot: u8, addr: u64) -> MicroOp {
+        let mut u = Self::base(UopClass::Load, pc, slot);
+        u.addr = addr;
+        u
+    }
+
+    /// A store μop writing `addr`.
+    pub fn store(pc: u64, slot: u8, addr: u64) -> MicroOp {
+        let mut u = Self::base(UopClass::Store, pc, slot);
+        u.addr = addr;
+        u
+    }
+
+    /// A branch μop with the given architectural outcome.
+    pub fn branch(pc: u64, slot: u8, taken: bool) -> MicroOp {
+        let mut u = Self::base(UopClass::Branch, pc, slot);
+        u.taken = taken;
+        u
+    }
+
+    /// Set the first dependence distance (builder style).
+    pub fn with_dep1(mut self, dist: u32) -> MicroOp {
+        self.dep1 = dist;
+        self
+    }
+
+    /// Set the second dependence distance (builder style).
+    pub fn with_dep2(mut self, dist: u32) -> MicroOp {
+        self.dep2 = dist;
+        self
+    }
+
+    /// Iterator over the non-zero dependence distances.
+    #[inline]
+    pub fn deps(&self) -> impl Iterator<Item = u32> {
+        [self.dep1, self.dep2].into_iter().filter(|&d| d != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indexing_round_trips() {
+        for (i, c) in UopClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(UopClass::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(UopClass::Load.is_memory());
+        assert!(UopClass::Store.is_memory());
+        assert!(!UopClass::IntAlu.is_memory());
+        assert!(UopClass::Branch.is_branch());
+        assert!(!UopClass::Store.produces_value());
+        assert!(!UopClass::Branch.produces_value());
+        assert!(UopClass::Load.produces_value());
+    }
+
+    #[test]
+    fn builders_set_payloads() {
+        let l = MicroOp::load(0x40, 1, 0xdead);
+        assert_eq!(l.class, UopClass::Load);
+        assert_eq!(l.addr, 0xdead);
+        assert!(!l.begins_instruction);
+
+        let b = MicroOp::branch(0x44, 0, true);
+        assert!(b.taken);
+        assert!(b.begins_instruction);
+
+        let a = MicroOp::compute(UopClass::FpMul, 0x48, 0)
+            .with_dep1(3)
+            .with_dep2(7);
+        assert_eq!(a.deps().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn static_ids_distinguish_slots() {
+        let a = MicroOp::compute(UopClass::IntAlu, 0x40, 0);
+        let b = MicroOp::compute(UopClass::IntAlu, 0x40, 1);
+        assert_ne!(a.static_id, b.static_id);
+        assert_eq!(a.pc, b.pc);
+    }
+
+    #[test]
+    fn deps_skips_zero() {
+        let u = MicroOp::compute(UopClass::IntAlu, 0, 0).with_dep2(5);
+        assert_eq!(u.deps().collect::<Vec<_>>(), vec![5]);
+    }
+}

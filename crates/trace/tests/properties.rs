@@ -1,0 +1,62 @@
+//! Property-based tests for the trace IR and sampling.
+
+use pmt_trace::{
+    sample_micro_traces, InstructionMix, MicroOp, SamplingConfig, TraceSource, UopClass, VecTrace,
+};
+use proptest::prelude::*;
+
+fn arb_uop() -> impl Strategy<Value = MicroOp> {
+    (0usize..UopClass::COUNT, 0u64..1000, any::<bool>()).prop_map(|(ci, pc, taken)| {
+        let class = UopClass::from_index(ci);
+        match class {
+            UopClass::Load => MicroOp::load(pc, 0, pc * 64),
+            UopClass::Store => MicroOp::store(pc, 0, pc * 64),
+            UopClass::Branch => MicroOp::branch(pc, 0, taken),
+            c => MicroOp::compute(c, pc, 0),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampling_weights_cover_the_stream(
+        uops in prop::collection::vec(arb_uop(), 1..2000),
+        micro in 1u64..50,
+        factor in 1u64..20
+    ) {
+        let window = micro * factor;
+        let trace = VecTrace::new(uops.clone());
+        let n = trace.instruction_count();
+        let traces = sample_micro_traces(
+            trace,
+            &SamplingConfig { micro_trace_instructions: micro, window_instructions: window },
+        );
+        let total: u64 = traces.iter().map(|t| t.weight_instructions).sum();
+        prop_assert_eq!(total, n);
+        let recorded: u64 = traces.iter().map(|t| t.instructions).sum();
+        prop_assert!(recorded <= n);
+    }
+
+    #[test]
+    fn mix_fractions_sum_to_one(
+        uops in prop::collection::vec(arb_uop(), 1..500)
+    ) {
+        let mix = InstructionMix::from_uops(&uops);
+        let sum: f64 = UopClass::ALL.iter().map(|&c| mix.fraction(c)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(mix.total_uops(), uops.len() as u64);
+    }
+
+    #[test]
+    fn vec_trace_replay_is_lossless(
+        uops in prop::collection::vec(arb_uop(), 1..500),
+        chunk in 1usize..64
+    ) {
+        let mut trace = VecTrace::new(uops.clone());
+        let mut buf = Vec::new();
+        while trace.fill(&mut buf, chunk) > 0 {}
+        prop_assert_eq!(buf, uops);
+    }
+}

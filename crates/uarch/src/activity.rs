@@ -1,0 +1,96 @@
+//! Activity factors: the interface between performance estimation and the
+//! power model (thesis §3.6, Eq 3.16).
+//!
+//! Both the cycle-level simulator and the analytical model produce an
+//! [`ActivityVector`]; the power model multiplies it with per-structure
+//! energy tables. This mirrors the thesis' setup where both Sniper and the
+//! analytical model feed activity counts into the same McPAT.
+
+use pmt_trace::UopClass;
+use serde::{Deserialize, Serialize};
+
+/// Absolute activity counts for one program execution on one machine.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityVector {
+    /// Execution time in cycles.
+    pub cycles: f64,
+    /// Committed macro-instructions.
+    pub instructions: f64,
+    /// Committed μops.
+    pub uops: f64,
+    /// Issued μops per class (functional-unit activity, Eq 3.16).
+    pub issue_per_class: [f64; UopClass::COUNT],
+    /// ROB reads+writes (dispatch and commit).
+    pub rob_accesses: f64,
+    /// Instruction-queue insertions+removals.
+    pub iq_accesses: f64,
+    /// Physical register file reads.
+    pub regfile_reads: f64,
+    /// Physical register file writes.
+    pub regfile_writes: f64,
+    /// L1-I lookups.
+    pub l1i_accesses: f64,
+    /// L1-D lookups.
+    pub l1d_accesses: f64,
+    /// L2 lookups (data + instruction refills).
+    pub l2_accesses: f64,
+    /// L3 lookups.
+    pub l3_accesses: f64,
+    /// DRAM accesses (reads + writes + prefetch fills).
+    pub dram_accesses: f64,
+    /// Cache-line bus transfers.
+    pub bus_transfers: f64,
+    /// Branch predictor lookups.
+    pub branch_lookups: f64,
+    /// Branch mispredictions (recovery energy).
+    pub branch_misses: f64,
+}
+
+impl ActivityVector {
+    /// Issued μops across all classes.
+    pub fn total_issued(&self) -> f64 {
+        self.issue_per_class.iter().sum()
+    }
+
+    /// Scale all counts (e.g. extrapolating a sample to a full run).
+    pub fn scaled(&self, factor: f64) -> ActivityVector {
+        let mut v = self.clone();
+        v.cycles *= factor;
+        v.instructions *= factor;
+        v.uops *= factor;
+        for x in v.issue_per_class.iter_mut() {
+            *x *= factor;
+        }
+        v.rob_accesses *= factor;
+        v.iq_accesses *= factor;
+        v.regfile_reads *= factor;
+        v.regfile_writes *= factor;
+        v.l1i_accesses *= factor;
+        v.l1d_accesses *= factor;
+        v.l2_accesses *= factor;
+        v.l3_accesses *= factor;
+        v.dram_accesses *= factor;
+        v.bus_transfers *= factor;
+        v.branch_lookups *= factor;
+        v.branch_misses *= factor;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_scales_everything() {
+        let mut a = ActivityVector::default();
+        a.cycles = 10.0;
+        a.issue_per_class[UopClass::Load.index()] = 4.0;
+        a.dram_accesses = 2.0;
+        let b = a.scaled(3.0);
+        assert_eq!(b.cycles, 30.0);
+        assert_eq!(b.issue_per_class[UopClass::Load.index()], 12.0);
+        assert_eq!(b.dram_accesses, 6.0);
+        assert_eq!(b.total_issued(), 12.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Branch predictor configuration (thesis §3.5).
+
+use serde::{Deserialize, Serialize};
+
+/// The five predictor families evaluated in thesis Fig 3.10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Global history indexing a single global pattern table.
+    GAg,
+    /// Global history, per-branch pattern tables.
+    GAp,
+    /// Per-branch (local) history, per-branch pattern tables.
+    PAp,
+    /// Global history XOR branch address into a shared table.
+    Gshare,
+    /// Tournament of a GAp and a PAp with a meta chooser.
+    Tournament,
+}
+
+impl PredictorKind {
+    /// All predictor kinds in thesis figure order.
+    pub const ALL: [PredictorKind; 5] = [
+        PredictorKind::GAg,
+        PredictorKind::GAp,
+        PredictorKind::PAp,
+        PredictorKind::Gshare,
+        PredictorKind::Tournament,
+    ];
+
+    /// Display name matching the thesis.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::GAg => "GAg",
+            PredictorKind::GAp => "GAp",
+            PredictorKind::PAp => "PAp",
+            PredictorKind::Gshare => "gshare",
+            PredictorKind::Tournament => "Tour",
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sized predictor instance.
+///
+/// `table_index_bits` sets the pattern-table size (2^bits two-bit
+/// counters); `history_bits` the (global or local) history length. The
+/// thesis evaluates ≈4 KB predictors, i.e. 14 index bits of 2-bit counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Predictor family.
+    pub kind: PredictorKind,
+    /// History register length in bits.
+    pub history_bits: u32,
+    /// log2 of the number of pattern-table entries.
+    pub table_index_bits: u32,
+}
+
+impl PredictorConfig {
+    /// A ~4 KB instance of the given family (thesis Fig 3.10 setup).
+    pub fn sized_4kb(kind: PredictorKind) -> PredictorConfig {
+        PredictorConfig {
+            kind,
+            history_bits: 8,
+            table_index_bits: 14,
+        }
+    }
+
+    /// The reference core's predictor: a 4 KB gshare.
+    pub fn nehalem() -> PredictorConfig {
+        Self::sized_4kb(PredictorKind::Gshare)
+    }
+
+    /// Approximate storage budget in bytes (2-bit counters, plus local
+    /// history tables for PAp/Tournament).
+    pub fn storage_bytes(&self) -> u64 {
+        let counters = (1u64 << self.table_index_bits) * 2 / 8;
+        match self.kind {
+            PredictorKind::PAp => counters + (1u64 << 10) * self.history_bits as u64 / 8,
+            PredictorKind::Tournament => 2 * counters + counters / 2,
+            _ => counters,
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self::nehalem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_kb_is_roughly_four_kb() {
+        let c = PredictorConfig::sized_4kb(PredictorKind::GAg);
+        assert_eq!(c.storage_bytes(), 4096);
+    }
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        let mut names: Vec<_> = PredictorKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), PredictorKind::ALL.len());
+    }
+}

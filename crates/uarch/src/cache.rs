@@ -1,0 +1,158 @@
+//! Cache hierarchy configuration (thesis §4.1, Table 6.1).
+
+use serde::{Deserialize, Serialize};
+
+/// One cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in kibibytes.
+    pub size_kb: u32,
+    /// Associativity (ways).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles (hit latency, inclusive of lower levels'
+    /// lookup time the way the interval model charges it).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Convenience constructor.
+    pub fn new(size_kb: u32, associativity: u32, line_bytes: u32, latency: u32) -> CacheConfig {
+        assert!(size_kb > 0 && associativity > 0 && line_bytes > 0);
+        CacheConfig {
+            size_kb,
+            associativity,
+            line_bytes,
+            latency,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_kb as u64 * 1024
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes() / self.line_bytes as u64
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        (self.lines() / self.associativity as u64).max(1)
+    }
+}
+
+/// Identifier for the data-path cache levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataLevel {
+    /// Level-1 data cache.
+    L1d,
+    /// Unified level-2 cache.
+    L2,
+    /// Last-level cache.
+    L3,
+}
+
+impl DataLevel {
+    /// All levels from closest to furthest.
+    pub const ALL: [DataLevel; 3] = [DataLevel::L1d, DataLevel::L2, DataLevel::L3];
+}
+
+/// The full (inclusive) hierarchy: split L1, unified L2 and L3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    /// Level-1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Level-1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified level-2 cache.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub l3: CacheConfig,
+}
+
+impl CacheHierarchy {
+    /// The reference hierarchy of thesis Table 6.1 / §4.2: 32 KB L1s,
+    /// 256 KB L2, 8 MB L3 with 4/30-cycle L2/L3 latencies.
+    pub fn nehalem() -> CacheHierarchy {
+        CacheHierarchy {
+            l1i: CacheConfig::new(32, 4, 64, 1),
+            l1d: CacheConfig::new(32, 8, 64, 2),
+            l2: CacheConfig::new(256, 8, 64, 8),
+            l3: CacheConfig::new(8 * 1024, 16, 64, 30),
+        }
+    }
+
+    /// Data-path level config.
+    pub fn data_level(&self, level: DataLevel) -> &CacheConfig {
+        match level {
+            DataLevel::L1d => &self.l1d,
+            DataLevel::L2 => &self.l2,
+            DataLevel::L3 => &self.l3,
+        }
+    }
+
+    /// Data-path levels from closest to furthest.
+    pub fn data_levels(&self) -> [&CacheConfig; 3] {
+        [&self.l1d, &self.l2, &self.l3]
+    }
+
+    /// Validates the inclusive-hierarchy assumption the StatStack-based
+    /// model relies on (thesis §4.2): strictly growing capacities and a
+    /// uniform line size.
+    pub fn is_inclusive_friendly(&self) -> bool {
+        let line = self.l1d.line_bytes;
+        self.l1i.line_bytes == line
+            && self.l2.line_bytes == line
+            && self.l3.line_bytes == line
+            && self.l1d.size_bytes() < self.l2.size_bytes()
+            && self.l2.size_bytes() < self.l3.size_bytes()
+    }
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        Self::nehalem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivations() {
+        let c = CacheConfig::new(32, 8, 64, 2);
+        assert_eq!(c.size_bytes(), 32 * 1024);
+        assert_eq!(c.lines(), 512);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn nehalem_is_inclusive_friendly() {
+        assert!(CacheHierarchy::nehalem().is_inclusive_friendly());
+    }
+
+    #[test]
+    fn data_levels_are_ordered() {
+        let h = CacheHierarchy::nehalem();
+        let [l1, l2, l3] = h.data_levels();
+        assert!(l1.size_bytes() < l2.size_bytes());
+        assert!(l2.size_bytes() < l3.size_bytes());
+        assert!(l1.latency < l2.latency && l2.latency < l3.latency);
+    }
+
+    #[test]
+    fn level_lookup_matches_fields() {
+        let h = CacheHierarchy::nehalem();
+        assert_eq!(h.data_level(DataLevel::L2), &h.l2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        let _ = CacheConfig::new(0, 1, 64, 1);
+    }
+}

@@ -1,0 +1,96 @@
+use serde::{Deserialize, Serialize};
+
+/// Superscalar out-of-order core parameters (thesis §2.1, Table 6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Pipeline (dispatch/commit) width `D` in μops per cycle.
+    pub dispatch_width: u32,
+    /// Re-order buffer size in μops.
+    pub rob_size: u32,
+    /// Instruction (issue) queue size in μops.
+    pub iq_size: u32,
+    /// Load/store queue size.
+    pub lsq_size: u32,
+    /// Front-end pipeline depth; the refill time `c_fe` after a branch
+    /// misprediction equals this number of cycles (thesis §2.5.2).
+    pub frontend_depth: u32,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl CoreConfig {
+    /// The Nehalem-style reference core of thesis Table 6.1: 4-wide,
+    /// 128-entry ROB, 2.66 GHz at 1.1 V in 45 nm.
+    pub fn nehalem() -> CoreConfig {
+        CoreConfig {
+            dispatch_width: 4,
+            rob_size: 128,
+            iq_size: 36,
+            lsq_size: 48,
+            frontend_depth: 5,
+            frequency_ghz: 2.66,
+            vdd: 1.1,
+        }
+    }
+
+    /// Scale the ROB-correlated structures (IQ, LSQ) the way the thesis'
+    /// design space does: proportionally to the Nehalem ratios.
+    pub fn with_rob(mut self, rob_size: u32) -> CoreConfig {
+        let ref_cfg = CoreConfig::nehalem();
+        self.rob_size = rob_size;
+        self.iq_size = (rob_size * ref_cfg.iq_size / ref_cfg.rob_size).max(8);
+        self.lsq_size = (rob_size * ref_cfg.lsq_size / ref_cfg.rob_size).max(8);
+        self
+    }
+
+    /// Builder-style dispatch-width override.
+    pub fn with_dispatch_width(mut self, width: u32) -> CoreConfig {
+        self.dispatch_width = width;
+        self
+    }
+
+    /// Cycles to fill the ROB at the dispatch width — latencies below this
+    /// threshold are hidden by out-of-order execution (thesis §4.8).
+    pub fn rob_fill_time(&self) -> f64 {
+        self.rob_size as f64 / self.dispatch_width as f64
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::nehalem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_reference_values() {
+        let c = CoreConfig::nehalem();
+        assert_eq!(c.dispatch_width, 4);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.frontend_depth, 5);
+        assert!((c.frequency_ghz - 2.66).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rob_scaling_scales_queues() {
+        let c = CoreConfig::nehalem().with_rob(256);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.iq_size, 72);
+        assert_eq!(c.lsq_size, 96);
+        let small = CoreConfig::nehalem().with_rob(16);
+        assert!(small.iq_size >= 8);
+    }
+
+    #[test]
+    fn rob_fill_time_matches_thesis_example() {
+        // Thesis §4.8: ROB 128, width 4 → 32-cycle fill time.
+        let c = CoreConfig::nehalem();
+        assert!((c.rob_fill_time() - 32.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! The processor design space of thesis Table 6.3.
+//!
+//! The thesis sweeps 243 = 3⁵ core configurations: three values each for
+//! the pipeline width, the ROB size (with IQ/LSQ scaled along), and the
+//! L1, L2 and L3 capacities. Frequency and voltage are fixed for the space
+//! (DVFS is explored separately, Table 7.2).
+
+use crate::cache::CacheConfig;
+use crate::machine::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Swept parameter values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Dispatch widths.
+    pub dispatch_widths: Vec<u32>,
+    /// ROB sizes (IQ and LSQ scale proportionally).
+    pub rob_sizes: Vec<u32>,
+    /// L1 cache sizes in KB (applied to both L1-I and L1-D).
+    pub l1_kb: Vec<u32>,
+    /// L2 cache sizes in KB.
+    pub l2_kb: Vec<u32>,
+    /// L3 cache sizes in KB.
+    pub l3_kb: Vec<u32>,
+}
+
+/// One enumerated configuration with its coordinates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Dense index in the enumeration order.
+    pub id: usize,
+    /// The machine configuration.
+    pub machine: MachineConfig,
+    /// (dispatch, rob, l1_kb, l2_kb, l3_kb) coordinates.
+    pub coords: (u32, u32, u32, u32, u32),
+}
+
+impl DesignSpace {
+    /// The thesis' 243-point space (Table 6.3): width {2,4,6},
+    /// ROB {64,128,256}, L1 {16,32,64} KB, L2 {128,256,512} KB,
+    /// L3 {2048,4096,8192} KB.
+    pub fn thesis_table_6_3() -> DesignSpace {
+        DesignSpace {
+            dispatch_widths: vec![2, 4, 6],
+            rob_sizes: vec![64, 128, 256],
+            l1_kb: vec![16, 32, 64],
+            l2_kb: vec![128, 256, 512],
+            l3_kb: vec![2048, 4096, 8192],
+        }
+    }
+
+    /// A 2×2×2×2×2 = 32-point subset for fast tests.
+    pub fn small() -> DesignSpace {
+        DesignSpace {
+            dispatch_widths: vec![2, 4],
+            rob_sizes: vec![64, 128],
+            l1_kb: vec![16, 32],
+            l2_kb: vec![128, 256],
+            l3_kb: vec![2048, 8192],
+        }
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.dispatch_widths.len()
+            * self.rob_sizes.len()
+            * self.l1_kb.len()
+            * self.l2_kb.len()
+            * self.l3_kb.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate every design point, derived from the reference machine.
+    pub fn enumerate(&self) -> Vec<DesignPoint> {
+        let base = MachineConfig::nehalem();
+        let mut out = Vec::with_capacity(self.len());
+        let mut id = 0;
+        for &w in &self.dispatch_widths {
+            for &rob in &self.rob_sizes {
+                for &l1 in &self.l1_kb {
+                    for &l2 in &self.l2_kb {
+                        for &l3 in &self.l3_kb {
+                            let mut m = base.clone();
+                            m.name = format!("w{w}-rob{rob}-l1_{l1}k-l2_{l2}k-l3_{l3}k");
+                            m.core = m.core.with_dispatch_width(w).with_rob(rob);
+                            m.caches.l1i = CacheConfig::new(l1, 4, 64, 1);
+                            m.caches.l1d =
+                                CacheConfig::new(l1, 8, 64, base.caches.l1d.latency);
+                            m.caches.l2 = CacheConfig::new(l2, 8, 64, base.caches.l2.latency);
+                            // LLC latency scales weakly with capacity.
+                            let l3_lat = match l3 {
+                                0..=2048 => 26,
+                                2049..=4096 => 28,
+                                _ => 30,
+                            };
+                            m.caches.l3 = CacheConfig::new(l3, 16, 64, l3_lat);
+                            out.push(DesignPoint {
+                                id,
+                                machine: m,
+                                coords: (w, rob, l1, l2, l3),
+                            });
+                            id += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_space_has_243_points() {
+        let space = DesignSpace::thesis_table_6_3();
+        assert_eq!(space.len(), 243);
+        assert_eq!(space.enumerate().len(), 243);
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let points = DesignSpace::small().enumerate();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn every_point_is_inclusive_friendly() {
+        for p in DesignSpace::thesis_table_6_3().enumerate() {
+            assert!(
+                p.machine.caches.is_inclusive_friendly(),
+                "{} violates hierarchy ordering",
+                p.machine.name
+            );
+        }
+    }
+
+    #[test]
+    fn rob_scaling_applied() {
+        let points = DesignSpace::small().enumerate();
+        let big = points.iter().find(|p| p.coords.1 == 128).unwrap();
+        let small = points.iter().find(|p| p.coords.1 == 64).unwrap();
+        assert!(big.machine.core.iq_size > small.machine.core.iq_size);
+    }
+}

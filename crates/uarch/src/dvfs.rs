@@ -1,0 +1,59 @@
+//! DVFS operating points (thesis §7.3, Table 7.2).
+
+use serde::{Deserialize, Serialize};
+
+/// One voltage/frequency operating point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl OperatingPoint {
+    /// Convenience constructor.
+    pub fn new(frequency_ghz: f64, vdd: f64) -> OperatingPoint {
+        OperatingPoint {
+            frequency_ghz,
+            vdd,
+        }
+    }
+}
+
+/// The five Nehalem-based DVFS settings swept in thesis Table 7.2.
+///
+/// Voltage scales roughly linearly with frequency over the legal range, as
+/// on real parts.
+pub fn nehalem_dvfs_points() -> Vec<OperatingPoint> {
+    vec![
+        OperatingPoint::new(1.60, 0.90),
+        OperatingPoint::new(2.00, 0.975),
+        OperatingPoint::new(2.40, 1.05),
+        OperatingPoint::new(2.66, 1.10),
+        OperatingPoint::new(3.20, 1.20),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_monotone() {
+        let pts = nehalem_dvfs_points();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].frequency_ghz < w[1].frequency_ghz);
+            assert!(w[0].vdd < w[1].vdd);
+        }
+    }
+
+    #[test]
+    fn reference_point_is_included() {
+        let pts = nehalem_dvfs_points();
+        assert!(pts
+            .iter()
+            .any(|p| (p.frequency_ghz - 2.66).abs() < 1e-9 && (p.vdd - 1.1).abs() < 1e-9));
+    }
+}

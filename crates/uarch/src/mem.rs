@@ -1,0 +1,51 @@
+//! Main-memory subsystem parameters (thesis §4.6–4.7).
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM, memory-bus and MSHR configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Main-memory access latency `c_mem` in core cycles (excluding bus
+    /// queuing).
+    pub dram_latency: u32,
+    /// Cycles to transfer one cache line over the memory bus
+    /// (`c_transfer` in thesis Eq 4.5).
+    pub bus_transfer_cycles: u32,
+    /// Number of L1-D miss status handling registers (thesis §4.6).
+    pub mshr_entries: u32,
+    /// DRAM page size in bytes; prefetchers do not cross pages
+    /// (thesis §4.9).
+    pub dram_page_bytes: u32,
+}
+
+impl MemoryConfig {
+    /// Reference memory subsystem: ~200-cycle DRAM, 64-byte lines over an
+    /// 8-byte bus at half core clock, 10 MSHRs, 4 KiB pages.
+    pub fn nehalem() -> MemoryConfig {
+        MemoryConfig {
+            dram_latency: 200,
+            bus_transfer_cycles: 16,
+            mshr_entries: 10,
+            dram_page_bytes: 4096,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::nehalem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        let m = MemoryConfig::nehalem();
+        assert_eq!(m.dram_latency, 200);
+        assert_eq!(m.mshr_entries, 10);
+        assert_eq!(m.dram_page_bytes, 4096);
+    }
+}

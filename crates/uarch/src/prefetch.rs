@@ -1,0 +1,48 @@
+//! Stride-prefetcher configuration (thesis §4.9, Fig 4.10).
+
+use serde::{Deserialize, Serialize};
+
+/// A per-PC stride prefetcher at the L1-D level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetcherConfig {
+    /// Whether prefetching is enabled.
+    pub enabled: bool,
+    /// Number of static loads tracked simultaneously (thesis §4.9:
+    /// recurrences evicted from this table cannot train the prefetcher).
+    pub table_entries: u32,
+}
+
+impl PrefetcherConfig {
+    /// Prefetching disabled.
+    pub fn disabled() -> PrefetcherConfig {
+        PrefetcherConfig {
+            enabled: false,
+            table_entries: 0,
+        }
+    }
+
+    /// A 64-entry per-PC stride prefetcher.
+    pub fn stride_64() -> PrefetcherConfig {
+        PrefetcherConfig {
+            enabled: true,
+            table_entries: 64,
+        }
+    }
+}
+
+impl Default for PrefetcherConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!PrefetcherConfig::default().enabled);
+        assert!(PrefetcherConfig::stride_64().enabled);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic SPEC CPU 2006 workload suite.
+//!
+//! The thesis evaluates on the 29 SPEC CPU 2006 benchmarks, profiled with a
+//! Pin tool. SPEC binaries and Pin are unavailable here, so this crate
+//! substitutes a *seeded generative model* per benchmark: each
+//! [`WorkloadSpec`] describes a loop-structured program (blocks of static
+//! instructions iterated in nested loops) with per-benchmark knobs for
+//!
+//! * the μop mix and μops-per-instruction ratio (thesis Fig 3.1),
+//! * register dependence structure (average/branch/critical path, Fig 3.4),
+//! * per-static-branch outcome processes with controllable predictability
+//!   (linear branch entropy, §3.5),
+//! * per-static-load address patterns — single/multi-stride, random-in-
+//!   region, and streaming (cold-miss) loads with working-set sizes that
+//!   place them in L1/L2/L3/DRAM (Fig 4.2, Fig 4.7),
+//! * inter-load (pointer-chasing) dependences driving MLP and LLC-hit
+//!   chaining (§4.5, §4.8), and
+//! * optional phase behaviour (Fig 4.9, §6.5).
+//!
+//! The generator is deterministic: the same spec and instruction budget
+//! always produce bit-identical traces, so the analytical model (profiled
+//! with sampling) and the cycle-level reference simulator (consuming the
+//! full stream) observe the same program.
+//!
+//! # Example
+//!
+//! ```
+//! use pmt_workloads::{WorkloadSpec, SUITE};
+//! use pmt_trace::{collect_trace, count_instructions};
+//!
+//! assert_eq!(SUITE.len(), 29);
+//! let spec = WorkloadSpec::by_name("mcf").unwrap();
+//! let uops = collect_trace(spec.trace(10_000), 10_000);
+//! assert_eq!(count_instructions(&uops), 10_000);
+//! ```
+
+mod generator;
+mod patterns;
+mod spec;
+mod suite;
+
+pub use generator::WorkloadTrace;
+pub use spec::{BranchSpec, CodeSpec, DepSpec, MemSpec, MixSpec, PhaseSpec, WorkloadSpec};
+pub use suite::{suite, SUITE};

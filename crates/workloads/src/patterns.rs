@@ -1,0 +1,347 @@
+//! Per-static-instruction behavioural state machines: address patterns and
+//! branch outcome processes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Address generation pattern of one static memory operation.
+#[derive(Clone, Debug)]
+pub enum AddrPattern {
+    /// Mixture of up to four strides, walking a bounded region (working
+    /// set). A single-entry mixture is a plain strided load.
+    Strided {
+        /// (stride bytes, cumulative probability) entries.
+        strides: Vec<(i64, f64)>,
+        /// Region size in bytes (power-of-two not required).
+        region: u64,
+        /// Base address of the region.
+        base: u64,
+        /// Current offset within the region.
+        offset: u64,
+    },
+    /// Uniformly random accesses within a region.
+    Random {
+        /// Region size in bytes.
+        region: u64,
+        /// Base address.
+        base: u64,
+    },
+    /// Streaming through fresh memory: every recurrence touches a new
+    /// address, producing cold misses ("unique" loads, thesis Fig 4.7).
+    Streaming {
+        /// Stride in bytes.
+        stride: u64,
+        /// Base address.
+        base: u64,
+        /// Current offset (unbounded within a huge region).
+        offset: u64,
+        /// Wrap limit to keep the address space finite.
+        limit: u64,
+    },
+}
+
+impl AddrPattern {
+    /// Produce the next effective address.
+    pub fn next_addr(&mut self, rng: &mut StdRng) -> u64 {
+        match self {
+            AddrPattern::Strided {
+                strides,
+                region,
+                base,
+                offset,
+            } => {
+                let addr = *base + *offset;
+                let draw: f64 = rng.gen();
+                let stride = strides
+                    .iter()
+                    .find(|&&(_, cum)| draw <= cum)
+                    .map(|&(s, _)| s)
+                    .unwrap_or(strides.last().expect("non-empty strides").0);
+                let r = *region as i64;
+                let mut next = *offset as i64 + stride;
+                next %= r;
+                if next < 0 {
+                    next += r;
+                }
+                *offset = next as u64;
+                addr
+            }
+            AddrPattern::Random { region, base } => {
+                // 8-byte aligned uniform draw.
+                let slots = (*region / 8).max(1);
+                *base + rng.gen_range(0..slots) * 8
+            }
+            AddrPattern::Streaming {
+                stride,
+                base,
+                offset,
+                limit,
+            } => {
+                let addr = *base + *offset;
+                *offset += *stride;
+                if *offset >= *limit {
+                    *offset = 0;
+                }
+                addr
+            }
+        }
+    }
+}
+
+/// Outcome process of one static conditional branch (thesis §3.5's
+/// predictable/unpredictable dichotomy).
+///
+/// Real branch populations are *bias-dominated*: most branches are heavily
+/// taken or heavily not-taken, a minority follow short periodic patterns
+/// (loop mod-k tests), and noise is the residual data dependence. The
+/// workload's `noise` knob scales how far biases sit from certainty, which
+/// moves both the linear branch entropy and every predictor's miss rate in
+/// lockstep — the linearity that Fig 3.9 exploits.
+#[derive(Clone, Debug)]
+pub enum BranchProcess {
+    /// Mostly-one-direction branch. Half of its deviations are a
+    /// *deterministic* pseudo-random function of the iteration counter —
+    /// like real data-dependent branches, whose "noise" replays identically
+    /// across outer loops, letting history-indexed predictors train — and
+    /// half are iid.
+    Biased {
+        /// Dominant direction.
+        toward_taken: bool,
+        /// Total deviation rate from the dominant direction.
+        deviation: f64,
+        /// Branch identity (seeds the deterministic flips).
+        id: u64,
+        /// Execution counter.
+        counter: u64,
+    },
+    /// Short periodic pattern with residual noise.
+    Pattern {
+        /// Deterministic pattern bits (LSB first).
+        pattern: u64,
+        /// Pattern period.
+        period: u8,
+        /// Probability of deviating from the pattern.
+        noise: f64,
+        /// Position within the pattern.
+        counter: u64,
+    },
+}
+
+impl BranchProcess {
+    /// Fraction of conditional branches that follow a periodic pattern.
+    const PATTERN_FRACTION: f64 = 0.20;
+
+    /// Create a process. `period` bounds pattern lengths; `noise` ∈ [0, 0.5]
+    /// scales unpredictability.
+    pub fn new(rng: &mut StdRng, period: u8, noise: f64) -> BranchProcess {
+        assert!((1..=64).contains(&period));
+        if rng.gen::<f64>() < Self::PATTERN_FRACTION {
+            BranchProcess::Pattern {
+                pattern: rng.gen(),
+                period: period.min(4),
+                noise: noise * 0.5,
+                counter: 0,
+            }
+        } else {
+            // Per-branch deviation from certainty: spread around the
+            // workload's noise level, clipped to a coin flip at worst.
+            let spread = rng.gen_range(0.3..2.0);
+            let deviation = (noise * spread).min(0.5);
+            BranchProcess::Biased {
+                toward_taken: rng.gen::<bool>(),
+                deviation,
+                id: rng.gen(),
+                counter: 0,
+            }
+        }
+    }
+
+    /// Next architectural outcome.
+    pub fn next_outcome(&mut self, rng: &mut StdRng) -> bool {
+        match self {
+            BranchProcess::Biased {
+                toward_taken,
+                deviation,
+                id,
+                counter,
+            } => {
+                // Deterministic half: replays across outer iterations.
+                let mut x = *id ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 29;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 32;
+                let det_flip = (x >> 11) as f64 / (1u64 << 53) as f64 > 1.0 - *deviation * 0.5;
+                *counter += 1;
+                // IID half.
+                let iid_flip = rng.gen::<f64>() < *deviation * 0.5;
+                *toward_taken ^ det_flip ^ iid_flip
+            }
+            BranchProcess::Pattern {
+                pattern,
+                period,
+                noise,
+                counter,
+            } => {
+                let bit = (*pattern >> (*counter % *period as u64)) & 1 == 1;
+                *counter += 1;
+                if *noise > 0.0 && rng.gen::<f64>() < *noise {
+                    !bit
+                } else {
+                    bit
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn strided_walks_region() {
+        let mut r = rng();
+        let mut p = AddrPattern::Strided {
+            strides: vec![(64, 1.0)],
+            region: 256,
+            base: 0x1000,
+            offset: 0,
+        };
+        let addrs: Vec<u64> = (0..6).map(|_| p.next_addr(&mut r)).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn negative_stride_wraps() {
+        let mut r = rng();
+        let mut p = AddrPattern::Strided {
+            strides: vec![(-64, 1.0)],
+            region: 256,
+            base: 0,
+            offset: 0,
+        };
+        let a0 = p.next_addr(&mut r);
+        let a1 = p.next_addr(&mut r);
+        assert_eq!(a0, 0);
+        assert_eq!(a1, 192); // wrapped to region top
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let mut r = rng();
+        let mut p = AddrPattern::Random {
+            region: 1024,
+            base: 0x4000,
+        };
+        for _ in 0..100 {
+            let a = p.next_addr(&mut r);
+            assert!((0x4000..0x4400).contains(&a));
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn streaming_never_repeats_until_limit() {
+        let mut r = rng();
+        let mut p = AddrPattern::Streaming {
+            stride: 64,
+            base: 0,
+            offset: 0,
+            limit: 1 << 30,
+        };
+        let mut last = None;
+        for _ in 0..1000 {
+            let a = p.next_addr(&mut r);
+            if let Some(prev) = last {
+                assert_eq!(a, prev + 64);
+            }
+            last = Some(a);
+        }
+    }
+
+    #[test]
+    fn noiseless_pattern_branch_is_periodic() {
+        let mut r = rng();
+        let mut b = BranchProcess::Pattern {
+            pattern: 0b0110,
+            period: 4,
+            noise: 0.0,
+            counter: 0,
+        };
+        let first: Vec<bool> = (0..4).map(|_| b.next_outcome(&mut r)).collect();
+        let second: Vec<bool> = (0..4).map(|_| b.next_outcome(&mut r)).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn noiseless_biased_branch_is_constant() {
+        let mut r = rng();
+        let mut b = BranchProcess::Biased {
+            toward_taken: true,
+            deviation: 0.0,
+            id: 7,
+            counter: 0,
+        };
+        assert!((0..100).all(|_| b.next_outcome(&mut r)));
+    }
+
+    #[test]
+    fn max_noise_branch_is_a_coin_flip() {
+        let mut r = rng();
+        let mut b = BranchProcess::Biased {
+            toward_taken: true,
+            deviation: 0.5,
+            id: 9,
+            counter: 0,
+        };
+        let taken = (0..400).filter(|_| b.next_outcome(&mut r)).count();
+        assert!(taken > 120 && taken < 340);
+    }
+
+    #[test]
+    fn deterministic_deviations_replay() {
+        // Two fresh processes with the same id replay the same
+        // deterministic flips when fed the same iid draws.
+        let mk = || BranchProcess::Biased {
+            toward_taken: true,
+            deviation: 0.4,
+            id: 1234,
+            counter: 0,
+        };
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut a = mk();
+        let mut b = mk();
+        let s1: Vec<bool> = (0..64).map(|_| a.next_outcome(&mut r1)).collect();
+        let s2: Vec<bool> = (0..64).map(|_| b.next_outcome(&mut r2)).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn population_mixes_biased_and_patterned() {
+        let mut r = rng();
+        let processes: Vec<BranchProcess> =
+            (0..200).map(|_| BranchProcess::new(&mut r, 8, 0.1)).collect();
+        let patterned = processes
+            .iter()
+            .filter(|p| matches!(p, BranchProcess::Pattern { .. }))
+            .count();
+        assert!(patterned > 15 && patterned < 90, "{patterned}");
+    }
+
+    #[test]
+    fn low_noise_biases_sit_near_certainty() {
+        let mut r = rng();
+        for _ in 0..100 {
+            if let BranchProcess::Biased { deviation, .. } = BranchProcess::new(&mut r, 4, 0.01) {
+                assert!(deviation < 0.05, "{deviation}");
+            }
+        }
+    }
+}

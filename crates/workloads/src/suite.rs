@@ -1,0 +1,574 @@
+//! The 29 SPEC CPU 2006 stand-ins (thesis §6.1).
+//!
+//! Each entry is a hand-calibrated generative model shaped on the published
+//! per-benchmark characteristics: μops/instruction (Fig 3.1), dependence
+//! chain lengths and dispatch-rate limiters (Figs 3.4, 3.6), cache MPKI
+//! (Fig 4.2), stride-class ratios (Fig 4.7) and phase behaviour (Figs 4.9,
+//! 6.14). The absolute values are synthetic; the cross-benchmark *diversity*
+//! is what the model has to survive.
+
+use crate::spec::{MixSpec, PhaseSpec, WorkloadSpec};
+
+/// The suite names, in the thesis' alphabetical figure order.
+pub const SUITE: [&str; 29] = [
+    "astar",
+    "bwaves",
+    "bzip2",
+    "cactusADM",
+    "calculix",
+    "dealII",
+    "gamess",
+    "gcc",
+    "GemsFDTD",
+    "gobmk",
+    "gromacs",
+    "h264ref",
+    "hmmer",
+    "lbm",
+    "leslie3d",
+    "libquantum",
+    "mcf",
+    "milc",
+    "namd",
+    "omnetpp",
+    "perlbench",
+    "povray",
+    "sjeng",
+    "soplex",
+    "sphinx3",
+    "tonto",
+    "wrf",
+    "xalancbmk",
+    "zeusmp",
+];
+
+/// Build the whole suite.
+pub fn suite() -> Vec<WorkloadSpec> {
+    SUITE.iter().map(|n| build(n)).collect()
+}
+
+fn build(name: &str) -> WorkloadSpec {
+    let seed = 0x5eed_0000 + SUITE.iter().position(|n| *n == name).unwrap() as u64;
+    let mut w = WorkloadSpec::baseline(name, seed);
+    match name {
+        // ---- integer benchmarks -------------------------------------------
+        "astar" => {
+            w.deps.branch_load_coupling = 0.15;
+            // Path-finding: load-heavy, noisy branches, L2/L3 working set.
+            w.uops_per_instruction = 1.22;
+            w.mix.load = 0.32;
+            w.mix.store = 0.08;
+            w.mix.branch = 0.16;
+            w.branches.noise = 0.06;
+            w.branches.pattern_len = 6;
+            w.deps.load_dep_prob = 0.25;
+            w.deps.serial_frac = 0.22;
+            w.mem.ws_l1 = 0.50;
+            w.mem.ws_l2 = 0.31;
+            w.mem.ws_l3 = 0.16;
+            w.mem.random_frac = 0.35;
+            w.mem.streaming_frac = 0.01;
+        }
+        "bzip2" => {
+            w.deps.branch_load_coupling = 0.10;
+            // Compression: table lookups, moderately noisy branches.
+            w.uops_per_instruction = 1.18;
+            w.mix.load = 0.26;
+            w.mix.store = 0.12;
+            w.mix.branch = 0.15;
+            w.branches.noise = 0.05;
+            w.branches.pattern_len = 8;
+            w.mem.ws_l1 = 0.55;
+            w.mem.ws_l2 = 0.30;
+            w.mem.ws_l3 = 0.13;
+            w.mem.random_frac = 0.35;
+            w.mem.streaming_frac = 0.005;
+            w.phases = Some(PhaseSpec {
+                phase_len: 60_000,
+                mem_scale: vec![1.0, 2.5, 0.6],
+                branch_noise_scale: vec![1.0, 1.4, 0.8],
+                ..PhaseSpec::default()
+            });
+        }
+        "gcc" => {
+            w.deps.branch_load_coupling = 0.12;
+            // Compiler: huge code footprint, many unique branches, and a
+            // late LLC-hit-chaining phase (thesis Fig 4.9).
+            w.uops_per_instruction = 1.24;
+            w.mix.load = 0.28;
+            w.mix.store = 0.14;
+            w.mix.branch = 0.18;
+            w.branches.noise = 0.07;
+            w.branches.pattern_len = 12;
+            w.code.blocks = 120;
+            w.code.block_len_mean = 220;
+            w.code.block_iterations = 6;
+            w.mem.ws_l1 = 0.47;
+            w.mem.ws_l2 = 0.28;
+            w.mem.ws_l3 = 0.21;
+            w.mem.region_l3 = 4 * 1024 * 1024;
+            w.mem.random_frac = 0.30;
+            w.mem.streaming_frac = 0.01;
+            // Phase 3 is a pointer chase over a ~6 MB structure — inside
+            // the 8 MB LLC but far beyond L2 — producing the
+            // dependent-LLC-hit phase of thesis Fig 4.9.
+            w.deps.load_dep_prob = 0.30;
+            w.phases = Some(PhaseSpec {
+                phase_len: 80_000,
+                mem_scale: vec![0.5, 1.0, 1.5],
+                branch_noise_scale: vec![1.0, 1.0, 1.6],
+                ws_l3_mult: vec![1.0, 1.0, 3.0],
+                load_dep_scale: vec![1.0, 1.0, 2.8],
+            });
+        }
+        "gobmk" => {
+            w.deps.branch_load_coupling = 0.08;
+            // Go AI: very noisy branches, dispatch-width limited.
+            w.uops_per_instruction = 1.20;
+            w.mix.load = 0.22;
+            w.mix.store = 0.10;
+            w.mix.branch = 0.19;
+            w.branches.noise = 0.10;
+            w.branches.pattern_len = 16;
+            w.deps.mean_rank = 14.0;
+            w.deps.serial_frac = 0.06;
+            w.mem.ws_l1 = 0.80;
+            w.mem.ws_l2 = 0.16;
+            w.mem.ws_l3 = 0.037;
+            w.mem.streaming_frac = 0.002;
+            w.code.blocks = 40;
+            w.code.block_len_mean = 120;
+            w.code.block_iterations = 8;
+        }
+        "h264ref" => {
+            // Video encoding: multiply-rich, strided, predictable.
+            w.uops_per_instruction = 1.28;
+            w.mix.load = 0.30;
+            w.mix.store = 0.12;
+            w.mix.branch = 0.10;
+            w.mix.int_mul = 0.05;
+            w.branches.noise = 0.03;
+            w.mem.ws_l1 = 0.76;
+            w.mem.ws_l2 = 0.20;
+            w.mem.ws_l3 = 0.037;
+            w.mem.streaming_frac = 0.003;
+            w.mem.multi_stride_frac = 0.45;
+        }
+        "hmmer" => {
+            // HMM search: tight ALU loops, very predictable.
+            w.uops_per_instruction = 1.25;
+            w.mix.load = 0.28;
+            w.mix.store = 0.14;
+            w.mix.branch = 0.08;
+            w.branches.noise = 0.015;
+            w.deps.mean_rank = 12.0;
+            w.deps.serial_frac = 0.05;
+            w.mem.ws_l1 = 0.90;
+            w.mem.ws_l2 = 0.09;
+            w.mem.ws_l3 = 0.009;
+            w.mem.streaming_frac = 0.001;
+        }
+        "libquantum" => {
+            // Quantum simulation: streaming over a huge vector.
+            w.uops_per_instruction = 1.10;
+            w.mix.load = 0.24;
+            w.mix.store = 0.10;
+            w.mix.branch = 0.14;
+            w.branches.noise = 0.005;
+            w.branches.pattern_len = 2;
+            w.deps.mean_rank = 16.0;
+            w.deps.serial_frac = 0.04;
+            w.mem.ws_l1 = 0.70;
+            w.mem.ws_l2 = 0.05;
+            w.mem.ws_l3 = 0.05;
+            w.mem.streaming_frac = 0.17;
+            w.mem.random_frac = 0.01;
+            w.mem.region_mem = 96 * 1024 * 1024;
+        }
+        "mcf" => {
+            w.deps.branch_load_coupling = 0.35;
+            w.deps.addr_dep_prob = 0.60;
+            // Sparse network optimization: pointer chasing into DRAM.
+            w.uops_per_instruction = 1.15;
+            w.mix.load = 0.34;
+            w.mix.store = 0.09;
+            w.mix.branch = 0.17;
+            w.branches.noise = 0.05;
+            w.deps.load_dep_prob = 0.45;
+            w.deps.serial_frac = 0.35;
+            w.deps.mean_rank = 4.0;
+            w.mem.ws_l1 = 0.28;
+            w.mem.ws_l2 = 0.27;
+            w.mem.ws_l3 = 0.30;
+            w.mem.random_frac = 0.55;
+            w.mem.region_mem = 96 * 1024 * 1024;
+            w.mem.region_l3 = 4 * 1024 * 1024;
+        }
+        "omnetpp" => {
+            w.deps.branch_load_coupling = 0.15;
+            // Discrete-event simulation: unique loads, scattered heap.
+            w.uops_per_instruction = 1.26;
+            w.mix.load = 0.30;
+            w.mix.store = 0.14;
+            w.mix.branch = 0.16;
+            w.branches.noise = 0.06;
+            w.deps.load_dep_prob = 0.35;
+            w.mem.streaming_frac = 0.08;
+            w.mem.random_frac = 0.28;
+            w.mem.ws_l1 = 0.45;
+            w.mem.ws_l2 = 0.27;
+            w.mem.ws_l3 = 0.24;
+            w.code.blocks = 48;
+            w.code.block_len_mean = 140;
+            w.code.block_iterations = 5;
+        }
+        "perlbench" => {
+            w.deps.branch_load_coupling = 0.10;
+            // Interpreter: big code, branchy, hash tables.
+            w.uops_per_instruction = 1.30;
+            w.mix.load = 0.29;
+            w.mix.store = 0.15;
+            w.mix.branch = 0.19;
+            w.branches.noise = 0.04;
+            w.branches.pattern_len = 10;
+            w.code.blocks = 70;
+            w.code.block_len_mean = 170;
+            w.code.block_iterations = 7;
+            w.mem.ws_l1 = 0.66;
+            w.mem.ws_l2 = 0.26;
+            w.mem.ws_l3 = 0.075;
+            w.mem.random_frac = 0.40;
+            w.mem.streaming_frac = 0.003;
+        }
+        "sjeng" => {
+            w.deps.branch_load_coupling = 0.08;
+            // Chess: noisy branches, dispatch-width limited.
+            w.uops_per_instruction = 1.17;
+            w.mix.load = 0.21;
+            w.mix.store = 0.08;
+            w.mix.branch = 0.20;
+            w.branches.noise = 0.09;
+            w.branches.pattern_len = 14;
+            w.deps.mean_rank = 15.0;
+            w.deps.serial_frac = 0.05;
+            w.mem.ws_l1 = 0.86;
+            w.mem.ws_l2 = 0.12;
+            w.mem.ws_l3 = 0.019;
+            w.mem.streaming_frac = 0.001;
+        }
+        "xalancbmk" => {
+            w.deps.branch_load_coupling = 0.10;
+            // XML transformation: unique loads, big code, branchy.
+            w.uops_per_instruction = 1.32;
+            w.mix.load = 0.31;
+            w.mix.store = 0.12;
+            w.mix.branch = 0.19;
+            w.branches.noise = 0.06;
+            w.deps.mean_rank = 13.0;
+            w.deps.serial_frac = 0.07;
+            w.mem.streaming_frac = 0.07;
+            w.mem.random_frac = 0.20;
+            w.mem.ws_l1 = 0.48;
+            w.mem.ws_l2 = 0.27;
+            w.mem.ws_l3 = 0.22;
+            w.code.blocks = 80;
+            w.code.block_len_mean = 150;
+            w.code.block_iterations = 6;
+        }
+        // ---- floating-point benchmarks ------------------------------------
+        "bwaves" => {
+            // Blast waves: long FP dependence chains into DRAM streams.
+            w.uops_per_instruction = 1.12;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.32;
+            w.branches.noise = 0.01;
+            w.deps.serial_frac = 0.40;
+            w.deps.mean_rank = 3.0;
+            w.deps.second_operand_prob = 0.55;
+            w.mem.ws_l1 = 0.48;
+            w.mem.ws_l2 = 0.22;
+            w.mem.ws_l3 = 0.18;
+            w.mem.streaming_frac = 0.14;
+            w.mem.random_frac = 0.03;
+        }
+        "cactusADM" => {
+            // Numerical relativity: unique loads, stencil strides, divides.
+            w.uops_per_instruction = 1.33;
+            w.mix = MixSpec::fp_default();
+            w.mix.fp_div = 0.012;
+            w.branches.noise = 0.01;
+            w.mem.streaming_frac = 0.22;
+            w.mem.random_frac = 0.04;
+            w.mem.ws_l1 = 0.50;
+            w.mem.ws_l2 = 0.24;
+            w.mem.ws_l3 = 0.18;
+            w.mem.multi_stride_frac = 0.50;
+        }
+        "calculix" => {
+            // Structural mechanics: FP multiply heavy, L2 resident.
+            w.uops_per_instruction = 1.21;
+            w.mix = MixSpec::fp_default();
+            w.mix.fp_mul = 0.16;
+            w.branches.noise = 0.02;
+            w.mem.ws_l1 = 0.72;
+            w.mem.ws_l2 = 0.23;
+            w.mem.ws_l3 = 0.045;
+            w.mem.streaming_frac = 0.003;
+        }
+        "dealII" => {
+            // Finite elements: mixed, moderate working set.
+            w.uops_per_instruction = 1.27;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.33;
+            w.mix.branch = 0.10;
+            w.branches.noise = 0.03;
+            w.mem.ws_l1 = 0.64;
+            w.mem.ws_l2 = 0.26;
+            w.mem.ws_l3 = 0.09;
+            w.mem.random_frac = 0.18;
+            w.mem.streaming_frac = 0.006;
+        }
+        "gamess" => {
+            // Quantum chemistry: compute bound, tiny working set.
+            w.uops_per_instruction = 1.23;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.24;
+            w.mix.store = 0.08;
+            w.mix.fp_alu = 0.24;
+            w.mix.fp_mul = 0.16;
+            w.branches.noise = 0.015;
+            w.mem.ws_l1 = 0.94;
+            w.mem.ws_l2 = 0.05;
+            w.mem.ws_l3 = 0.009;
+            w.mem.streaming_frac = 0.001;
+        }
+        "GemsFDTD" => {
+            // FDTD solver: highest μops/inst, streaming stencils.
+            w.uops_per_instruction = 1.38;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.34;
+            w.mix.store = 0.14;
+            w.branches.noise = 0.01;
+            w.mem.ws_l1 = 0.45;
+            w.mem.ws_l2 = 0.20;
+            w.mem.ws_l3 = 0.19;
+            w.mem.streaming_frac = 0.14;
+            w.mem.multi_stride_frac = 0.40;
+            w.mem.huge_stride_frac = 0.10;
+        }
+        "gromacs" => {
+            // Molecular dynamics: divide-heavy (reciprocal sqrt), port
+            // limited.
+            w.uops_per_instruction = 1.25;
+            w.mix = MixSpec::fp_default();
+            w.mix.fp_div = 0.02;
+            w.mix.load = 0.28;
+            w.branches.noise = 0.02;
+            w.mem.ws_l1 = 0.82;
+            w.mem.ws_l2 = 0.14;
+            w.mem.ws_l3 = 0.038;
+            w.mem.streaming_frac = 0.002;
+        }
+        "lbm" => {
+            // Lattice Boltzmann: lowest μops/inst, pure streaming.
+            w.uops_per_instruction = 1.07;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.26;
+            w.mix.store = 0.16;
+            w.mix.branch = 0.02;
+            w.branches.noise = 0.005;
+            w.deps.mean_rank = 10.0;
+            w.mem.ws_l1 = 0.55;
+            w.mem.ws_l2 = 0.12;
+            w.mem.ws_l3 = 0.08;
+            w.mem.streaming_frac = 0.28;
+            w.mem.random_frac = 0.01;
+            w.code.blocks = 4;
+            w.code.block_len_mean = 180;
+            w.code.block_iterations = 200;
+        }
+        "leslie3d" => {
+            // CFD: streaming + strided stencil mix.
+            w.uops_per_instruction = 1.30;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.33;
+            w.branches.noise = 0.01;
+            w.mem.ws_l1 = 0.50;
+            w.mem.ws_l2 = 0.22;
+            w.mem.ws_l3 = 0.17;
+            w.mem.streaming_frac = 0.12;
+            w.mem.multi_stride_frac = 0.35;
+        }
+        "milc" => {
+            // Lattice QCD: DRAM-bound strided sweeps.
+            w.uops_per_instruction = 1.16;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.32;
+            w.mix.store = 0.14;
+            w.branches.noise = 0.01;
+            w.deps.mean_rank = 9.0;
+            w.mem.ws_l1 = 0.48;
+            w.mem.ws_l2 = 0.15;
+            w.mem.ws_l3 = 0.15;
+            w.mem.random_frac = 0.08;
+            w.mem.streaming_frac = 0.11;
+            w.mem.region_mem = 128 * 1024 * 1024;
+        }
+        "namd" => {
+            // Molecular dynamics: compute bound, wide ILP.
+            w.uops_per_instruction = 1.19;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.25;
+            w.mix.store = 0.07;
+            w.mix.fp_alu = 0.26;
+            w.mix.fp_mul = 0.18;
+            w.branches.noise = 0.015;
+            w.deps.mean_rank = 16.0;
+            w.deps.serial_frac = 0.03;
+            w.mem.ws_l1 = 0.90;
+            w.mem.ws_l2 = 0.09;
+            w.mem.ws_l3 = 0.009;
+            w.mem.streaming_frac = 0.0;
+            w.mem.random_frac = 0.05;
+        }
+        "povray" => {
+            // Ray tracing: compute bound, longer chains, branchy for FP.
+            w.uops_per_instruction = 1.28;
+            w.mix = MixSpec::fp_default();
+            w.mix.branch = 0.13;
+            w.mix.fp_div = 0.008;
+            w.branches.noise = 0.04;
+            w.deps.serial_frac = 0.30;
+            w.deps.mean_rank = 4.0;
+            w.mem.ws_l1 = 0.93;
+            w.mem.ws_l2 = 0.06;
+            w.mem.ws_l3 = 0.009;
+            w.mem.streaming_frac = 0.001;
+        }
+        "soplex" => {
+            w.deps.branch_load_coupling = 0.15;
+            // LP solver: sparse matrices, DRAM random accesses.
+            w.uops_per_instruction = 1.21;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.34;
+            w.mix.branch = 0.12;
+            w.branches.noise = 0.04;
+            w.deps.load_dep_prob = 0.30;
+            w.mem.ws_l1 = 0.42;
+            w.mem.ws_l2 = 0.24;
+            w.mem.ws_l3 = 0.22;
+            w.mem.random_frac = 0.40;
+            w.mem.streaming_frac = 0.015;
+        }
+        "sphinx3" => {
+            // Speech recognition: streaming acoustic scores.
+            w.uops_per_instruction = 1.24;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.33;
+            w.mix.branch = 0.09;
+            w.branches.noise = 0.04;
+            w.mem.ws_l1 = 0.50;
+            w.mem.ws_l2 = 0.23;
+            w.mem.ws_l3 = 0.15;
+            w.mem.streaming_frac = 0.09;
+            w.mem.random_frac = 0.12;
+        }
+        "tonto" => {
+            // Quantum crystallography: FP compute with L2 sets.
+            w.uops_per_instruction = 1.31;
+            w.mix = MixSpec::fp_default();
+            w.mix.fp_alu = 0.22;
+            w.branches.noise = 0.02;
+            w.mem.ws_l1 = 0.72;
+            w.mem.ws_l2 = 0.23;
+            w.mem.ws_l3 = 0.045;
+            w.mem.streaming_frac = 0.004;
+        }
+        "wrf" => {
+            // Weather: stencil mix over several arrays, phased.
+            w.uops_per_instruction = 1.29;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.31;
+            w.branches.noise = 0.02;
+            w.mem.ws_l1 = 0.55;
+            w.mem.ws_l2 = 0.22;
+            w.mem.ws_l3 = 0.16;
+            w.mem.streaming_frac = 0.025;
+            w.mem.multi_stride_frac = 0.40;
+            w.phases = Some(PhaseSpec {
+                phase_len: 70_000,
+                mem_scale: vec![1.0, 3.0],
+                branch_noise_scale: vec![1.0, 1.0],
+                ..PhaseSpec::default()
+            });
+        }
+        "zeusmp" => {
+            // Astrophysics CFD: strided sweeps, moderate DRAM.
+            w.uops_per_instruction = 1.26;
+            w.mix = MixSpec::fp_default();
+            w.mix.load = 0.30;
+            w.mix.store = 0.13;
+            w.branches.noise = 0.01;
+            w.mem.ws_l1 = 0.52;
+            w.mem.ws_l2 = 0.22;
+            w.mem.ws_l3 = 0.17;
+            w.mem.streaming_frac = 0.07;
+            w.mem.huge_stride_frac = 0.06;
+        }
+        other => panic!("unknown workload {other}"),
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_29_valid_members() {
+        let all = suite();
+        assert_eq!(all.len(), 29);
+        for w in &all {
+            w.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_match_order() {
+        let all = suite();
+        for (w, n) in all.iter().zip(SUITE.iter()) {
+            assert_eq!(w.name, *n);
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<u64> = suite().iter().map(|w| w.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 29);
+    }
+
+    #[test]
+    fn upi_spans_thesis_range() {
+        let all = suite();
+        let min = all
+            .iter()
+            .map(|w| w.uops_per_instruction)
+            .fold(f64::MAX, f64::min);
+        let max = all
+            .iter()
+            .map(|w| w.uops_per_instruction)
+            .fold(0.0f64, f64::max);
+        assert!((min - 1.07).abs() < 1e-9, "lbm at 1.07");
+        assert!((max - 1.38).abs() < 1e-9, "GemsFDTD at 1.38");
+    }
+
+    #[test]
+    fn every_member_generates() {
+        for w in suite() {
+            let uops = pmt_trace::collect_trace(w.trace(2_000), u64::MAX);
+            assert_eq!(pmt_trace::count_instructions(&uops), 2_000, "{}", w.name);
+        }
+    }
+}

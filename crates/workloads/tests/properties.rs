@@ -1,0 +1,55 @@
+//! Property-based tests for the workload generator.
+
+use pmt_trace::{collect_trace, count_instructions, TraceSource};
+use pmt_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_deterministic_across_instances(seed in 0u64..5000) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let a = collect_trace(spec.trace(3_000), u64::MAX);
+        let b = collect_trace(spec.trace(3_000), u64::MAX);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skip_equals_generate(seed in 0u64..2000, skip in 1u64..1500) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let full = collect_trace(spec.trace(2_000), u64::MAX);
+        // Find the μop offset of the skip boundary.
+        let mut starts = full
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.begins_instruction)
+            .map(|(i, _)| i);
+        let off = starts.nth(skip as usize).unwrap();
+        let mut t = spec.trace(2_000);
+        prop_assert_eq!(t.skip(skip), skip);
+        let mut rest = Vec::new();
+        while t.fill(&mut rest, 512) > 0 {}
+        prop_assert_eq!(&full[off..], &rest[..]);
+    }
+
+    #[test]
+    fn deps_always_point_at_value_producers(seed in 0u64..2000) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let uops = collect_trace(spec.trace(3_000), u64::MAX);
+        for (i, u) in uops.iter().enumerate() {
+            for d in u.deps() {
+                if (d as usize) <= i {
+                    prop_assert!(uops[i - d as usize].class.produces_value());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_exact(seed in 0u64..1000, n in 1u64..5_000) {
+        let spec = WorkloadSpec::baseline("prop", seed);
+        let uops = collect_trace(spec.trace(n), u64::MAX);
+        prop_assert_eq!(count_instructions(&uops), n);
+    }
+}

@@ -1,0 +1,50 @@
+//! Define a *custom* workload spec — the API a downstream user would use to
+//! model their own application's characteristics.
+//!
+//! Run with: `cargo run --release --example custom_workload`
+
+use pmt::prelude::*;
+use pmt::workloads::{MemSpec, MixSpec};
+
+fn main() {
+    // A pointer-chasing key-value-store-like workload.
+    let mut spec = WorkloadSpec::baseline("kv-store", 0xC0FFEE);
+    spec.uops_per_instruction = 1.21;
+    spec.mix = MixSpec {
+        load: 0.33,
+        store: 0.10,
+        branch: 0.17,
+        ..MixSpec::int_default()
+    };
+    spec.deps.load_dep_prob = 0.4; // hash-bucket chains
+    spec.deps.serial_frac = 0.25;
+    spec.mem = MemSpec {
+        ws_l1: 0.35,
+        ws_l2: 0.20,
+        ws_l3: 0.25,
+        random_frac: 0.5, // hash scatter
+        ..MemSpec::cache_friendly()
+    };
+    spec.validate().expect("valid spec");
+
+    let profile = Profiler::new(ProfilerConfig::fast_test())
+        .profile_named("kv-store", &mut spec.trace(150_000));
+
+    // Compare the reference machine against the low-power variant.
+    for machine in [MachineConfig::nehalem(), MachineConfig::low_power()] {
+        let p = IntervalModel::new(&machine).predict(&profile);
+        let w = PowerBreakdownOf(&machine, &p);
+        println!(
+            "{:<12} CPI {:.3}  MLP {:.2}  power {:.1} W",
+            machine.name,
+            p.cpi(),
+            p.mlp,
+            w
+        );
+    }
+}
+
+#[allow(non_snake_case)]
+fn PowerBreakdownOf(machine: &MachineConfig, p: &pmt::model::Prediction) -> f64 {
+    PowerModel::new(machine).power(&p.activity).total()
+}

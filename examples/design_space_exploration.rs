@@ -1,0 +1,42 @@
+//! Design-space exploration: evaluate a workload over the thesis' 243-point
+//! space from one profile, extract the Pareto frontier, and pick designs
+//! under power budgets (thesis Ch 7).
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use pmt::dse::constrain::fastest_under_power;
+use pmt::dse::{ParetoFront, SpaceEvaluation, SweepConfig};
+use pmt::prelude::*;
+
+fn main() {
+    let spec = WorkloadSpec::by_name("gcc").expect("suite workload");
+    let profile = Profiler::new(ProfilerConfig::fast_test())
+        .profile_named(&spec.name, &mut spec.trace(150_000));
+
+    // The one-time profile serves the entire space.
+    let points = DesignSpace::thesis_table_6_3().enumerate();
+    let eval = SpaceEvaluation::run(&points, &profile, None, &SweepConfig::default());
+    println!("evaluated {} designs analytically", eval.outcomes.len());
+
+    // Pareto frontier in the (delay, power) plane.
+    let front = ParetoFront::of(&eval.model_points());
+    println!("{} Pareto-optimal designs:", front.indices().len());
+    for i in front.indices() {
+        let o = &eval.outcomes[i];
+        println!(
+            "  {:>24}  {:>10.3} CPI  {:>6.1} W",
+            points[i].machine.name, o.model_cpi, o.model_power
+        );
+    }
+
+    // Constrained selection.
+    for budget in [15.0, 25.0] {
+        match fastest_under_power(&eval.outcomes, budget) {
+            Some(best) => println!(
+                "fastest under {budget:.0} W: {} (CPI {:.3}, {:.1} W)",
+                points[best.design_id].machine.name, best.model_cpi, best.model_power
+            ),
+            None => println!("nothing fits {budget:.0} W"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-core co-run modeling (the thesis' §8.2.1 future-work extension):
+//! predict shared-LLC and bus contention from single-core profiles.
+//!
+//! Run with: `cargo run --release --example multicore_corun`
+
+use pmt::model::{ModelConfig, MulticoreModel};
+use pmt::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::nehalem();
+    let profiler = Profiler::new(ProfilerConfig::fast_test());
+    let profile = |name: &str| {
+        let spec = WorkloadSpec::by_name(name).expect("suite member");
+        profiler.profile_named(name, &mut spec.trace(150_000))
+    };
+
+    let milc = profile("milc");
+    let mcf = profile("mcf");
+    let hmmer = profile("hmmer");
+    let namd = profile("namd");
+    let model = MulticoreModel::new(&machine, ModelConfig::default());
+
+    for (label, pair) in [
+        ("memory + memory", vec![&milc, &mcf]),
+        ("memory + compute", vec![&milc, &hmmer]),
+        ("compute + compute", vec![&hmmer, &namd]),
+    ] {
+        let out = model.predict(&pair);
+        println!("\n{label}:");
+        for c in &out.cores {
+            println!(
+                "  {:<10} solo {:.3} → co-run {:.3} CPI  ({:.2}x, {:.0}% of LLC)",
+                c.workload,
+                c.solo.cpi(),
+                c.shared.cpi(),
+                c.slowdown(),
+                c.llc_share * 100.0
+            );
+        }
+        println!(
+            "  throughput {:.2} IPC, mean slowdown {:.2}x",
+            out.throughput_ipc(),
+            out.mean_slowdown()
+        );
+    }
+    println!("\nmemory-bound pairs contend; compute pairs barely notice each other.");
+}

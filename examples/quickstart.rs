@@ -1,0 +1,46 @@
+//! Quickstart: profile a workload once, then predict performance and power
+//! for any machine — and check against the cycle-level simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pmt::prelude::*;
+
+fn main() {
+    // 1. Pick a workload (one of the 29 SPEC CPU 2006 stand-ins).
+    let spec = WorkloadSpec::by_name("astar").expect("suite workload");
+    let instructions = 200_000;
+
+    // 2. Profile it once — micro-architecture independently.
+    let profiler = Profiler::new(ProfilerConfig::fast_test());
+    let profile = profiler.profile_named(&spec.name, &mut spec.trace(instructions));
+    println!(
+        "profiled {} instructions: {:.2} μops/inst, branch entropy {:.3}",
+        profile.total_instructions,
+        profile.uops_per_instruction(),
+        profile.branch.entropy
+    );
+
+    // 3. Predict performance on the Nehalem-style reference machine.
+    let machine = MachineConfig::nehalem();
+    let prediction = IntervalModel::new(&machine).predict(&profile);
+    println!("model: CPI {:.3}  (MLP {:.2})", prediction.cpi(), prediction.mlp);
+    for (component, cpi) in prediction.cpi_stack.iter() {
+        if cpi > 0.001 {
+            println!("  {:<8} {:.3}", component.label(), cpi);
+        }
+    }
+
+    // 4. Predict power from the predicted activity factors.
+    let power = PowerModel::new(&machine).power(&prediction.activity);
+    println!(
+        "power: {:.1} W total ({:.1} W static, {:.0}% of total)",
+        power.total(),
+        power.static_w,
+        power.static_fraction() * 100.0
+    );
+
+    // 5. Compare with the cycle-level reference simulator.
+    let sim = OooSimulator::new(SimConfig::new(machine)).run(&mut spec.trace(instructions));
+    let err = (prediction.cpi() - sim.cpi()) / sim.cpi() * 100.0;
+    println!("simulator: CPI {:.3} → model error {err:+.1}%", sim.cpi());
+}

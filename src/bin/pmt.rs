@@ -1,0 +1,277 @@
+//! `pmt` — the command-line front-end of the framework, mirroring the
+//! paper's open-sourced AIP (profiler) + PMT (modeling tool) pair.
+//!
+//! ```console
+//! $ pmt list
+//! $ pmt profile mcf --instructions 1000000 --out mcf.profile.json
+//! $ pmt predict --profile mcf.profile.json --machine nehalem
+//! $ pmt simulate mcf --instructions 200000
+//! $ pmt sweep --profile mcf.profile.json
+//! $ pmt corun milc mcf --instructions 200000
+//! ```
+
+use pmt::dse::{ParetoFront, SpaceEvaluation, SweepConfig};
+use pmt::model::{MulticoreModel, SmtModel};
+use pmt::prelude::*;
+use pmt::profiler::ApplicationProfile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "profile" => cmd_profile(&args[1..]),
+        "predict" => cmd_predict(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "corun" => cmd_corun(&args[1..]),
+        "smt" => cmd_smt(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pmt — micro-architecture independent processor performance & power modeling
+
+USAGE:
+  pmt list                                       list the workload suite
+  pmt profile <workload> [--instructions N] [--out FILE]
+                                                 profile once (AIP step)
+  pmt predict --profile FILE [--machine M]       predict CPI stack + power
+  pmt simulate <workload> [--instructions N] [--machine M]
+                                                 cycle-level ground truth
+  pmt sweep --profile FILE                       243-point Pareto sweep
+  pmt corun <w1> <w2> [..] [--instructions N]    shared-LLC co-run model
+  pmt smt <w1> <w2> [..] [--instructions N]      SMT (shared-core) model
+
+MACHINES: nehalem (default) | nehalem-pf | low-power";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn instructions(args: &[String]) -> u64 {
+    flag(args, "--instructions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+fn machine(args: &[String]) -> Result<MachineConfig, String> {
+    match flag(args, "--machine").as_deref().unwrap_or("nehalem") {
+        "nehalem" => Ok(MachineConfig::nehalem()),
+        "nehalem-pf" => Ok(MachineConfig::nehalem_with_prefetcher()),
+        "low-power" => Ok(MachineConfig::low_power()),
+        other => Err(format!("unknown machine `{other}`")),
+    }
+}
+
+fn workload(name: &str) -> Result<WorkloadSpec, String> {
+    WorkloadSpec::by_name(name).ok_or_else(|| {
+        format!("unknown workload `{name}` — try `pmt list`")
+    })
+}
+
+fn profile_workload(name: &str, n: u64) -> Result<ApplicationProfile, String> {
+    let spec = workload(name)?;
+    let mut cfg = ProfilerConfig::thesis_default();
+    // Scale the window so even short runs yield many micro-traces.
+    cfg.sampling = pmt::trace::SamplingConfig {
+        micro_trace_instructions: 1_000,
+        window_instructions: (n / 100).clamp(1_000, 1_000_000),
+    };
+    Ok(Profiler::new(cfg).profile_named(name, &mut spec.trace(n)))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("the 29 SPEC CPU 2006 stand-ins:");
+    for name in SUITE {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("profile needs a workload name")?;
+    let n = instructions(args);
+    let profile = profile_workload(name, n)?;
+    let json = serde_json::to_string(&profile).map_err(|e| e.to_string())?;
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "profiled {} instructions of {name} → {path} ({} micro-traces, {} bytes)",
+                profile.total_instructions,
+                profile.micro_traces.len(),
+                json.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn load_profile(args: &[String]) -> Result<ApplicationProfile, String> {
+    let path = flag(args, "--profile").ok_or("missing --profile FILE")?;
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let profile = load_profile(args)?;
+    let m = machine(args)?;
+    let prediction = IntervalModel::new(&m).predict(&profile);
+    let power = PowerModel::new(&m).power(&prediction.activity);
+    println!("workload   : {}", profile.name);
+    println!("machine    : {}", m.name);
+    println!("CPI        : {:.3}  (IPC {:.2}, MLP {:.2})", prediction.cpi(), prediction.ipc(), prediction.mlp);
+    for (c, v) in prediction.cpi_stack.iter() {
+        if v > 0.0005 {
+            println!("  {:<8} {:.3}", c.label(), v);
+        }
+    }
+    println!(
+        "power      : {:.1} W  ({:.1} W static, {:.0}%)",
+        power.total(),
+        power.static_w,
+        power.static_fraction() * 100.0
+    );
+    println!(
+        "time       : {:.3} ms at {:.2} GHz",
+        prediction.seconds_at(m.core.frequency_ghz) * 1e3,
+        m.core.frequency_ghz
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("simulate needs a workload name")?;
+    let spec = workload(name)?;
+    let m = machine(args)?;
+    let n = instructions(args);
+    let r = OooSimulator::new(SimConfig::new(m.clone())).run(&mut spec.trace(n));
+    println!("workload   : {name}  ({n} instructions)");
+    println!("machine    : {}", m.name);
+    println!("CPI        : {:.3}  (MLP {:.2}, branch MPKI {:.2})", r.cpi(), r.mlp, r.branch_mpki());
+    for (c, v) in r.cpi_stack.iter() {
+        if v > 0.0005 {
+            println!("  {:<8} {:.3}", c.label(), v);
+        }
+    }
+    let power = PowerModel::new(&m).power(&r.activity);
+    println!("power      : {:.1} W", power.total());
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let profile = load_profile(args)?;
+    let points = DesignSpace::thesis_table_6_3().enumerate();
+    let eval = SpaceEvaluation::run(&points, &profile, None, &SweepConfig::default());
+    let front = ParetoFront::of(&eval.model_points());
+    println!(
+        "{} of {} designs are Pareto-optimal for {}:",
+        front.indices().len(),
+        points.len(),
+        profile.name
+    );
+    println!("{:>26} {:>9} {:>9}", "design", "CPI", "watts");
+    for i in front.indices() {
+        let o = &eval.outcomes[i];
+        println!(
+            "{:>26} {:>9.3} {:>9.2}",
+            points[i].machine.name, o.model_cpi, o.model_power
+        );
+    }
+    Ok(())
+}
+
+fn cmd_corun(args: &[String]) -> Result<(), String> {
+    let names: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if names.len() < 2 {
+        return Err("corun needs at least two workloads".into());
+    }
+    let n = instructions(args);
+    let m = machine(args)?;
+    let profiles: Vec<ApplicationProfile> = names
+        .iter()
+        .map(|name| profile_workload(name, n))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&ApplicationProfile> = profiles.iter().collect();
+    let out = MulticoreModel::new(&m, pmt::model::ModelConfig::default()).predict(&refs);
+    println!("co-run on {} ({} cores):", m.name, refs.len());
+    println!(
+        "{:<12} {:>9} {:>9} {:>10} {:>10}",
+        "workload", "soloCPI", "coCPI", "slowdown", "LLC share"
+    );
+    for c in &out.cores {
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.2}x {:>9.0}%",
+            c.workload,
+            c.solo.cpi(),
+            c.shared.cpi(),
+            c.slowdown(),
+            c.llc_share * 100.0
+        );
+    }
+    println!(
+        "throughput {:.2} IPC, mean slowdown {:.2}x ({} fixed-point iterations)",
+        out.throughput_ipc(),
+        out.mean_slowdown(),
+        out.iterations
+    );
+    Ok(())
+}
+
+fn cmd_smt(args: &[String]) -> Result<(), String> {
+    let names: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    if names.len() < 2 {
+        return Err("smt needs at least two workloads".into());
+    }
+    let n = instructions(args);
+    let m = machine(args)?;
+    let profiles: Vec<ApplicationProfile> = names
+        .iter()
+        .map(|name| profile_workload(name, n))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&ApplicationProfile> = profiles.iter().collect();
+    let out = SmtModel::new(&m, pmt::model::ModelConfig::default()).predict(&refs);
+    println!("SMT on {} ({} hardware threads):", m.name, refs.len());
+    println!("{:<12} {:>9} {:>9} {:>10}", "thread", "soloCPI", "smtCPI", "slowdown");
+    for t in &out.threads {
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.2}x",
+            t.workload,
+            t.solo.cpi(),
+            t.smt.cpi(),
+            t.slowdown()
+        );
+    }
+    println!(
+        "throughput {:.2} IPC → gain {:.2}x over single-threaded",
+        out.throughput_ipc(),
+        out.throughput_gain()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # PMT — Processor Modeling Toolkit
+//!
+//! A from-scratch Rust reproduction of *"Micro-architecture independent
+//! analytical processor performance and power modeling"* (Van den Steen et
+//! al., ISPASS 2015; extended in the 2018 PhD thesis of the same name).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — dynamic μop trace IR and micro-trace sampling,
+//! * [`uarch`] — machine configurations, the Nehalem reference and the
+//!   243-point design space,
+//! * [`workloads`] — 29 synthetic SPEC CPU 2006 stand-ins,
+//! * [`profiler`] — the micro-architecture independent profiler (AIP),
+//! * [`statstack`] — the StatStack statistical cache model,
+//! * [`branch`] — branch predictors and the linear branch entropy model,
+//! * [`cachesim`] — functional cache hierarchy simulation,
+//! * [`sim`] — the cycle-level out-of-order reference simulator,
+//! * [`model`] — the micro-architecture independent interval model (the
+//!   paper's contribution),
+//! * [`power`] — the McPAT-style power model,
+//! * [`dse`] — design-space exploration, Pareto pruning and DVFS.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pmt::prelude::*;
+//!
+//! // Profile a workload once, micro-architecture independently...
+//! let workload = WorkloadSpec::by_name("gcc").unwrap();
+//! let profile = Profiler::new(ProfilerConfig::fast_test())
+//!     .profile(&mut workload.trace(200_000));
+//!
+//! // ...then predict performance for any machine in seconds.
+//! let machine = MachineConfig::nehalem();
+//! let prediction = IntervalModel::new(&machine).predict(&profile);
+//! assert!(prediction.cpi() > 0.0);
+//! ```
+
+pub use pmt_branch as branch;
+pub use pmt_cachesim as cachesim;
+pub use pmt_core as model;
+pub use pmt_dse as dse;
+pub use pmt_power as power;
+pub use pmt_profiler as profiler;
+pub use pmt_sim as sim;
+pub use pmt_statstack as statstack;
+pub use pmt_trace as trace;
+pub use pmt_uarch as uarch;
+pub use pmt_workloads as workloads;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use pmt_core::{IntervalModel, ModelConfig, Prediction};
+    pub use pmt_dse::{ParetoFront, SpaceEvaluation};
+    pub use pmt_power::{PowerBreakdown, PowerModel};
+    pub use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+    pub use pmt_sim::{OooSimulator, SimConfig, SimResult};
+    pub use pmt_trace::{MicroOp, SamplingConfig, TraceSource, UopClass};
+    pub use pmt_uarch::{DesignSpace, MachineConfig};
+    pub use pmt_workloads::{WorkloadSpec, SUITE};
+}

@@ -1,0 +1,56 @@
+//! Integration: the full profile → model → power pipeline against the
+//! cycle-level simulator.
+
+use pmt::prelude::*;
+
+fn pipeline(name: &str, n: u64) -> (pmt::model::Prediction, pmt::sim::SimResult) {
+    let spec = WorkloadSpec::by_name(name).expect("suite member");
+    let machine = MachineConfig::nehalem();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named(name, &mut spec.trace(n));
+    let prediction = IntervalModel::new(&machine).predict(&profile);
+    let sim = OooSimulator::new(SimConfig::new(machine)).run(&mut spec.trace(n));
+    (prediction, sim)
+}
+
+#[test]
+fn model_tracks_simulator_for_diverse_workloads() {
+    for name in ["hmmer", "milc", "gcc"] {
+        let (prediction, sim) = pipeline(name, 100_000);
+        let err = (prediction.cpi() - sim.cpi()).abs() / sim.cpi();
+        assert!(
+            err < 0.6,
+            "{name}: model {} vs sim {} ({:.0}% off)",
+            prediction.cpi(),
+            sim.cpi(),
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn cpi_stack_is_consistent() {
+    let (prediction, _) = pipeline("astar", 60_000);
+    assert!((prediction.cpi_stack.total() - prediction.cpi()).abs() < 1e-6);
+    assert!(prediction.mlp >= 1.0);
+}
+
+#[test]
+fn power_pipeline_produces_sane_watts() {
+    let (prediction, sim) = pipeline("bzip2", 60_000);
+    let machine = MachineConfig::nehalem();
+    let pm = PowerModel::new(&machine);
+    let model_w = pm.power(&prediction.activity).total();
+    let sim_w = pm.power(&sim.activity).total();
+    assert!(model_w > 3.0 && model_w < 80.0, "{model_w} W");
+    let err = (model_w - sim_w).abs() / sim_w;
+    assert!(err < 0.35, "power error {:.0}%", err * 100.0);
+}
+
+#[test]
+fn predictions_are_deterministic() {
+    let (a, _) = pipeline("soplex", 50_000);
+    let (b, _) = pipeline("soplex", 50_000);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.activity, b.activity);
+}

@@ -1,0 +1,54 @@
+//! Integration: the thesis' central property — *relative* accuracy across
+//! machines, the basis for design-space pruning.
+
+use pmt::prelude::*;
+use pmt::uarch::CacheConfig;
+
+fn machines() -> Vec<MachineConfig> {
+    let big = MachineConfig::nehalem();
+    let mut mid = MachineConfig::nehalem();
+    mid.name = "mid".into();
+    mid.core = mid.core.with_dispatch_width(4).with_rob(64);
+    mid.caches.l3 = CacheConfig::new(2048, 16, 64, 26);
+    let small = MachineConfig::low_power();
+    vec![big, mid, small]
+}
+
+#[test]
+fn model_orders_machines_like_the_simulator() {
+    let spec = WorkloadSpec::by_name("astar").unwrap();
+    let n = 80_000;
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(n));
+    let mut model_cycles = Vec::new();
+    let mut sim_cycles = Vec::new();
+    for m in machines() {
+        model_cycles.push(IntervalModel::new(&m).predict(&profile).cycles);
+        sim_cycles.push(
+            OooSimulator::new(SimConfig::new(m))
+                .run(&mut spec.trace(n))
+                .cycles as f64,
+        );
+    }
+    // The reference machine must beat the low-power one in both views.
+    assert!(sim_cycles[0] < sim_cycles[2]);
+    assert!(
+        model_cycles[0] < model_cycles[2],
+        "model inverted big vs small: {model_cycles:?}"
+    );
+}
+
+#[test]
+fn rob_scaling_moves_model_and_sim_the_same_way() {
+    let spec = WorkloadSpec::by_name("mcf").unwrap();
+    let n = 60_000;
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("mcf", &mut spec.trace(n));
+    let mut small = MachineConfig::nehalem();
+    small.core = small.core.with_rob(64);
+    let big = MachineConfig::nehalem();
+    let m_small = IntervalModel::new(&small).predict(&profile).cycles;
+    let m_big = IntervalModel::new(&big).predict(&profile).cycles;
+    // mcf loves a bigger window (more MLP).
+    assert!(m_big <= m_small, "model: big ROB should help mcf");
+}

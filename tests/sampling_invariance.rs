@@ -1,0 +1,35 @@
+//! Integration: sampled profiling tracks exhaustive profiling (thesis Ch 5).
+
+use pmt::prelude::*;
+use pmt::profiler::ProfilerConfig;
+
+#[test]
+fn sampled_and_exhaustive_profiles_agree() {
+    let spec = WorkloadSpec::by_name("h264ref").unwrap();
+    let n = 100_000;
+    let machine = MachineConfig::nehalem();
+    let mut sampled_cfg = ProfilerConfig::thesis_default();
+    sampled_cfg.sampling = pmt::trace::SamplingConfig {
+        micro_trace_instructions: 1_000,
+        window_instructions: 4_000,
+    };
+    let sampled = Profiler::new(sampled_cfg).profile_named("h264ref", &mut spec.trace(n));
+    let full = Profiler::new(ProfilerConfig::exhaustive(4_000))
+        .profile_named("h264ref", &mut spec.trace(n));
+    let cpi_sampled = IntervalModel::new(&machine).predict(&sampled).cpi();
+    let cpi_full = IntervalModel::new(&machine).predict(&full).cpi();
+    let gap = (cpi_sampled - cpi_full).abs() / cpi_full;
+    assert!(
+        gap < 0.2,
+        "sampled {cpi_sampled} vs exhaustive {cpi_full} ({:.1}%)",
+        gap * 100.0
+    );
+}
+
+#[test]
+fn micro_trace_weights_cover_the_stream() {
+    let spec = WorkloadSpec::by_name("wrf").unwrap();
+    let p = Profiler::new(ProfilerConfig::fast_test()).profile_named("wrf", &mut spec.trace(50_000));
+    let weight: u64 = p.micro_traces.iter().map(|t| t.weight_instructions).sum();
+    assert_eq!(weight, p.total_instructions);
+}

@@ -1,0 +1,31 @@
+//! Integration: profiles and predictions serialize (the on-disk profile
+//! format of the original AIP/PMT tools).
+
+use pmt::prelude::*;
+
+#[test]
+fn profile_round_trips_through_json() {
+    let spec = WorkloadSpec::by_name("tonto").unwrap();
+    let profile = Profiler::new(ProfilerConfig::fast_test())
+        .profile_named("tonto", &mut spec.trace(30_000));
+    let json = serde_json::to_string(&profile).expect("serialize");
+    let back: pmt::profiler::ApplicationProfile =
+        serde_json::from_str(&json).expect("deserialize");
+    // Compare via re-serialization: exact f64 round-tripping, tolerant of
+    // NaN-free float comparison pitfalls.
+    let rejson = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(json, rejson);
+    // The round-tripped profile predicts identically.
+    let machine = MachineConfig::nehalem();
+    let a = IntervalModel::new(&machine).predict(&profile);
+    let b = IntervalModel::new(&machine).predict(&back);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn machine_config_round_trips() {
+    let m = MachineConfig::nehalem();
+    let json = serde_json::to_string(&m).unwrap();
+    let back: MachineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(m, back);
+}

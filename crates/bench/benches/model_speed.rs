@@ -58,5 +58,10 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_vs_sim, bench_profiler, bench_trace_generation);
+criterion_group!(
+    benches,
+    bench_model_vs_sim,
+    bench_profiler,
+    bench_trace_generation
+);
 criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Serial vs rayon-parallel design-space sweep throughput.
+//!
+//! The paper's headline claim is evaluating a 243-point design space "in
+//! seconds instead of days"; this benchmark records what the parallel
+//! refactor buys on top. On an N-core machine the parallel sweep should
+//! approach N× the serial points/second (≥2× on ≥4 cores); on a 1-core
+//! machine the two paths time alike, and the printed ratio says so
+//! honestly instead of asserting a speedup that can't exist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmt_dse::{SpaceEvaluation, SweepConfig};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_uarch::{DesignPoint, DesignSpace};
+use pmt_workloads::WorkloadSpec;
+use std::time::Instant;
+
+fn fixture() -> (Vec<DesignPoint>, ApplicationProfile) {
+    let spec = WorkloadSpec::by_name("astar").unwrap();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(60_000));
+    // The full 243-point space of thesis Table 6.3.
+    (DesignSpace::thesis_table_6_3().enumerate(), profile)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (points, profile) = fixture();
+    let cfg = SweepConfig::default();
+    let n = points.len();
+
+    let mut group = c.benchmark_group("space-sweep");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("serial", n), |b| {
+        b.iter(|| {
+            SpaceEvaluation::run_serial(&points, &profile, None, &cfg)
+                .outcomes
+                .len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("parallel", n), |b| {
+        b.iter(|| {
+            SpaceEvaluation::run(&points, &profile, None, &cfg)
+                .outcomes
+                .len()
+        })
+    });
+    group.finish();
+
+    // Direct throughput ratio, printed once: criterion's per-benchmark
+    // times are what CI records, but the points/s ratio is the number the
+    // tentpole claims.
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        SpaceEvaluation::run_serial(&points, &profile, None, &cfg);
+    }
+    let serial = t0.elapsed();
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        SpaceEvaluation::run(&points, &profile, None, &cfg);
+    }
+    let parallel = t1.elapsed();
+    let ratio = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12);
+    println!(
+        "sweep throughput: serial {:.0} pts/s, parallel {:.0} pts/s — {ratio:.2}x on {} thread(s)",
+        (n * reps) as f64 / serial.as_secs_f64(),
+        (n * reps) as f64 / parallel.as_secs_f64(),
+        rayon::current_num_threads(),
+    );
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -10,7 +10,18 @@ fn main() {
     let results = evaluate_suite(&machine, &cfg);
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
-        "workload", "simCPI", "modCPI", "err", "simBr", "modBr", "simDRAM", "modDRAM", "simMLP", "modMLP", "simMiss", "modMiss"
+        "workload",
+        "simCPI",
+        "modCPI",
+        "err",
+        "simBr",
+        "modBr",
+        "simDRAM",
+        "modDRAM",
+        "simMLP",
+        "modMLP",
+        "simMiss",
+        "modMiss"
     );
     let mut errors = Vec::new();
     for r in &results {

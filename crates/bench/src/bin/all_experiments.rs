@@ -40,15 +40,31 @@ const EXPERIMENTS: &[&str] = &[
 fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
+    let smoke = pmt_bench::harness::HarnessConfig::smoke_requested();
+    let mut failures = Vec::new();
     for name in EXPERIMENTS {
         println!("\n================================================================");
         println!("== {name}");
         println!("================================================================");
-        let status = Command::new(dir.join(name))
+        let mut cmd = Command::new(dir.join(name));
+        if smoke {
+            // Children read the env knob; `--smoke` itself doesn't propagate.
+            cmd.env("PMT_SMOKE", "1");
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         if !status.success() {
             eprintln!("!! {name} exited with {status}");
+            failures.push(*name);
         }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "\n{} experiment(s) failed: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
     }
 }

@@ -50,7 +50,10 @@ fn main() {
         );
     }
     println!("\nfig 3.10 — MPKI error (model − simulated) per predictor");
-    println!("{:<8} {:>10} {:>10} {:>12}", "pred", "simMPKI", "modMPKI", "|err| MPKI");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "pred", "simMPKI", "modMPKI", "|err| MPKI"
+    );
     for (i, kind) in PredictorKind::ALL.iter().enumerate() {
         let mut sim_mpki = 0.0;
         let mut mod_mpki = 0.0;

@@ -10,8 +10,8 @@ fn main() {
     let profiles = profile_suite(&cfg);
     println!("fig 3.6 — effective dispatch rate limits (reference core)");
     println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
-        "workload", "width", "deps", "port", "unit", "Deff", "limiter"
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}  limiter",
+        "workload", "width", "deps", "port", "unit", "Deff"
     );
     for p in &profiles {
         let prediction = IntervalModel::with_config(&machine, cfg.model.clone()).predict(p);

@@ -16,8 +16,8 @@ fn main() {
 
     let rows = parallel_map(suite(), |spec| {
         // Perfect-mode simulation = maximum achievable performance.
-        let sim = OooSimulator::new(SimConfig::new(machine.clone()).perfect())
-            .run(&mut spec.trace(n));
+        let sim =
+            OooSimulator::new(SimConfig::new(machine.clone()).perfect()).run(&mut spec.trace(n));
         let profile = pmt_profiler::Profiler::new(cfg.profiler.clone())
             .profile_named(&spec.name, &mut spec.trace(n));
         let insts = sim.instructions as f64;

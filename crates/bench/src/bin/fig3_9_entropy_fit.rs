@@ -12,8 +12,7 @@ fn main() {
     let pts = parallel_map(suite(), |spec| {
         let uops = collect_trace(spec.trace(n), u64::MAX);
         let mut entropy = EntropyProfiler::new(8);
-        let mut sim =
-            PredictorSim::from_config(&PredictorConfig::sized_4kb(PredictorKind::GAg));
+        let mut sim = PredictorSim::from_config(&PredictorConfig::sized_4kb(PredictorKind::GAg));
         for u in uops.iter().filter(|u| u.class == UopClass::Branch) {
             entropy.record(u.static_id, u.taken);
             sim.predict_and_update(u.static_id, u.taken);

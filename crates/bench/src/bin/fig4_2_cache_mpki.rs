@@ -34,8 +34,8 @@ fn main() {
             s.l3.misses() as f64 / ki,
         ];
         // StatStack prediction from the profile.
-        let profile = Profiler::new(cfg.profiler.clone())
-            .profile_named(&spec.name, &mut spec.trace(n));
+        let profile =
+            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(n));
         let loads = CacheModel::fit(&profile.memory.loads, &caches);
         let stores = CacheModel::fit(&profile.memory.stores, &caches);
         let l = profile.memory.loads_per_uop * profile.total_uops;

@@ -48,9 +48,7 @@ fn main() {
             avg(&without)
         );
     }
-    let err = |p: &pmt_core::Prediction| {
-        (p.cycles - sim.cycles as f64) / sim.cycles as f64 * 100.0
-    };
+    let err = |p: &pmt_core::Prediction| (p.cycles - sim.cycles as f64) / sim.cycles as f64 * 100.0;
     println!(
         "\ntotal error: with chaining {:+.1}%, without {:+.1}% (thesis gcc: -3.6% vs -12.3%)",
         err(&with),

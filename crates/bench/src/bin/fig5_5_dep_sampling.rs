@@ -8,8 +8,8 @@ fn main() {
     let cfg = HarnessConfig::default_scale();
     let n = cfg.instructions.min(300_000);
     let rows = parallel_map(suite(), |spec| {
-        let sampled = Profiler::new(cfg.profiler.clone())
-            .profile_named(&spec.name, &mut spec.trace(n));
+        let sampled =
+            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(n));
         let full = Profiler::new(ProfilerConfig::exhaustive(n))
             .profile_named(&spec.name, &mut spec.trace(n));
         let rob = 128;

@@ -19,7 +19,10 @@ fn main() {
         )
     });
     println!("fig 5.6 — branch component share of total CPI (simulator)");
-    println!("{:<12} {:>8} {:>8} {:>8}", "workload", "CPI", "branch", "share");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "workload", "CPI", "branch", "share"
+    );
     for (name, cpi, branch) in &rows {
         println!(
             "{:<12} {:>8.3} {:>8.3} {:>7.1}%",

@@ -8,7 +8,10 @@ use pmt_uarch::{CpiComponent, MachineConfig};
 fn main() {
     for (label, machine) in [
         ("no prefetcher (figs 6.15/6.16)", MachineConfig::nehalem()),
-        ("stride prefetcher (fig 6.18)", MachineConfig::nehalem_with_prefetcher()),
+        (
+            "stride prefetcher (fig 6.18)",
+            MachineConfig::nehalem_with_prefetcher(),
+        ),
     ] {
         println!("\n=== {label} ===");
         let mut table: Vec<(&str, Vec<f64>)> = Vec::new();

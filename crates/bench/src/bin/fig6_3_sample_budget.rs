@@ -19,7 +19,13 @@ fn main() {
     });
     println!("fig 6.3 — mean |CPI error| vs profiled instruction budget");
     println!("{:>14} {:>12} {:>10}", "micro/window", "profiled", "error");
-    for (micro, window) in [(200u64, 40_000u64), (500, 20_000), (1_000, 10_000), (2_000, 8_000), (4_000, 8_000)] {
+    for (micro, window) in [
+        (200u64, 40_000u64),
+        (500, 20_000),
+        (1_000, 10_000),
+        (2_000, 8_000),
+        (4_000, 8_000),
+    ] {
         let mut pcfg = cfg.profiler.clone();
         pcfg.sampling = SamplingConfig {
             micro_trace_instructions: micro,

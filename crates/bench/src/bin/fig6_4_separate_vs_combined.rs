@@ -9,7 +9,9 @@ fn main() {
     let base = HarnessConfig::default_scale().with_trained_entropy();
 
     let mut separate_cfg = base.clone();
-    separate_cfg.model = separate_cfg.model.with_evaluation(EvaluationMode::PerMicroTrace);
+    separate_cfg.model = separate_cfg
+        .model
+        .with_evaluation(EvaluationMode::PerMicroTrace);
     let separate = evaluate_suite(&machine, &separate_cfg);
 
     let mut combined_cfg = base;

@@ -11,14 +11,8 @@ use pmt_workloads::suite;
 
 fn main() {
     let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride: usize = std::env::var("PMT_SPACE_STRIDE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(9);
-    let sim_n: u64 = std::env::var("PMT_SIM_INSTRUCTIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(cfg.instructions.min(300_000));
+    let stride = pmt_bench::harness::space_stride(9);
+    let sim_n = pmt_bench::harness::sim_instructions(cfg.instructions.min(300_000));
     let space = DesignSpace::thesis_table_6_3();
     let points: Vec<_> = space.enumerate().into_iter().step_by(stride).collect();
     println!(
@@ -41,8 +35,8 @@ fn main() {
         }
     }
     let errs = parallel_map(pairs, |(wi, spec, point)| {
-        let sim = OooSimulator::new(SimConfig::new(point.machine.clone()))
-            .run(&mut spec.trace(sim_n));
+        let sim =
+            OooSimulator::new(SimConfig::new(point.machine.clone())).run(&mut spec.trace(sim_n));
         let pred =
             IntervalModel::with_config(&point.machine, cfg.model.clone()).predict(&profiles[wi]);
         (pred.cpi() - sim.cpi()) / sim.cpi()

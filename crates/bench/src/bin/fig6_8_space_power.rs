@@ -26,14 +26,22 @@ fn main() {
             Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(n));
         let pred = IntervalModel::with_config(&machine, cfg.model.clone()).predict(&profile);
         let pm = PowerModel::new(&machine);
-        (spec.name.clone(), pm.power(&sim.activity), pm.power(&pred.activity))
+        (
+            spec.name.clone(),
+            pm.power(&sim.activity),
+            pm.power(&pred.activity),
+        )
     });
     let mut errors = Vec::new();
     for (name, sim_p, mod_p) in &rows {
         for (label, b) in [("sim", sim_p), ("model", mod_p)] {
             print!(
                 "{:<14}{:>8.2}{:>8.2}",
-                if label == "sim" { name.clone() } else { "  model".into() },
+                if label == "sim" {
+                    name.clone()
+                } else {
+                    "  model".into()
+                },
                 b.total(),
                 b.static_w
             );
@@ -50,10 +58,7 @@ fn main() {
     );
 
     // --- Figs 6.8–6.10: across the (sub-sampled) space ------------------
-    let stride: usize = std::env::var("PMT_SPACE_STRIDE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(27);
+    let stride = pmt_bench::harness::space_stride(27);
     let sim_n = n.min(200_000);
     let points: Vec<_> = DesignSpace::thesis_table_6_3()
         .enumerate()
@@ -70,8 +75,8 @@ fn main() {
         }
     }
     let errs = parallel_map(pairs, |(wi, spec, point)| {
-        let sim = OooSimulator::new(SimConfig::new(point.machine.clone()))
-            .run(&mut spec.trace(sim_n));
+        let sim =
+            OooSimulator::new(SimConfig::new(point.machine.clone())).run(&mut spec.trace(sim_n));
         let pred =
             IntervalModel::with_config(&point.machine, cfg.model.clone()).predict(&profiles[wi]);
         let pm = PowerModel::new(&point.machine);

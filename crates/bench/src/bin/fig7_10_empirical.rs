@@ -9,14 +9,8 @@ use pmt_workloads::suite;
 
 fn main() {
     let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride: usize = std::env::var("PMT_SPACE_STRIDE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(9);
-    let sim_n: u64 = std::env::var("PMT_SIM_INSTRUCTIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(cfg.instructions.min(200_000));
+    let stride = pmt_bench::harness::space_stride(9);
+    let sim_n = pmt_bench::harness::sim_instructions(cfg.instructions.min(200_000));
     let points: Vec<_> = DesignSpace::thesis_table_6_3()
         .enumerate()
         .into_iter()

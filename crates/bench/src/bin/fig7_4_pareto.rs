@@ -9,10 +9,7 @@ use pmt_workloads::WorkloadSpec;
 
 fn main() {
     let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride: usize = std::env::var("PMT_SPACE_STRIDE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    let stride = pmt_bench::harness::space_stride(3);
     let sim_n = cfg.instructions.min(200_000);
     let points: Vec<_> = DesignSpace::thesis_table_6_3()
         .enumerate()
@@ -36,8 +33,7 @@ fn main() {
         let chosen = front.indices();
         let sims = parallel_map(chosen.clone(), |i| {
             let machine = points[i].machine.clone();
-            let r = OooSimulator::new(SimConfig::new(machine.clone()))
-                .run(&mut spec.trace(sim_n));
+            let r = OooSimulator::new(SimConfig::new(machine.clone())).run(&mut spec.trace(sim_n));
             (i, r.seconds_at(machine.core.frequency_ghz))
         });
         println!(

@@ -9,14 +9,8 @@ use pmt_workloads::suite;
 
 fn main() {
     let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride: usize = std::env::var("PMT_SPACE_STRIDE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(9);
-    let sim_n: u64 = std::env::var("PMT_SIM_INSTRUCTIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(cfg.instructions.min(200_000));
+    let stride = pmt_bench::harness::space_stride(9);
+    let sim_n = pmt_bench::harness::sim_instructions(cfg.instructions.min(200_000));
     let points: Vec<_> = DesignSpace::thesis_table_6_3()
         .enumerate()
         .into_iter()
@@ -44,8 +38,17 @@ fn main() {
         let predicted = eval.model_points();
         let q = PruningQuality::evaluate(&truth, &predicted);
         let cpi_errs: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.cpi_error()).collect();
-        let pow_errs: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.power_error()).collect();
-        (spec.name.clone(), mean_abs_error(&cpi_errs), mean_abs_error(&pow_errs), q)
+        let pow_errs: Vec<f64> = eval
+            .outcomes
+            .iter()
+            .filter_map(|o| o.power_error())
+            .collect();
+        (
+            spec.name.clone(),
+            mean_abs_error(&cpi_errs),
+            mean_abs_error(&pow_errs),
+            q,
+        )
     });
     let mut sums = PruningQuality::default();
     let mut cpi_sum = 0.0;

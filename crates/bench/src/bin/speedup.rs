@@ -40,11 +40,17 @@ fn main() {
     let t_sim_sample = t2.elapsed();
     let t_sim_full = t_sim_sample * (points.len() as u32) / (sample as u32);
 
-    println!("§6.2 — design-space evaluation cost (astar, {n} instructions, {} points)", points.len());
+    println!(
+        "§6.2 — design-space evaluation cost (astar, {n} instructions, {} points)",
+        points.len()
+    );
     println!("  profiling (once)      : {:>10.2?}", t_profile);
     println!("  model × space         : {:>10.2?}", t_model);
     println!("  model total           : {:>10.2?}", t_profile + t_model);
-    println!("  simulation × space    : {:>10.2?} (extrapolated from {sample} points)", t_sim_full);
+    println!(
+        "  simulation × space    : {:>10.2?} (extrapolated from {sample} points)",
+        t_sim_full
+    );
     let speedup = t_sim_full.as_secs_f64() / (t_profile + t_model).as_secs_f64();
     println!("  speedup               : {speedup:>10.1}× (thesis: 315× vs detailed simulation)");
     let _ = acc;

@@ -6,9 +6,15 @@ fn main() {
     let m = MachineConfig::nehalem();
     println!("table 6.1 — reference architecture ({})", m.name);
     println!("  dispatch width      : {}", m.core.dispatch_width);
-    println!("  ROB / IQ / LSQ      : {} / {} / {}", m.core.rob_size, m.core.iq_size, m.core.lsq_size);
+    println!(
+        "  ROB / IQ / LSQ      : {} / {} / {}",
+        m.core.rob_size, m.core.iq_size, m.core.lsq_size
+    );
     println!("  front-end depth     : {} stages", m.core.frontend_depth);
-    println!("  frequency / Vdd     : {} GHz / {} V", m.core.frequency_ghz, m.core.vdd);
+    println!(
+        "  frequency / Vdd     : {} GHz / {} V",
+        m.core.frequency_ghz, m.core.vdd
+    );
     println!("  issue ports         : {}", m.exec.ports.port_count());
     for (label, c) in [
         ("L1-I", &m.caches.l1i),
@@ -26,5 +32,9 @@ fn main() {
         m.mem.dram_latency, m.mem.bus_transfer_cycles
     );
     println!("  MSHRs               : {}", m.mem.mshr_entries);
-    println!("  branch predictor    : {} ({} B)", m.predictor.kind, m.predictor.storage_bytes());
+    println!(
+        "  branch predictor    : {} ({} B)",
+        m.predictor.kind,
+        m.predictor.storage_bytes()
+    );
 }

@@ -2,12 +2,13 @@
 
 use pmt_branch::{EntropyMissModel, EntropyProfiler, PredictorSim};
 use pmt_core::{IntervalModel, ModelConfig, Prediction};
-use pmt_trace::{collect_trace, UopClass};
-use pmt_uarch::{PredictorConfig, PredictorKind};
 use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_sim::{OooSimulator, SimConfig, SimResult};
+use pmt_trace::{collect_trace, UopClass};
 use pmt_uarch::MachineConfig;
+use pmt_uarch::{PredictorConfig, PredictorKind};
 use pmt_workloads::{suite, WorkloadSpec};
+use rayon::prelude::*;
 
 /// Common experiment knobs (overridable via env for quick sweeps).
 #[derive(Clone, Debug)]
@@ -21,13 +22,29 @@ pub struct HarnessConfig {
 }
 
 impl HarnessConfig {
+    /// Whether this experiment run asked for smoke scale (`--smoke` on the
+    /// command line, or `PMT_SMOKE=1` in the environment). CI uses this to
+    /// execute every figure binary end-to-end with a tiny trace budget.
+    pub fn smoke_requested() -> bool {
+        std::env::args().any(|a| a == "--smoke")
+            || std::env::var("PMT_SMOKE").is_ok_and(|v| v == "1" || v == "true")
+    }
+
     /// Default experiment scale: 1M instructions, thesis sampling scaled
     /// down 10× (100/10k) so every workload yields ~100 micro-traces.
+    /// In smoke mode ([`smoke_requested`](Self::smoke_requested)) the
+    /// instruction budget drops to 30k so every figure binary still
+    /// exercises its whole pipeline, just on a toy trace.
     pub fn default_scale() -> HarnessConfig {
+        let default_instructions = if Self::smoke_requested() {
+            30_000
+        } else {
+            1_000_000
+        };
         let instructions = std::env::var("PMT_INSTRUCTIONS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(1_000_000);
+            .unwrap_or(default_instructions);
         let mut profiler = ProfilerConfig::thesis_default();
         profiler.sampling = pmt_trace::SamplingConfig {
             micro_trace_instructions: 1_000,
@@ -47,6 +64,29 @@ impl HarnessConfig {
         self.model = self.model.with_entropy_model(trained);
         self
     }
+}
+
+/// Design-space subsampling stride for the sweep figures: the
+/// `PMT_SPACE_STRIDE` override if set, else `default_stride`, tripled in
+/// smoke mode so CI touches every pipeline without paying for the space.
+pub fn space_stride(default_stride: usize) -> usize {
+    std::env::var("PMT_SPACE_STRIDE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if HarnessConfig::smoke_requested() {
+            default_stride * 3
+        } else {
+            default_stride
+        })
+}
+
+/// Per-point simulation budget for the sweep figures: the
+/// `PMT_SIM_INSTRUCTIONS` override if set, else `default_budget`.
+pub fn sim_instructions(default_budget: u64) -> u64 {
+    std::env::var("PMT_SIM_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_budget)
 }
 
 /// One workload evaluated by both the model and the simulator.
@@ -130,32 +170,14 @@ pub fn evaluate_suite(machine: &MachineConfig, cfg: &HarnessConfig) -> Vec<Evalu
         .collect()
 }
 
-/// Order-preserving parallel map over owned items.
+/// Order-preserving parallel map over owned items (rayon-backed).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads: usize = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8);
-    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(items);
-    let results = std::sync::Mutex::new(Vec::<(usize, R)>::new());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let item = queue.lock().unwrap().pop();
-                let Some((i, item)) = item else { break };
-                let r = f(item);
-                results.lock().unwrap().push((i, r));
-            });
-        }
-    });
-    let mut out = results.into_inner().unwrap();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    items.into_par_iter().map(f).collect()
 }
 
 /// Mean absolute value of a series.

@@ -8,6 +8,6 @@
 pub mod harness;
 
 pub use harness::{
-    evaluate_suite, train_entropy_model, mean_abs_error, parallel_map, pct, print_header, print_row, profile_one,
-    profile_suite, simulate_suite, Evaluated, HarnessConfig,
+    evaluate_suite, mean_abs_error, parallel_map, pct, print_header, print_row, profile_one,
+    profile_suite, simulate_suite, train_entropy_model, Evaluated, HarnessConfig,
 };

@@ -62,8 +62,14 @@ impl EntropyProfiler {
         if self.total_branches == 0 {
             return 0.0;
         }
+        // Sum in key order: HashMap iteration order varies per process, and
+        // float addition isn't associative, so an unordered sum drifts by an
+        // ULP between otherwise identical runs.
+        let mut entries: Vec<((u64, u64), (u64, u64))> =
+            self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
         let mut acc = 0.0;
-        for &(t, nt) in self.counts.values() {
+        for (_, (t, nt)) in entries {
             let n = t + nt;
             let p = t as f64 / n as f64;
             let e = 2.0 * p.min(1.0 - p);
@@ -122,8 +128,10 @@ mod tests {
         let mut p = EntropyProfiler::new(2);
         let mut x = 777u64;
         for _ in 0..200_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let taken = (x >> 33) % 10 != 0;
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let taken = !(x >> 33).is_multiple_of(10);
             p.record(0x40, taken);
         }
         let e = p.entropy();

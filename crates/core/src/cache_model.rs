@@ -44,11 +44,7 @@ impl CacheModel {
     /// Fit StatStack to a reuse histogram and evaluate it for a hierarchy.
     pub fn fit(hist: &ReuseHistogram, caches: &CacheHierarchy) -> CacheModel {
         let model = StackDistanceModel::from_reuse(hist);
-        let lines = [
-            caches.l1d.lines(),
-            caches.l2.lines(),
-            caches.l3.lines(),
-        ];
+        let lines = [caches.l1d.lines(), caches.l2.lines(), caches.l3.lines()];
         let critical_rd = [
             model.critical_reuse_distance(lines[0]),
             model.critical_reuse_distance(lines[1]),
@@ -69,11 +65,7 @@ impl CacheModel {
     /// Fit for the instruction path (L1-I geometry, then shared L2/L3).
     pub fn fit_inst(hist: &ReuseHistogram, caches: &CacheHierarchy) -> CacheModel {
         let model = StackDistanceModel::from_reuse(hist);
-        let lines = [
-            caches.l1i.lines(),
-            caches.l2.lines(),
-            caches.l3.lines(),
-        ];
+        let lines = [caches.l1i.lines(), caches.l2.lines(), caches.l3.lines()];
         let critical_rd = [
             model.critical_reuse_distance(lines[0]),
             model.critical_reuse_distance(lines[1]),

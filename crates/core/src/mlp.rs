@@ -109,8 +109,7 @@ pub fn cold_miss_mlp(
         .map(|(l, p)| survive(l) * m_cf * loads_per_rob * p)
         .sum();
     // Eq 4.3: blend by miss-type share.
-    let blended =
-        cold_fraction_of_misses * mlp_cold + (1.0 - cold_fraction_of_misses) * mlp_cf;
+    let blended = cold_fraction_of_misses * mlp_cold + (1.0 - cold_fraction_of_misses) * mlp_cf;
     mshr_soft_cap(blended, mshr_entries).max(1.0)
 }
 
@@ -155,6 +154,7 @@ impl<'a> StrideMlpModel<'a> {
     /// * `total_window_loads` — loads the full window stands for (used to
     ///   scale miss counts),
     /// * `store_llc_misses` — LLC store misses (bandwidth scaling).
+    #[allow(clippy::too_many_arguments)] // mirrors the thesis' Eq 4.x parameter list
     pub fn evaluate(
         &self,
         static_loads: &[StaticLoadProfile],

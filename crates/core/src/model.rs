@@ -6,8 +6,10 @@ use crate::config::{EvaluationMode, MlpModelKind, ModelConfig};
 use crate::dispatch::{effective_dispatch_rate, DispatchBreakdown};
 use crate::llc_chaining::{chain_penalty_total, ChainInputs};
 use crate::mlp::{cold_miss_mlp, MemoryBehavior, StrideMlpModel};
-use pmt_profiler::{ApplicationProfile, DependenceProfile, LoadDependenceDistribution,
-    MicroTraceProfile, StaticLoadProfile};
+use pmt_profiler::{
+    ApplicationProfile, DependenceProfile, LoadDependenceDistribution, MicroTraceProfile,
+    StaticLoadProfile,
+};
 use pmt_trace::UopClass;
 use pmt_uarch::{ActivityVector, CpiComponent, CpiStack, MachineConfig};
 use serde::{Deserialize, Serialize};
@@ -194,7 +196,11 @@ impl IntervalModel {
             cycles,
             cpi_stack,
             activity,
-            mlp: if mlp_den > 0.0 { mlp_num / mlp_den } else { 1.0 },
+            mlp: if mlp_den > 0.0 {
+                mlp_num / mlp_den
+            } else {
+                1.0
+            },
             branch_miss_rate: if br_den > 0.0 { br_num / br_den } else { 0.0 },
             windows,
         }
@@ -363,8 +369,7 @@ impl IntervalModel {
         let density = memory.miss_window_density.clamp(0.0, 1.0);
         let bus = if self.config.bus_queuing && memory.llc_load_misses > 0.0 {
             // Eq 4.6: include store bandwidth.
-            let mlp_prime = memory.mlp
-                * (memory.llc_load_misses + memory.llc_store_misses)
+            let mlp_prime = memory.mlp * (memory.llc_load_misses + memory.llc_store_misses)
                 / memory.llc_load_misses;
             // Eq 4.5, active only while misses are dense enough to queue.
             density * (mlp_prime + 1.0) / 2.0 * m.mem.bus_transfer_cycles as f64
@@ -378,8 +383,7 @@ impl IntervalModel {
         let rob_fill = rob as f64 / dispatch.effective;
         let effective_latency =
             (dram + bus - rob_fill).max((m.mem.bus_transfer_cycles as f64).max(20.0));
-        let dram_cycles =
-            memory.stalling_load_misses * effective_latency / memory.mlp.max(1.0);
+        let dram_cycles = memory.stalling_load_misses * effective_latency / memory.mlp.max(1.0);
 
         // --- LLC hit chaining (§4.8) ----------------------------------------
         let chain_cycles = if self.config.llc_chaining {
@@ -408,27 +412,29 @@ impl IntervalModel {
         }
 
         // --- Predicted activity factors (Eq 3.16) ---------------------------
-        let mut activity = ActivityVector::default();
-        activity.uops = n_uops;
-        activity.instructions = inp.instructions;
-        activity.cycles = cycles;
-        activity.issue_per_class = inp.class_counts;
-        activity.rob_accesses = 2.0 * n_uops;
-        activity.iq_accesses = 2.0 * n_uops;
-        activity.regfile_reads = 1.4 * n_uops;
-        activity.regfile_writes = n_uops
-            - inp.class_counts[UopClass::Store.index()]
-            - inp.class_counts[UopClass::Branch.index()];
-        activity.l1i_accesses = inp.instructions;
-        activity.l1d_accesses = loads + stores;
         let inst_l1_misses = ir.l1 * inp.instructions;
-        activity.l2_accesses = lr.l1 * loads + sr_l1 * stores + inst_l1_misses;
-        activity.l3_accesses = lr.l2 * loads + sr_l2 * stores + ir.l2 * inp.instructions;
-        activity.dram_accesses =
+        let dram_accesses =
             memory.llc_load_misses + memory.llc_store_misses + ir.l3 * inp.instructions;
-        activity.bus_transfers = activity.dram_accesses;
-        activity.branch_lookups = branches;
-        activity.branch_misses = mispredicts;
+        let activity = ActivityVector {
+            uops: n_uops,
+            instructions: inp.instructions,
+            cycles,
+            issue_per_class: inp.class_counts,
+            rob_accesses: 2.0 * n_uops,
+            iq_accesses: 2.0 * n_uops,
+            regfile_reads: 1.4 * n_uops,
+            regfile_writes: n_uops
+                - inp.class_counts[UopClass::Store.index()]
+                - inp.class_counts[UopClass::Branch.index()],
+            l1i_accesses: inp.instructions,
+            l1d_accesses: loads + stores,
+            l2_accesses: lr.l1 * loads + sr_l1 * stores + inst_l1_misses,
+            l3_accesses: lr.l2 * loads + sr_l2 * stores + ir.l2 * inp.instructions,
+            dram_accesses,
+            bus_transfers: dram_accesses,
+            branch_lookups: branches,
+            branch_misses: mispredicts,
+        };
 
         WindowPrediction {
             index: inp.index,
@@ -520,7 +526,6 @@ impl IntervalModel {
             }
         }
     }
-
 }
 
 fn merge_activity(into: &mut ActivityVector, from: &ActivityVector) {
@@ -677,11 +682,8 @@ mod tests {
     #[test]
     fn combined_mode_gives_one_window() {
         let profile = profile_of("bzip2", 40_000);
-        let p = IntervalModel::with_config(
-            &MachineConfig::nehalem(),
-            ModelConfig::ispass_2015(),
-        )
-        .predict(&profile);
+        let p = IntervalModel::with_config(&MachineConfig::nehalem(), ModelConfig::ispass_2015())
+            .predict(&profile);
         assert_eq!(p.windows.len(), 1);
         assert!(p.cycles > 0.0);
     }
@@ -711,11 +713,9 @@ mod tests {
     fn prefetcher_reduces_predicted_stalls() {
         let profile = profile_of("libquantum", 60_000);
         let without = IntervalModel::new(&MachineConfig::nehalem()).predict(&profile);
-        let with = IntervalModel::new(&MachineConfig::nehalem_with_prefetcher())
-            .predict(&profile);
+        let with = IntervalModel::new(&MachineConfig::nehalem_with_prefetcher()).predict(&profile);
         assert!(
-            with.cpi_stack.get(CpiComponent::Dram)
-                < without.cpi_stack.get(CpiComponent::Dram),
+            with.cpi_stack.get(CpiComponent::Dram) < without.cpi_stack.get(CpiComponent::Dram),
             "with {:?} vs without {:?}",
             with.cpi_stack,
             without.cpi_stack

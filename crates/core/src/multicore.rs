@@ -20,6 +20,7 @@ use crate::config::ModelConfig;
 use crate::model::{IntervalModel, Prediction};
 use pmt_profiler::ApplicationProfile;
 use pmt_uarch::MachineConfig;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Prediction for one co-scheduled core.
@@ -97,7 +98,9 @@ impl MulticoreModel {
         assert!(!profiles.is_empty(), "empty co-schedule");
         let n = profiles.len();
         let solo_model = IntervalModel::with_config(&self.machine, self.config.clone());
-        let solos: Vec<Prediction> = profiles.iter().map(|p| solo_model.predict(p)).collect();
+        // Each core's solo prediction is independent; fan out with rayon
+        // (collect preserves input order, so results stay deterministic).
+        let solos: Vec<Prediction> = profiles.par_iter().map(|p| solo_model.predict(p)).collect();
         if n == 1 {
             return CorunPrediction {
                 cores: vec![CorePrediction {
@@ -116,10 +119,13 @@ impl MulticoreModel {
         let mut iterations = 0;
         for _ in 0..self.max_iterations {
             iterations += 1;
-            shared = profiles
-                .iter()
-                .zip(&shares)
-                .map(|(p, &share)| self.predict_with_share(p, share, &solos, n))
+            // Within one fixed-point step the cores only read the previous
+            // iteration's shares, so the re-predictions are independent too.
+            let jobs: Vec<(&&ApplicationProfile, f64)> =
+                profiles.iter().zip(shares.iter().copied()).collect();
+            shared = jobs
+                .par_iter()
+                .map(|&(p, share)| self.predict_with_share(p, share, &solos, n))
                 .collect();
             let new_shares = self.shares_from(&shared);
             let delta: f64 = shares
@@ -193,8 +199,7 @@ impl MulticoreModel {
         let util =
             (solo_dram_per_cycle * m.mem.bus_transfer_cycles as f64).min(0.95 * n_cores as f64);
         let inflation = (1.0 + util).min(n_cores as f64);
-        m.mem.bus_transfer_cycles =
-            ((m.mem.bus_transfer_cycles as f64) * inflation).round() as u32;
+        m.mem.bus_transfer_cycles = ((m.mem.bus_transfer_cycles as f64) * inflation).round() as u32;
         IntervalModel::with_config(&m, self.config.clone()).predict(profile)
     }
 }

@@ -4,10 +4,7 @@ use crate::sweep::PointOutcome;
 
 /// The fastest design whose predicted power fits `budget_w`, by model
 /// coordinates. Returns `None` when nothing fits.
-pub fn fastest_under_power<'a>(
-    outcomes: &'a [PointOutcome],
-    budget_w: f64,
-) -> Option<&'a PointOutcome> {
+pub fn fastest_under_power(outcomes: &[PointOutcome], budget_w: f64) -> Option<&PointOutcome> {
     outcomes
         .iter()
         .filter(|o| o.model_power <= budget_w)
@@ -15,10 +12,7 @@ pub fn fastest_under_power<'a>(
 }
 
 /// The lowest-power design whose predicted delay fits `deadline_s`.
-pub fn frugalest_under_delay<'a>(
-    outcomes: &'a [PointOutcome],
-    deadline_s: f64,
-) -> Option<&'a PointOutcome> {
+pub fn frugalest_under_delay(outcomes: &[PointOutcome], deadline_s: f64) -> Option<&PointOutcome> {
     outcomes
         .iter()
         .filter(|o| o.model_seconds <= deadline_s)

@@ -37,8 +37,9 @@ pub fn machine_at(base: &MachineConfig, point: OperatingPoint) -> MachineConfig 
     m.core.frequency_ghz = point.frequency_ghz;
     m.core.vdd = point.vdd;
     m.mem.dram_latency = ((base.mem.dram_latency as f64) * scale).round().max(1.0) as u32;
-    m.mem.bus_transfer_cycles =
-        ((base.mem.bus_transfer_cycles as f64) * scale).round().max(1.0) as u32;
+    m.mem.bus_transfer_cycles = ((base.mem.bus_transfer_cycles as f64) * scale)
+        .round()
+        .max(1.0) as u32;
     m.name = format!("{}@{:.2}GHz", base.name, point.frequency_ghz);
     m
 }
@@ -103,12 +104,7 @@ mod tests {
     fn higher_frequency_is_faster_but_hotter() {
         let base = MachineConfig::nehalem();
         let p = profile("hmmer");
-        let out = explore(
-            &base,
-            &nehalem_dvfs_points(),
-            &p,
-            &ModelConfig::default(),
-        );
+        let out = explore(&base, &nehalem_dvfs_points(), &p, &ModelConfig::default());
         assert_eq!(out.len(), 5);
         let slowest = &out[0];
         let fastest = out.last().unwrap();

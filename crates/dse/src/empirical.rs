@@ -77,10 +77,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         if diag.abs() < 1e-12 {
             continue;
         }
+        let pivot_row = a[col].clone();
         for row in col + 1..n {
             let factor = a[row][col] / diag;
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (k, v) in a[row].iter_mut().enumerate().skip(col) {
+                *v -= factor * pivot_row[k];
             }
             b[row] -= factor * b[col];
         }
@@ -178,8 +179,7 @@ mod tests {
     #[test]
     fn extrapolation_is_bounded_below() {
         let points = DesignSpace::small().enumerate();
-        let truth: Vec<(&DesignPoint, f64, f64)> =
-            points.iter().map(|p| (p, 1.0, 20.0)).collect();
+        let truth: Vec<(&DesignPoint, f64, f64)> = points.iter().map(|p| (p, 1.0, 20.0)).collect();
         let model = EmpiricalModel::train(&truth);
         assert!(model.predict_cpi(&points[0]) > 0.0);
         assert!(model.predict_power(&points[0]) > 0.0);

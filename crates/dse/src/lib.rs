@@ -5,7 +5,10 @@
 //!
 //! * [`SpaceEvaluation`] — evaluate the interval model (and optionally the
 //!   reference simulator) over a [`DesignSpace`](pmt_uarch::DesignSpace) ×
-//!   workload grid, in parallel,
+//!   workload grid, rayon-parallel with deterministic, serially
+//!   bit-identical results,
+//! * [`SweepBuilder`] — the batch front-end: several profiled workloads ×
+//!   one design space as a single load-balanced parallel job,
 //! * [`ParetoFront`] — non-dominated (delay, power) extraction plus the
 //!   pruning-quality metrics of §7.4: sensitivity, specificity, accuracy
 //!   and the hypervolume ratio (HVR, Fig 7.8),
@@ -33,4 +36,4 @@ mod sweep;
 
 pub use empirical::EmpiricalModel;
 pub use pareto::{ParetoFront, PruningQuality};
-pub use sweep::{PointOutcome, SpaceEvaluation, SweepConfig};
+pub use sweep::{BatchEvaluation, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig};

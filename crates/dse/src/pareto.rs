@@ -39,7 +39,9 @@ impl ParetoFront {
 
     /// Indices of the non-dominated points.
     pub fn indices(&self) -> Vec<usize> {
-        (0..self.optimal.len()).filter(|&i| self.optimal[i]).collect()
+        (0..self.optimal.len())
+            .filter(|&i| self.optimal[i])
+            .collect()
     }
 
     /// Number of points classified.

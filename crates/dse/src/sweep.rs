@@ -4,8 +4,9 @@ use pmt_core::{IntervalModel, ModelConfig};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
 use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::DesignPoint;
+use pmt_uarch::{DesignPoint, DesignSpace};
 use pmt_workloads::WorkloadSpec;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One (design, workload) evaluation.
@@ -84,7 +85,13 @@ pub struct SpaceEvaluation {
 
 impl SpaceEvaluation {
     /// Evaluate the model for one profiled workload over all design
-    /// points; optionally simulate for truth (parallel over points).
+    /// points; optionally simulate for truth.
+    ///
+    /// Profile once, predict many: the profile is shared read-only and the
+    /// design points are evaluated in parallel with rayon. Results come
+    /// back in design-point order, so a parallel sweep is **bit-identical**
+    /// to [`run_serial`](Self::run_serial) — the evaluation of one point
+    /// never depends on any other point.
     pub fn run(
         points: &[DesignPoint],
         profile: &ApplicationProfile,
@@ -95,9 +102,30 @@ impl SpaceEvaluation {
             !cfg.with_simulation || spec.is_some(),
             "simulation needs the workload spec"
         );
-        let outcomes = parallel_map_ref(points, |point| {
-            Self::evaluate_point(point, profile, spec, cfg)
-        });
+        let outcomes = points
+            .par_iter()
+            .map(|point| Self::evaluate_point(point, profile, spec, cfg))
+            .collect();
+        SpaceEvaluation { outcomes }
+    }
+
+    /// The sequential reference path: identical arithmetic to [`run`],
+    /// one point at a time. Kept public so benchmarks and equivalence
+    /// tests can measure the parallel speedup against it.
+    pub fn run_serial(
+        points: &[DesignPoint],
+        profile: &ApplicationProfile,
+        spec: Option<&WorkloadSpec>,
+        cfg: &SweepConfig,
+    ) -> SpaceEvaluation {
+        assert!(
+            !cfg.with_simulation || spec.is_some(),
+            "simulation needs the workload spec"
+        );
+        let outcomes = points
+            .iter()
+            .map(|point| Self::evaluate_point(point, profile, spec, cfg))
+            .collect();
         SpaceEvaluation { outcomes }
     }
 
@@ -147,37 +175,168 @@ impl SpaceEvaluation {
 
     /// Simulator coordinates (empty if not simulated).
     pub fn sim_points(&self) -> Vec<(f64, f64)> {
-        self.outcomes.iter().filter_map(|o| o.sim_coords()).collect()
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.sim_coords())
+            .collect()
     }
 }
 
-/// Order-preserving parallel map over a slice.
-pub fn parallel_map_ref<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads: usize = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(items.len()));
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(items.len().max(1)) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock().unwrap().push((i, r));
-            });
+/// A batch design-space sweep: many profiled workloads × one design space,
+/// evaluated as a single rayon-parallel job.
+///
+/// This is the facade-level entry point for the paper's headline workflow
+/// (profile once per workload, then predict the whole space "in seconds"):
+///
+/// ```
+/// use pmt_dse::SweepBuilder;
+/// use pmt_profiler::{Profiler, ProfilerConfig};
+/// use pmt_uarch::DesignSpace;
+/// use pmt_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::by_name("astar").unwrap();
+/// let profile =
+///     Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(20_000));
+/// let batch = SweepBuilder::new()
+///     .space(DesignSpace::small())
+///     .profile(&profile)
+///     .run();
+/// assert_eq!(batch.evaluations.len(), 1);
+/// assert_eq!(batch.evaluations[0].outcomes.len(), 32);
+/// ```
+#[derive(Default)]
+pub struct SweepBuilder<'a> {
+    points: Vec<DesignPoint>,
+    jobs: Vec<(&'a ApplicationProfile, Option<&'a WorkloadSpec>)>,
+    config: SweepConfig,
+    serial: bool,
+}
+
+impl<'a> SweepBuilder<'a> {
+    /// An empty sweep over no points and no workloads.
+    pub fn new() -> SweepBuilder<'a> {
+        SweepBuilder::default()
+    }
+
+    /// Sweep every point of `space`.
+    pub fn space(mut self, space: DesignSpace) -> Self {
+        self.points = space.enumerate();
+        self
+    }
+
+    /// Sweep an explicit list of design points.
+    pub fn points(mut self, points: Vec<DesignPoint>) -> Self {
+        self.points = points;
+        self
+    }
+
+    /// Add a profiled workload (model-only evaluation).
+    pub fn profile(mut self, profile: &'a ApplicationProfile) -> Self {
+        self.jobs.push((profile, None));
+        self
+    }
+
+    /// Add a profiled workload together with its generator spec so the
+    /// sweep can also run the cycle-level simulator for ground truth.
+    pub fn profile_with_spec(
+        mut self,
+        profile: &'a ApplicationProfile,
+        spec: &'a WorkloadSpec,
+    ) -> Self {
+        self.jobs.push((profile, Some(spec)));
+        self
+    }
+
+    /// Replace the sweep configuration.
+    pub fn config(mut self, config: SweepConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Also simulate every point (requires specs via
+    /// [`profile_with_spec`](Self::profile_with_spec)).
+    pub fn with_simulation(mut self, sim_instructions: u64) -> Self {
+        self.config.with_simulation = true;
+        self.config.sim_instructions = sim_instructions;
+        self
+    }
+
+    /// Force the sequential path (for measurement and debugging).
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Evaluate all (workload × design point) pairs.
+    ///
+    /// The parallel path flattens the full job grid so rayon load-balances
+    /// across workloads *and* points; outcomes are regrouped per workload
+    /// in input order, bit-identical to the serial path.
+    pub fn run(&self) -> BatchEvaluation {
+        assert!(
+            !self.config.with_simulation || self.jobs.iter().all(|(_, s)| s.is_some()),
+            "simulation sweeps need every workload added via profile_with_spec"
+        );
+        let n_points = self.points.len();
+        let evaluations: Vec<SpaceEvaluation> = if self.serial {
+            self.jobs
+                .iter()
+                .map(|(profile, spec)| {
+                    SpaceEvaluation::run_serial(&self.points, profile, *spec, &self.config)
+                })
+                .collect()
+        } else {
+            // One flat (job, point) grid: a single rayon pass, then
+            // deterministic regrouping into per-workload evaluations.
+            let grid: Vec<(usize, usize)> = (0..self.jobs.len())
+                .flat_map(|j| (0..n_points).map(move |p| (j, p)))
+                .collect();
+            let mut outcomes: Vec<PointOutcome> = grid
+                .par_iter()
+                .map(|&(j, p)| {
+                    let (profile, spec) = self.jobs[j];
+                    SpaceEvaluation::evaluate_point(&self.points[p], profile, spec, &self.config)
+                })
+                .collect();
+            let mut evals = Vec::with_capacity(self.jobs.len());
+            for _ in 0..self.jobs.len() {
+                let rest = outcomes.split_off(n_points.min(outcomes.len()));
+                evals.push(SpaceEvaluation { outcomes });
+                outcomes = rest;
+            }
+            evals
+        };
+        BatchEvaluation {
+            workloads: self.jobs.iter().map(|(p, _)| p.name.clone()).collect(),
+            evaluations,
         }
-    });
-    let mut out = results.into_inner().unwrap();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// The result of a [`SweepBuilder`] run: one [`SpaceEvaluation`] per added
+/// workload, in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct BatchEvaluation {
+    /// Workload names, parallel to `evaluations` (recorded at build time so
+    /// lookups work even for empty point sets).
+    pub workloads: Vec<String>,
+    /// Per-workload space evaluations.
+    pub evaluations: Vec<SpaceEvaluation>,
+}
+
+impl BatchEvaluation {
+    /// The evaluation for the first workload added as `workload`.
+    pub fn for_workload(&self, workload: &str) -> Option<&SpaceEvaluation> {
+        self.workloads
+            .iter()
+            .position(|w| w == workload)
+            .map(|i| &self.evaluations[i])
+    }
+
+    /// All outcomes across workloads, workload-major.
+    pub fn outcomes(&self) -> impl Iterator<Item = &PointOutcome> {
+        self.evaluations.iter().flat_map(|e| e.outcomes.iter())
+    }
 }
 
 #[cfg(test)]
@@ -229,10 +388,60 @@ mod tests {
         }
     }
 
+    /// The tentpole guarantee: a rayon-parallel sweep returns exactly the
+    /// bytes the serial sweep does, in the same order.
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map_ref(&items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let points = DesignSpace::small().enumerate();
+        let profile = profile();
+        let cfg = SweepConfig::default();
+        let par = SpaceEvaluation::run(&points, &profile, None, &cfg);
+        let ser = SpaceEvaluation::run_serial(&points, &profile, None, &cfg);
+        assert_eq!(par.outcomes.len(), ser.outcomes.len());
+        for (p, s) in par.outcomes.iter().zip(&ser.outcomes) {
+            assert_eq!(p.design_id, s.design_id);
+            assert_eq!(p.workload, s.workload);
+            assert_eq!(p.model_cpi.to_bits(), s.model_cpi.to_bits());
+            assert_eq!(p.model_power.to_bits(), s.model_power.to_bits());
+            assert_eq!(p.model_seconds.to_bits(), s.model_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn builder_batches_workloads_in_order() {
+        let spec_a = WorkloadSpec::by_name("astar").unwrap();
+        let spec_b = WorkloadSpec::by_name("gcc").unwrap();
+        let prof = Profiler::new(ProfilerConfig::fast_test());
+        let pa = prof.profile_named("astar", &mut spec_a.trace(20_000));
+        let pb = prof.profile_named("gcc", &mut spec_b.trace(20_000));
+        let batch = SweepBuilder::new()
+            .space(DesignSpace::small())
+            .profile(&pa)
+            .profile(&pb)
+            .run();
+        assert_eq!(batch.evaluations.len(), 2);
+        assert!(batch.evaluations.iter().all(|e| e.outcomes.len() == 32));
+        assert_eq!(batch.evaluations[0].outcomes[0].workload, "astar");
+        assert_eq!(batch.evaluations[1].outcomes[0].workload, "gcc");
+        assert!(batch.for_workload("gcc").is_some());
+        assert!(batch.for_workload("milc").is_none());
+        assert_eq!(batch.outcomes().count(), 64);
+
+        // Lookup works even when the point set is empty (names are
+        // recorded at build time, not inferred from outcome rows).
+        let empty = SweepBuilder::new().points(Vec::new()).profile(&pa).run();
+        assert!(empty.for_workload("astar").is_some());
+        assert_eq!(empty.for_workload("astar").unwrap().outcomes.len(), 0);
+
+        // Batch = per-workload sweeps, bit for bit.
+        let lone = SpaceEvaluation::run_serial(
+            &DesignSpace::small().enumerate(),
+            &pb,
+            None,
+            &SweepConfig::default(),
+        );
+        for (a, b) in batch.evaluations[1].outcomes.iter().zip(&lone.outcomes) {
+            assert_eq!(a.model_cpi.to_bits(), b.model_cpi.to_bits());
+        }
     }
 }

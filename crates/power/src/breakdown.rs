@@ -122,8 +122,10 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let mut b = PowerBreakdown::default();
-        b.static_w = 10.0;
+        let mut b = PowerBreakdown {
+            static_w: 10.0,
+            ..Default::default()
+        };
         b.add_dynamic(PowerComponent::Core, 5.0);
         b.add_dynamic(PowerComponent::Memory, 3.0);
         assert!((b.total() - 18.0).abs() < 1e-12);
@@ -133,8 +135,10 @@ mod tests {
 
     #[test]
     fn energy_metrics_scale_correctly() {
-        let mut b = PowerBreakdown::default();
-        b.static_w = 20.0;
+        let b = PowerBreakdown {
+            static_w: 20.0,
+            ..Default::default()
+        };
         let e = b.energy(2.0);
         assert!((e - 40.0).abs() < 1e-12);
         assert!((b.edp(2.0) - 80.0).abs() < 1e-12);

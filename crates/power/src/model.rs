@@ -116,8 +116,8 @@ impl PowerModel {
             + m.caches.l2.size_bytes()
             + m.caches.l3.size_bytes()) as f64
             / (1024.0 * 1024.0);
-        let base = core + fus + leak::REGFILE + frontend + cache_mb * leak::CACHE_MB
-            + leak::MEMORY_IF;
+        let base =
+            core + fus + leak::REGFILE + frontend + cache_mb * leak::CACHE_MB + leak::MEMORY_IF;
         // Leakage current grows with the supply voltage: P_s ∝ V².
         base * (m.core.vdd / V_NOM).powi(2)
     }
@@ -140,7 +140,10 @@ impl PowerModel {
 
         b.add_dynamic(
             PowerComponent::Core,
-            w(activity.rob_accesses + activity.iq_accesses, energy::UOP_CORE / 2.0),
+            w(
+                activity.rob_accesses + activity.iq_accesses,
+                energy::UOP_CORE / 2.0,
+            ),
         );
         b.add_dynamic(
             PowerComponent::RegisterFile,
@@ -171,10 +174,19 @@ impl PowerModel {
         );
         b.add_dynamic(
             PowerComponent::L1Caches,
-            w(activity.l1d_accesses + activity.l1i_accesses, energy::L1_ACCESS),
+            w(
+                activity.l1d_accesses + activity.l1i_accesses,
+                energy::L1_ACCESS,
+            ),
         );
-        b.add_dynamic(PowerComponent::L2Cache, w(activity.l2_accesses, energy::L2_ACCESS));
-        b.add_dynamic(PowerComponent::L3Cache, w(activity.l3_accesses, energy::L3_ACCESS));
+        b.add_dynamic(
+            PowerComponent::L2Cache,
+            w(activity.l2_accesses, energy::L2_ACCESS),
+        );
+        b.add_dynamic(
+            PowerComponent::L3Cache,
+            w(activity.l3_accesses, energy::L3_ACCESS),
+        );
         b.add_dynamic(
             PowerComponent::Memory,
             w(activity.dram_accesses, energy::DRAM_ACCESS)
@@ -248,9 +260,7 @@ mod tests {
     fn bigger_caches_leak_more() {
         let small = MachineConfig::low_power();
         let big = MachineConfig::nehalem();
-        assert!(
-            PowerModel::new(&big).static_power() > PowerModel::new(&small).static_power()
-        );
+        assert!(PowerModel::new(&big).static_power() > PowerModel::new(&small).static_power());
     }
 
     #[test]

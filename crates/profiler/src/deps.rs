@@ -440,7 +440,7 @@ mod tests {
         // Layout (oldest first): L1, L2(dep L1), L3(dep L1), L4(dep L2),
         // L5, L6(dep L5), L7(dep L6).
         let mut v: Vec<MicroOp> = Vec::new();
-        let mut load = |deps: Option<u32>, idx: u32| {
+        let load = |deps: Option<u32>, idx: u32| {
             let mut u = MicroOp::load(idx as u64 * 4, 0, 0x100 + idx as u64 * 8);
             if let Some(d) = deps {
                 u.dep1 = d;
@@ -454,7 +454,7 @@ mod tests {
         v.push(load(None, 4)); // L5
         v.push(load(Some(1), 5)); // L6 dep L5
         v.push(load(Some(1), 6)); // L7 dep L6
-        // Pad to a 16-μop window with independent ALU ops.
+                                  // Pad to a 16-μop window with independent ALU ops.
         for i in 7..16 {
             v.push(MicroOp::compute(UopClass::IntAlu, i * 4, 0));
         }

@@ -10,6 +10,10 @@ use pmt_statstack::{ReuseHistogram, ReuseRecorder};
 use pmt_trace::{InstructionMix, MicroOp, TraceSource, UopClass};
 use std::collections::HashMap;
 
+/// Recording-segment capture target: the micro-trace buffer plus the
+/// per-load (line, reuse-distance) stream captured alongside it.
+type CaptureTarget<'a> = (&'a mut Vec<MicroOp>, &'a mut Vec<(u32, Option<u64>)>);
+
 /// The micro-architecture independent profiler.
 ///
 /// One [`Profiler::profile`] call streams the full trace once. Statistics
@@ -47,11 +51,7 @@ impl Profiler {
     }
 
     /// Profile a named trace.
-    pub fn profile_named<S: TraceSource>(
-        &self,
-        name: &str,
-        source: &mut S,
-    ) -> ApplicationProfile {
+    pub fn profile_named<S: TraceSource>(&self, name: &str, source: &mut S) -> ApplicationProfile {
         let mut pass = Pass::new(&self.config);
         let micro_len = self.config.sampling.micro_trace_instructions;
         let window_len = self.config.sampling.window_instructions;
@@ -170,11 +170,7 @@ impl Pass {
     /// Process a chunk. When `capture` is given (recording segment), μops
     /// are appended to the micro-trace buffer and per-load reuse distances
     /// are captured alongside.
-    fn consume(
-        &mut self,
-        uops: &[MicroOp],
-        mut capture: Option<(&mut Vec<MicroOp>, &mut Vec<(u32, Option<u64>)>)>,
-    ) {
+    fn consume(&mut self, uops: &[MicroOp], mut capture: Option<CaptureTarget<'_>>) {
         for u in uops {
             if u.begins_instruction {
                 self.total_instructions += 1;
@@ -220,7 +216,8 @@ impl Pass {
                             self.window_cold_stores += 1;
                         }
                     }
-                    if let Some((buf, dists)) = capture.as_mut().map(|(a, b)| (&mut **a, &mut **b)) {
+                    if let Some((buf, dists)) = capture.as_mut().map(|(a, b)| (&mut **a, &mut **b))
+                    {
                         dists.push((buf.len() as u32, dist));
                     }
                 }
@@ -382,11 +379,8 @@ impl Pass {
             static_branches: self.entropy.static_branches() as u64,
         };
 
-        let cold = ColdMissProfile::from_positions(
-            &self.cold_positions,
-            self.total_uops,
-            &cfg.rob_grid,
-        );
+        let cold =
+            ColdMissProfile::from_positions(&self.cold_positions, self.total_uops, &cfg.rob_grid);
         let memory = MemoryProfile {
             inst_accesses_per_instruction: if self.total_instructions == 0 {
                 0.0

@@ -306,11 +306,7 @@ impl<'a> Engine<'a> {
                 i += 1;
                 continue;
             };
-            if route
-                .also_all_of
-                .iter()
-                .any(|&p| port_used[p as usize])
-            {
+            if route.also_all_of.iter().any(|&p| port_used[p as usize]) {
                 i += 1;
                 continue;
             }
@@ -654,8 +650,8 @@ mod tests {
             .map(|i| MicroOp::compute(UopClass::IntAlu, (i % 64) * 4, 0))
             .collect();
         let mut trace = VecTrace::new(uops);
-        let r = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect())
-            .run(&mut trace);
+        let r =
+            OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect()).run(&mut trace);
         assert_eq!(r.instructions, 10_000);
         // 3 ALU ports on 4-wide Nehalem: IPC limited to 3.
         let ipc = r.ipc();
@@ -674,8 +670,8 @@ mod tests {
             })
             .collect();
         let mut trace = VecTrace::new(uops);
-        let r = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect())
-            .run(&mut trace);
+        let r =
+            OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect()).run(&mut trace);
         let cpi = r.cpi();
         assert!(cpi > 0.95 && cpi < 1.1, "CPI = {cpi}");
     }
@@ -688,8 +684,8 @@ mod tests {
             .map(|i| MicroOp::compute(UopClass::IntDiv, (i % 16) * 4, 0))
             .collect();
         let mut trace = VecTrace::new(uops);
-        let r = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect())
-            .run(&mut trace);
+        let r =
+            OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).perfect()).run(&mut trace);
         let cpi = r.cpi();
         assert!(cpi > 18.0 && cpi < 22.0, "CPI = {cpi}");
     }
@@ -762,17 +758,19 @@ mod tests {
     #[test]
     fn branch_misses_show_up_for_noisy_workloads() {
         let r = run_machine(MachineConfig::nehalem(), "gobmk", 30_000);
-        assert!(r.branch_mpki() > 1.0, "gobmk mispredicts: {}", r.branch_mpki());
+        assert!(
+            r.branch_mpki() > 1.0,
+            "gobmk mispredicts: {}",
+            r.branch_mpki()
+        );
         assert!(r.cpi_stack.get(CpiComponent::Branch) > 0.01);
     }
 
     #[test]
     fn intervals_are_recorded() {
         let spec = WorkloadSpec::by_name("bzip2").unwrap();
-        let r = OooSimulator::new(
-            SimConfig::new(MachineConfig::nehalem()).with_intervals(5_000),
-        )
-        .run(&mut spec.trace(20_000));
+        let r = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()).with_intervals(5_000))
+            .run(&mut spec.trace(20_000));
         assert_eq!(r.intervals.len(), 4);
         let total: u64 = r.intervals.iter().map(|s| s.cycles).sum();
         assert!(total <= r.cycles);
@@ -807,26 +805,57 @@ mod tests {
             for b in &branches {
                 sim.predict_and_update(b.static_id, b.taken);
             }
-            eprintln!("{kind}: missrate {:.4} over {} branches", sim.miss_rate(), sim.predictions());
+            eprintln!(
+                "{kind}: missrate {:.4} over {} branches",
+                sim.miss_rate(),
+                sim.predictions()
+            );
         }
         let mut ent = pmt_branch::EntropyProfiler::new(8);
-        for b in &branches { ent.record(b.static_id, b.taken); }
-        eprintln!("entropy = {:.4}, static branches = {}", ent.entropy(), ent.static_branches());
+        for b in &branches {
+            ent.record(b.static_id, b.taken);
+        }
+        eprintln!(
+            "entropy = {:.4}, static branches = {}",
+            ent.entropy(),
+            ent.static_branches()
+        );
         let taken = branches.iter().filter(|b| b.taken).count();
-        eprintln!("taken fraction = {:.4}", taken as f64 / branches.len() as f64);
+        eprintln!(
+            "taken fraction = {:.4}",
+            taken as f64 / branches.len() as f64
+        );
     }
 
     #[test]
     #[ignore = "diagnostic probe"]
     fn debug_probe() {
         let name = std::env::var("PROBE_WL").unwrap_or_else(|_| "mcf".into());
-        let n: u64 = std::env::var("PROBE_N").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000);
+        let n: u64 = std::env::var("PROBE_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000);
         let spec = WorkloadSpec::by_name(&name).unwrap();
         let r = OooSimulator::new(SimConfig::new(MachineConfig::nehalem())).run(&mut spec.trace(n));
-        eprintln!("cycles={} inst={} cpi={} stack={:?}", r.cycles, r.instructions, r.cpi(), r.cpi_stack);
-        eprintln!("branch lookups={} misses={} missrate={}", r.branch_lookups, r.branch_misses, r.branch_misses as f64 / r.branch_lookups as f64);
-        eprintln!("mlp={} l3miss={} dram_acc={}", r.mlp, r.cache_stats.l3.load_misses, r.activity.dram_accesses);
-        let miss_pen = r.cpi_stack.get(CpiComponent::Branch) * r.instructions as f64 / r.branch_misses as f64;
+        eprintln!(
+            "cycles={} inst={} cpi={} stack={:?}",
+            r.cycles,
+            r.instructions,
+            r.cpi(),
+            r.cpi_stack
+        );
+        eprintln!(
+            "branch lookups={} misses={} missrate={}",
+            r.branch_lookups,
+            r.branch_misses,
+            r.branch_misses as f64 / r.branch_lookups as f64
+        );
+        eprintln!(
+            "mlp={} l3miss={} dram_acc={}",
+            r.mlp, r.cache_stats.l3.load_misses, r.activity.dram_accesses
+        );
+        let miss_pen =
+            r.cpi_stack.get(CpiComponent::Branch) * r.instructions as f64 / r.branch_misses as f64;
         eprintln!("penalty per branch miss = {miss_pen}");
     }
 }

@@ -277,7 +277,10 @@ mod tests {
         let big = m.miss_ratio(128);
         let exact_small = exact_lru_miss_ratio(&stream, 32);
         let exact_big = exact_lru_miss_ratio(&stream, 128);
-        assert!((small - exact_small).abs() < 0.02, "{small} vs {exact_small}");
+        assert!(
+            (small - exact_small).abs() < 0.02,
+            "{small} vs {exact_small}"
+        );
         assert!((big - exact_big).abs() < 0.02, "{big} vs {exact_big}");
     }
 

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 /// Table 2.1) and by the issue-port contention model (thesis §3.4, Fig 3.5).
 /// `Move` covers register-to-register data movement that executes on the
 /// integer ALUs but is tracked separately in the mix.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum UopClass {
     /// Integer ALU operation (add, sub, logic, shifts).
     IntAlu,

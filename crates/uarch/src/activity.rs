@@ -83,10 +83,12 @@ mod tests {
 
     #[test]
     fn scaling_scales_everything() {
-        let mut a = ActivityVector::default();
-        a.cycles = 10.0;
+        let mut a = ActivityVector {
+            cycles: 10.0,
+            dram_accesses: 2.0,
+            ..Default::default()
+        };
         a.issue_per_class[UopClass::Load.index()] = 4.0;
-        a.dram_accesses = 2.0;
         let b = a.scaled(3.0);
         assert_eq!(b.cycles, 30.0);
         assert_eq!(b.issue_per_class[UopClass::Load.index()], 12.0);

@@ -88,8 +88,7 @@ impl DesignSpace {
                             m.name = format!("w{w}-rob{rob}-l1_{l1}k-l2_{l2}k-l3_{l3}k");
                             m.core = m.core.with_dispatch_width(w).with_rob(rob);
                             m.caches.l1i = CacheConfig::new(l1, 4, 64, 1);
-                            m.caches.l1d =
-                                CacheConfig::new(l1, 8, 64, base.caches.l1d.latency);
+                            m.caches.l1d = CacheConfig::new(l1, 8, 64, base.caches.l1d.latency);
                             m.caches.l2 = CacheConfig::new(l2, 8, 64, base.caches.l2.latency);
                             // LLC latency scales weakly with capacity.
                             let l3_lat = match l3 {

@@ -14,10 +14,7 @@ pub struct OperatingPoint {
 impl OperatingPoint {
     /// Convenience constructor.
     pub fn new(frequency_ghz: f64, vdd: f64) -> OperatingPoint {
-        OperatingPoint {
-            frequency_ghz,
-            vdd,
-        }
+        OperatingPoint { frequency_ghz, vdd }
     }
 }
 

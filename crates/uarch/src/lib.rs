@@ -22,9 +22,9 @@
 
 mod activity;
 mod bp;
-mod cpi;
 mod cache;
 mod core_cfg;
+mod cpi;
 pub mod design_space;
 mod dvfs;
 mod exec;
@@ -34,9 +34,9 @@ mod prefetch;
 
 pub use activity::ActivityVector;
 pub use bp::{PredictorConfig, PredictorKind};
-pub use cpi::{CpiComponent, CpiStack};
 pub use cache::{CacheConfig, CacheHierarchy, DataLevel};
 pub use core_cfg::CoreConfig;
+pub use cpi::{CpiComponent, CpiStack};
 pub use design_space::{DesignPoint, DesignSpace};
 pub use dvfs::{nehalem_dvfs_points, OperatingPoint};
 pub use exec::{ExecConfig, OpResources, PortMap, PortRoute};

@@ -326,8 +326,9 @@ mod tests {
     #[test]
     fn population_mixes_biased_and_patterned() {
         let mut r = rng();
-        let processes: Vec<BranchProcess> =
-            (0..200).map(|_| BranchProcess::new(&mut r, 8, 0.1)).collect();
+        let processes: Vec<BranchProcess> = (0..200)
+            .map(|_| BranchProcess::new(&mut r, 8, 0.1))
+            .collect();
         let patterned = processes
             .iter()
             .filter(|p| matches!(p, BranchProcess::Pattern { .. }))

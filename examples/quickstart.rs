@@ -23,7 +23,11 @@ fn main() {
     // 3. Predict performance on the Nehalem-style reference machine.
     let machine = MachineConfig::nehalem();
     let prediction = IntervalModel::new(&machine).predict(&profile);
-    println!("model: CPI {:.3}  (MLP {:.2})", prediction.cpi(), prediction.mlp);
+    println!(
+        "model: CPI {:.3}  (MLP {:.2})",
+        prediction.cpi(),
+        prediction.mlp
+    );
     for (component, cpi) in prediction.cpi_stack.iter() {
         if cpi > 0.001 {
             println!("  {:<8} {:.3}", component.label(), cpi);

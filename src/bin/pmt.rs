@@ -83,9 +83,7 @@ fn machine(args: &[String]) -> Result<MachineConfig, String> {
 }
 
 fn workload(name: &str) -> Result<WorkloadSpec, String> {
-    WorkloadSpec::by_name(name).ok_or_else(|| {
-        format!("unknown workload `{name}` — try `pmt list`")
-    })
+    WorkloadSpec::by_name(name).ok_or_else(|| format!("unknown workload `{name}` — try `pmt list`"))
 }
 
 fn profile_workload(name: &str, n: u64) -> Result<ApplicationProfile, String> {
@@ -143,7 +141,12 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     let power = PowerModel::new(&m).power(&prediction.activity);
     println!("workload   : {}", profile.name);
     println!("machine    : {}", m.name);
-    println!("CPI        : {:.3}  (IPC {:.2}, MLP {:.2})", prediction.cpi(), prediction.ipc(), prediction.mlp);
+    println!(
+        "CPI        : {:.3}  (IPC {:.2}, MLP {:.2})",
+        prediction.cpi(),
+        prediction.ipc(),
+        prediction.mlp
+    );
     for (c, v) in prediction.cpi_stack.iter() {
         if v > 0.0005 {
             println!("  {:<8} {:.3}", c.label(), v);
@@ -174,7 +177,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let r = OooSimulator::new(SimConfig::new(m.clone())).run(&mut spec.trace(n));
     println!("workload   : {name}  ({n} instructions)");
     println!("machine    : {}", m.name);
-    println!("CPI        : {:.3}  (MLP {:.2}, branch MPKI {:.2})", r.cpi(), r.mlp, r.branch_mpki());
+    println!(
+        "CPI        : {:.3}  (MLP {:.2}, branch MPKI {:.2})",
+        r.cpi(),
+        r.mlp,
+        r.branch_mpki()
+    );
     for (c, v) in r.cpi_stack.iter() {
         if v > 0.0005 {
             println!("  {:<8} {:.3}", c.label(), v);
@@ -258,7 +266,10 @@ fn cmd_smt(args: &[String]) -> Result<(), String> {
     let refs: Vec<&ApplicationProfile> = profiles.iter().collect();
     let out = SmtModel::new(&m, pmt::model::ModelConfig::default()).predict(&refs);
     println!("SMT on {} ({} hardware threads):", m.name, refs.len());
-    println!("{:<12} {:>9} {:>9} {:>10}", "thread", "soloCPI", "smtCPI", "slowdown");
+    println!(
+        "{:<12} {:>9} {:>9} {:>10}",
+        "thread", "soloCPI", "smtCPI", "slowdown"
+    );
     for t in &out.threads {
         println!(
             "{:<12} {:>9.3} {:>9.3} {:>9.2}x",

@@ -34,6 +34,14 @@
 //! let machine = MachineConfig::nehalem();
 //! let prediction = IntervalModel::new(&machine).predict(&profile);
 //! assert!(prediction.cpi() > 0.0);
+//!
+//! // Or sweep a whole design space, rayon-parallel, from the same profile.
+//! let batch = SweepBuilder::new()
+//!     .space(DesignSpace::small())
+//!     .profile(&profile)
+//!     .run();
+//! let front = ParetoFront::of(&batch.evaluations[0].model_points());
+//! assert!(!front.indices().is_empty());
 //! ```
 
 pub use pmt_branch as branch;
@@ -51,7 +59,7 @@ pub use pmt_workloads as workloads;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use pmt_core::{IntervalModel, ModelConfig, Prediction};
-    pub use pmt_dse::{ParetoFront, SpaceEvaluation};
+    pub use pmt_dse::{BatchEvaluation, ParetoFront, SpaceEvaluation, SweepBuilder, SweepConfig};
     pub use pmt_power::{PowerBreakdown, PowerModel};
     pub use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
     pub use pmt_sim::{OooSimulator, SimConfig, SimResult};

@@ -6,8 +6,8 @@ use pmt::prelude::*;
 #[test]
 fn pruning_quality_on_a_small_space() {
     let spec = WorkloadSpec::by_name("bzip2").unwrap();
-    let profile = Profiler::new(ProfilerConfig::fast_test())
-        .profile_named("bzip2", &mut spec.trace(60_000));
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("bzip2", &mut spec.trace(60_000));
     let points = DesignSpace::small().enumerate();
     let cfg = SweepConfig {
         with_simulation: true,

@@ -72,8 +72,8 @@ fn simulator_handles_mshr_starvation() {
     let mut m = MachineConfig::nehalem();
     m.mem.mshr_entries = 1; // worst case: fully serialized misses
     let starved = OooSimulator::new(SimConfig::new(m)).run(&mut spec.trace(20_000));
-    let normal = OooSimulator::new(SimConfig::new(MachineConfig::nehalem()))
-        .run(&mut spec.trace(20_000));
+    let normal =
+        OooSimulator::new(SimConfig::new(MachineConfig::nehalem())).run(&mut spec.trace(20_000));
     assert!(starved.cycles > normal.cycles);
     assert!(starved.mlp <= normal.mlp + 1e-9);
 }
@@ -93,6 +93,10 @@ fn truncated_final_window_is_accounted() {
     let profile =
         Profiler::new(ProfilerConfig::fast_test()).profile_named("wrf", &mut spec.trace(12_345));
     assert_eq!(profile.total_instructions, 12_345);
-    let covered: u64 = profile.micro_traces.iter().map(|t| t.weight_instructions).sum();
+    let covered: u64 = profile
+        .micro_traces
+        .iter()
+        .map(|t| t.weight_instructions)
+        .sum();
     assert_eq!(covered, 12_345);
 }

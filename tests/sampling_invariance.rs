@@ -29,7 +29,8 @@ fn sampled_and_exhaustive_profiles_agree() {
 #[test]
 fn micro_trace_weights_cover_the_stream() {
     let spec = WorkloadSpec::by_name("wrf").unwrap();
-    let p = Profiler::new(ProfilerConfig::fast_test()).profile_named("wrf", &mut spec.trace(50_000));
+    let p =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("wrf", &mut spec.trace(50_000));
     let weight: u64 = p.micro_traces.iter().map(|t| t.weight_instructions).sum();
     assert_eq!(weight, p.total_instructions);
 }

@@ -6,11 +6,10 @@ use pmt::prelude::*;
 #[test]
 fn profile_round_trips_through_json() {
     let spec = WorkloadSpec::by_name("tonto").unwrap();
-    let profile = Profiler::new(ProfilerConfig::fast_test())
-        .profile_named("tonto", &mut spec.trace(30_000));
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("tonto", &mut spec.trace(30_000));
     let json = serde_json::to_string(&profile).expect("serialize");
-    let back: pmt::profiler::ApplicationProfile =
-        serde_json::from_str(&json).expect("deserialize");
+    let back: pmt::profiler::ApplicationProfile = serde_json::from_str(&json).expect("deserialize");
     // Compare via re-serialization: exact f64 round-tripping, tolerant of
     // NaN-free float comparison pitfalls.
     let rejson = serde_json::to_string(&back).expect("re-serialize");
@@ -28,4 +27,69 @@ fn machine_config_round_trips() {
     let json = serde_json::to_string(&m).unwrap();
     let back: MachineConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(m, back);
+}
+
+/// Every machine in the 243-point space survives the trip — the sweep's
+/// save/restore path must cover the whole space, not just the reference.
+#[test]
+fn whole_design_space_round_trips() {
+    for point in DesignSpace::thesis_table_6_3().enumerate() {
+        let json = serde_json::to_string(&point.machine).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(point.machine, back, "machine {}", point.machine.name);
+    }
+}
+
+/// Sweep outcomes (the batch API's unit of result) round-trip bit-exactly,
+/// including the `Option` simulator fields in both states.
+#[test]
+fn sweep_outcomes_round_trip_bit_exactly() {
+    let spec = WorkloadSpec::by_name("astar").unwrap();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(20_000));
+    let points = DesignSpace::small().enumerate()[..4].to_vec();
+    let cfg = SweepConfig {
+        with_simulation: true,
+        sim_instructions: 5_000,
+        ..Default::default()
+    };
+    let eval = SpaceEvaluation::run(&points, &profile, Some(&spec), &cfg);
+    let model_only = SpaceEvaluation::run(&points, &profile, None, &SweepConfig::default());
+    for o in eval.outcomes.iter().chain(&model_only.outcomes) {
+        let json = serde_json::to_string(o).unwrap();
+        let back: pmt::dse::PointOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(o.design_id, back.design_id);
+        assert_eq!(o.workload, back.workload);
+        assert_eq!(o.model_cpi.to_bits(), back.model_cpi.to_bits());
+        assert_eq!(o.model_power.to_bits(), back.model_power.to_bits());
+        assert_eq!(o.model_seconds.to_bits(), back.model_seconds.to_bits());
+        assert_eq!(o.sim_cpi.map(f64::to_bits), back.sim_cpi.map(f64::to_bits));
+        assert_eq!(
+            o.sim_power.map(f64::to_bits),
+            back.sim_power.map(f64::to_bits)
+        );
+        assert_eq!(
+            o.sim_seconds.map(f64::to_bits),
+            back.sim_seconds.map(f64::to_bits)
+        );
+    }
+}
+
+/// The profile-once file is the contract between the AIP (profiler) and
+/// PMT (model) halves: a profile written to disk and read back twice must
+/// keep predicting the same bits.
+#[test]
+fn profile_file_is_stable_across_reloads() {
+    let spec = WorkloadSpec::by_name("gcc").unwrap();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("gcc", &mut spec.trace(25_000));
+    let json1 = serde_json::to_string(&profile).unwrap();
+    let once: pmt::profiler::ApplicationProfile = serde_json::from_str(&json1).unwrap();
+    let json2 = serde_json::to_string(&once).unwrap();
+    let twice: pmt::profiler::ApplicationProfile = serde_json::from_str(&json2).unwrap();
+    let machine = MachineConfig::nehalem();
+    let a = IntervalModel::new(&machine).predict(&once);
+    let b = IntervalModel::new(&machine).predict(&twice);
+    assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+    assert_eq!(json1, json2);
 }

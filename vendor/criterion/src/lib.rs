@@ -1,0 +1,228 @@
+//! Offline benchmark harness matching the `criterion` surface this
+//! workspace uses: `criterion_group!` / `criterion_main!`, benchmark
+//! groups with `sample_size`, `bench_function` with [`BenchmarkId`], and
+//! `Bencher::iter`.
+//!
+//! Each benchmark warms up briefly, then times `sample_size` samples and
+//! reports min / mean / max wall-clock time per iteration. `--bench` (the
+//! argument cargo passes) is accepted; any other CLI argument is treated as
+//! a substring filter on benchmark names, like real criterion.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus an input parameter.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Drives one benchmark's timed iterations.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock durations of one `iter` payload call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `payload`, once per sample, after a short warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut payload: F) {
+        // Warm-up: until 50ms or 3 calls, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0;
+        while warm_calls < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            std_black_box(payload());
+            warm_calls += 1;
+            if warm_calls >= 1000 {
+                break;
+            }
+        }
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(payload());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(name: &str, samples: usize, filter: Option<&str>, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(substr) = filter {
+        if !name.contains(substr) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        samples,
+        times: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.times.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let min = bencher.times.iter().min().unwrap();
+    let max = bencher.times.iter().max().unwrap();
+    let mean = bencher.times.iter().sum::<Duration>() / bencher.times.len() as u32;
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        human(*min),
+        human(mean),
+        human(*max)
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        run_one(
+            &name,
+            self.sample_size,
+            self.criterion.filter.as_deref(),
+            &mut f,
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; a free argument is a name filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(
+            name,
+            self.default_sample_size,
+            self.filter.as_deref(),
+            &mut f,
+        );
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,277 @@
+//! Offline, API-compatible subset of `rayon` for this workspace.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of rayon it uses: `par_iter()` over slices, `into_par_iter()` over
+//! vectors and `usize` ranges, with `map`, `for_each`, `sum` and
+//! order-preserving `collect`.
+//!
+//! Scheduling is a scoped-thread pool with an atomic work counter (dynamic
+//! load balancing, like rayon's work stealing at the granularity that
+//! matters for this workload: design points with very uneven evaluation
+//! cost). Results always come back **in input order**, which the DSE sweep
+//! relies on for bit-identical serial/parallel equivalence.
+//!
+//! Thread count honours `RAYON_NUM_THREADS`, else the machine's available
+//! parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelExec};
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("rayon::join worker panicked"));
+        ra
+    });
+    (ra, rb.unwrap())
+}
+
+/// Order-preserving parallel map over borrowed items (dynamic scheduling).
+fn par_map_ref<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = current_num_threads().min(n);
+    let next = AtomicUsize::new(0);
+    let out = Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                out.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = out.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Order-preserving parallel map over owned items.
+fn par_map_owned<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = current_num_threads().min(n);
+    // Reversed so popping from the back hands out index order cheaply.
+    let mut queue: Vec<(usize, T)> = items.into_iter().enumerate().rev().collect();
+    queue.shrink_to_fit();
+    let queue = Mutex::new(queue);
+    let out = Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let item = queue.lock().unwrap().pop();
+                    let Some((i, item)) = item else { break };
+                    local.push((i, f(item)));
+                }
+                out.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = out.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Iterator-flavoured public surface
+// ---------------------------------------------------------------------------
+
+/// `.par_iter()` on borrowing collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&Item`.
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owning collections and ranges.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParVec<usize>;
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A parallel iterator over a borrowed slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Parallel map; evaluates eagerly, preserving input order.
+    pub fn map<R: Send, F: Fn(&T) -> R + Sync>(self, f: F) -> ParDone<R> {
+        ParDone {
+            items: par_map_ref(self.items, f),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F: Fn(&T) + Sync>(self, f: F) {
+        par_map_ref(self.items, |x| f(x));
+    }
+}
+
+/// A parallel iterator over owned items.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Parallel map; evaluates eagerly, preserving input order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParDone<R> {
+        ParDone {
+            items: par_map_owned(self.items, f),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_owned(self.items, f);
+    }
+}
+
+/// An evaluated parallel pipeline, ready to collect (items in input order).
+pub struct ParDone<R> {
+    items: Vec<R>,
+}
+
+/// Terminal operations shared by evaluated pipelines.
+pub trait ParallelExec<R> {
+    /// Gather results, preserving input order.
+    fn collect<C: FromParallelIterator<R>>(self) -> C;
+}
+
+impl<R: Send> ParallelExec<R> for ParDone<R> {
+    fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered(self.items)
+    }
+}
+
+impl<R: Send> ParDone<R> {
+    /// Chain another map (runs as a second parallel pass).
+    pub fn map<U: Send, F: Fn(R) -> U + Sync>(self, f: F) -> ParDone<U> {
+        ParDone {
+            items: par_map_owned(self.items, f),
+        }
+    }
+
+    /// Sum the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of results.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Collection from an ordered parallel result.
+pub trait FromParallelIterator<R> {
+    /// Build from results already in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_map_preserves_order() {
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, (0..257).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<i32> = vec![3, 1, 2];
+        let out: Vec<i32> = v.par_iter().map(|&x| x + 1).map(|x| x * 10).collect();
+        assert_eq!(out, vec![40, 20, 30]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The single data format behind the vendored serde: a small, strict JSON
+//! reader/writer. `serde_json` (also vendored) is a thin facade over this.
+
+use std::fmt;
+
+/// A deserialization error with byte-offset context.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+    /// Byte offset into the input, when known.
+    pub offset: Option<usize>,
+}
+
+impl Error {
+    /// An error without positional context.
+    pub fn msg(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// The standard "missing field" error the derive macro emits.
+    pub fn missing(field: &str) -> Error {
+        Error::msg(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Append the JSON string literal encoding of `s` to `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A cursor over JSON text with the primitive moves the `Deserialize`
+/// impls and the derive-generated code need.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// A parser over `input`.
+    pub fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// An error at the current position.
+    pub fn error(&self, message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+            offset: Some(self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {what}")))
+        }
+    }
+
+    /// Consume `null` if it is next; report whether it was.
+    pub fn try_null(&mut self) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `true` or `false`.
+    pub fn boolean(&mut self) -> Result<bool, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.error("expected boolean"))
+        }
+    }
+
+    /// Consume a number token and return its text (parsed by the caller so
+    /// each integer width uses its own overflow-checked `FromStr`).
+    pub fn number_text(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in number"))
+    }
+
+    /// Consume a JSON string literal.
+    pub fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "string")?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\', "low surrogate")?;
+                                self.eat(b'u', "low surrogate")?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte utf-8.
+                    let len = utf8_len(b);
+                    let end = self.pos - 1 + len;
+                    let s = std::str::from_utf8(&self.bytes[self.pos - 1..end])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Consume `{`.
+    pub fn object_start(&mut self) -> Result<(), Error> {
+        self.eat(b'{', "`{`")
+    }
+
+    /// After `object_start`, step to the next key: returns `Some(key)` with
+    /// the following `:` consumed, or `None` when the object closes.
+    pub fn next_key(&mut self) -> Result<Option<String>, Error> {
+        match self.peek() {
+            Some(b'}') => {
+                self.pos += 1;
+                Ok(None)
+            }
+            Some(b',') => {
+                self.pos += 1;
+                let key = self.string()?;
+                self.eat(b':', "`:`")?;
+                Ok(Some(key))
+            }
+            Some(b'"') => {
+                let key = self.string()?;
+                self.eat(b':', "`:`")?;
+                Ok(Some(key))
+            }
+            _ => Err(self.error("expected `,`, `}` or string key")),
+        }
+    }
+
+    /// Consume `[`.
+    pub fn array_start(&mut self) -> Result<(), Error> {
+        self.eat(b'[', "`[`")
+    }
+
+    /// After `array_start`, report whether another element follows (and
+    /// consume the separating `,` if any). `first` is true before the first
+    /// element.
+    pub fn array_next(&mut self, first: bool) -> Result<bool, Error> {
+        match self.peek() {
+            Some(b']') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            Some(b',') if !first => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(_) if first => Ok(true),
+            _ => Err(self.error("expected `,` or `]`")),
+        }
+    }
+
+    /// Skip one complete JSON value (for unknown object keys).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'{') => {
+                self.object_start()?;
+                while let Some(_key) = self.next_key()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'[') => {
+                self.array_start()?;
+                let mut first = true;
+                while self.array_next(first)? {
+                    first = false;
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') | Some(b'f') => self.boolean().map(|_| ()),
+            Some(b'n') => {
+                if self.try_null() {
+                    Ok(())
+                } else {
+                    Err(self.error("expected null"))
+                }
+            }
+            Some(_) => self.number_text().map(|_| ()),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    /// Error unless only trailing whitespace remains.
+    pub fn finish(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b < 0xe0 => 2,
+        b if b < 0xf0 => 3,
+        _ => 4,
+    }
+}

@@ -1,0 +1,423 @@
+//! Offline, API-compatible subset of `serde` for this workspace.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serde: the [`Serialize`] / [`Deserialize`] traits are JSON-backed
+//! (there is exactly one data format in this repo, the JSON used by the `pmt`
+//! CLI and the profile round-trip tests), and `#[derive(Serialize,
+//! Deserialize)]` comes from the sibling `serde_derive` proc-macro crate.
+//!
+//! Floats serialize through Rust's shortest round-trip formatting (`{:?}`),
+//! so profile round-trips are bit-exact — the paper's profile-once /
+//! predict-many workflow depends on that.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Parser};
+
+/// Serialize `self` as JSON onto `out`.
+///
+/// This is the whole serialization contract in the vendored subset: one
+/// format, written directly. `serde_json::to_string` drives it.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn to_json(&self, out: &mut String);
+}
+
+/// Deserialize `Self` from the JSON stream behind `parser`.
+pub trait Deserialize: Sized {
+    /// Parse one JSON value into `Self`.
+    fn from_json(parser: &mut Parser<'_>) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                out.push_str(itoa_buffer(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                let mut buf = String::new();
+                let mut v = *self as u128;
+                if v == 0 { buf.push('0'); }
+                while v > 0 {
+                    buf.insert(0, (b'0' + (v % 10) as u8) as char);
+                    v /= 10;
+                }
+                out.push_str(&buf);
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+fn itoa_buffer(v: i128) -> String {
+    let mut s = String::new();
+    if v < 0 {
+        s.push('-');
+    }
+    let mut m = v.unsigned_abs();
+    let mut digits = String::new();
+    if m == 0 {
+        digits.push('0');
+    }
+    while m > 0 {
+        digits.insert(0, (b'0' + (m % 10) as u8) as char);
+        m /= 10;
+    }
+    s.push_str(&digits);
+    s
+}
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip representation.
+                    out.push_str(&format!("{:?}", self));
+                } else {
+                    // JSON has no NaN/Infinity; mirror serde_json and emit null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self, out: &mut String) {
+        json::write_escaped(&self.to_string(), out);
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.to_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn seq_to_json<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.to_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        seq_to_json(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        seq_to_json(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self, out: &mut String) {
+        seq_to_json(self.iter(), out);
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.to_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+impl_ser_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Render a map key: JSON object keys must be strings, so stringy keys
+/// pass through and other keys (integers, fieldless enums already encode
+/// as strings) get their JSON text wrapped in quotes when needed.
+fn key_to_json_string<K: Serialize>(key: &K) -> String {
+    let mut raw = String::new();
+    key.to_json(&mut raw);
+    if raw.starts_with('"') {
+        raw
+    } else {
+        let mut quoted = String::with_capacity(raw.len() + 2);
+        json::write_escaped(&raw, &mut quoted);
+        quoted
+    }
+}
+
+fn map_to_json<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>, out: &mut String)
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+{
+    // Sort by rendered key so serialization is deterministic across runs
+    // regardless of hash order.
+    let mut rendered: Vec<(String, &V)> =
+        entries.map(|(k, v)| (key_to_json_string(k), v)).collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    out.push('{');
+    for (i, (k, v)) in rendered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push(':');
+        v.to_json(out);
+    }
+    out.push('}');
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self, out: &mut String) {
+        map_to_json(self.iter(), out);
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn to_json(&self, out: &mut String) {
+        map_to_json(self.iter(), out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let text = p.number_text()?;
+                text.parse::<$t>().map_err(|_| p.error(&format!(
+                    "invalid {}: `{text}`", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                if p.try_null() {
+                    // Written for a non-finite float; NaN is the only honest readback.
+                    return Ok(<$t>::NAN);
+                }
+                let text = p.number_text()?;
+                text.parse::<$t>().map_err(|_| p.error(&format!(
+                    "invalid {}: `{text}`", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.boolean()
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.string()
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let s = p.string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(p.error("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        T::from_json(p).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.try_null() {
+            Ok(None)
+        } else {
+            T::from_json(p).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut items = Vec::new();
+        p.array_start()?;
+        while p.array_next(items.is_empty())? {
+            items.push(T::from_json(p)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json(p)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                p.array_start()?;
+                let mut first = true;
+                let out = ($(
+                    {
+                        if !p.array_next(first)? {
+                            return Err(p.error("tuple array too short"));
+                        }
+                        first = false;
+                        $name::from_json(p)?
+                    },
+                )+);
+                let _ = first;
+                if p.array_next(false)? {
+                    return Err(p.error("tuple array too long"));
+                }
+                Ok(out)
+            }
+        }
+    )+};
+}
+impl_de_tuple!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+/// Recover a map key of type `K` from the raw object-key text: parse it as
+/// a JSON string first (covers `String` and fieldless-enum keys), else as
+/// bare JSON (covers integer keys).
+fn key_from_json_string<K: Deserialize>(raw: &str) -> Result<K, Error> {
+    let mut quoted = String::new();
+    json::write_escaped(raw, &mut quoted);
+    let mut p = Parser::new(&quoted);
+    if let Ok(k) = K::from_json(&mut p) {
+        if p.finish().is_ok() {
+            return Ok(k);
+        }
+    }
+    let mut p = Parser::new(raw);
+    let k = K::from_json(&mut p)?;
+    p.finish()?;
+    Ok(k)
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut map = std::collections::BTreeMap::new();
+        p.object_start()?;
+        while let Some(key) = p.next_key()? {
+            map.insert(key_from_json_string(&key)?, V::from_json(p)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut map = std::collections::HashMap::default();
+        p.object_start()?;
+        while let Some(key) = p.next_key()? {
+            map.insert(key_from_json_string(&key)?, V::from_json(p)?);
+        }
+        Ok(map)
+    }
+}

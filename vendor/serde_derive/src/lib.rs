@@ -1,0 +1,267 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build container is offline). Supports exactly the shapes this workspace
+//! uses: structs with named fields and fieldless enums. Anything else
+//! panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input declared.
+enum Shape {
+    /// Struct name + named field identifiers, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::to_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self, out: &mut ::std::string::String) {{\n\
+                         let __variant = match self {{\n{arms}}};\n\
+                         ::serde::json::write_escaped(__variant, out);\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let decls: String = fields
+                .iter()
+                .map(|f| format!("let mut __f_{f} = ::std::option::Option::None;\n"))
+                .collect();
+            let arms: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "\"{f}\" => __f_{f} = \
+                         ::std::option::Option::Some(::serde::Deserialize::from_json(__p)?),\n"
+                    )
+                })
+                .collect();
+            let builds: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: __f_{f}.ok_or_else(|| ::serde::json::Error::missing(\"{f}\"))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__p: &mut ::serde::json::Parser<'_>) \
+                         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                         {decls}\
+                         __p.object_start()?;\n\
+                         while let ::std::option::Option::Some(__key) = __p.next_key()? {{\n\
+                             match __key.as_str() {{\n\
+                                 {arms}\
+                                 _ => __p.skip_value()?,\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{\n{builds}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(__p: &mut ::serde::json::Parser<'_>) \
+                         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                         let __s = __p.string()?;\n\
+                         match __s.as_str() {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(::serde::json::Error::msg(\
+                                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive (vendored): tuple struct `{name}` is not supported")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: `{name}` has no body (unit structs unsupported)"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Shape::Struct(name, parse_named_fields(body)),
+        "enum" => Shape::Enum(name, parse_unit_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Advance past `#[...]` attributes, doc comments and `pub`/`pub(...)`.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body, skipping each type by
+/// scanning for the separating comma at angle-bracket depth zero.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde_derive: expected field name, found {:?}", tokens[i]);
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde_derive: expected `:` after field `{}`",
+                fields.last().unwrap()
+            ),
+        }
+        // Skip the type: everything up to a comma at angle depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(variant)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde_derive: expected variant name, found {:?}", tokens[i]);
+        };
+        let name = variant.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                variants.push(name);
+                while let Some(tok) = tokens.get(i) {
+                    i += 1;
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive (vendored): enum variant `{name}` carries data — unsupported")
+            }
+            Some(other) => panic!("serde_derive: unexpected token {other} after `{name}`"),
+        }
+    }
+    variants
+}

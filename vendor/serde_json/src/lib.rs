@@ -1,0 +1,65 @@
+//! Offline facade matching the slice of `serde_json` this workspace uses:
+//! [`to_string`] and [`from_str`] over the vendored serde's JSON engine.
+
+use serde::json::Parser;
+use serde::{Deserialize, Serialize};
+
+pub use serde::json::Error;
+
+/// A `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+///
+/// Infallible for the types in this workspace, but kept fallible to match
+/// the real `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+/// Deserialize a `T` from a JSON string, rejecting trailing garbage.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let mut parser = Parser::new(input);
+    let value = T::from_json(&mut parser)?;
+    parser.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = vec![1.5f64, -0.0, std::f64::consts::PI, 1e-300];
+        let json = to_string(&v).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(
+            v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_return() {
+        let s = "he said \"hi\"\nüñîçødé \t\\".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        let v: Vec<(Option<u64>, String)> = vec![(None, "a".into()), (Some(u64::MAX), "b".into())];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(Option<u64>, String)> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(from_str::<bool>("true false").is_err());
+    }
+}

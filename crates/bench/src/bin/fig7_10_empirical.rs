@@ -32,6 +32,7 @@ fn main() {
             model: cfg.model.clone(),
             with_simulation: true,
             sim_instructions: sim_n,
+            ..Default::default()
         };
         let eval = SpaceEvaluation::run(&points, &profile, Some(&spec), &sweep);
         let truth = eval.sim_points();

@@ -24,6 +24,7 @@ fn main() {
             model: cfg.model.clone(),
             with_simulation: false,
             sim_instructions: sim_n,
+            ..Default::default()
         };
         let eval = SpaceEvaluation::run(&points, &profile, None, &sweep);
         let model_pts = eval.model_points();

@@ -29,7 +29,10 @@ fn main() {
     for (label, cfg) in variants {
         let results = evaluate_suite(&machine, &cfg);
         let errs: Vec<f64> = results.iter().map(|r| r.cpi_error()).collect();
-        let max = errs.iter().map(|e| e.abs()).fold(0.0f64, f64::max);
+        let max = results
+            .iter()
+            .map(|r| r.abs_cpi_error())
+            .fold(0.0f64, f64::max);
         println!(
             "{:<26} {:>8}  max {:>8}",
             label,

@@ -14,6 +14,7 @@ fn main() {
         model: cfg.model.clone(),
         with_simulation: false,
         sim_instructions: 0,
+        ..Default::default()
     };
     println!("table 7.1 — fastest design under a power budget (model-selected)");
     println!(

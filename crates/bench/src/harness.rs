@@ -101,9 +101,16 @@ pub struct Evaluated {
 }
 
 impl Evaluated {
-    /// Signed relative CPI error (model − sim)/sim.
+    /// **Signed** relative CPI error `(model − sim)/sim` — the workspace
+    /// convention (see [`Prediction::cpi_error_vs`]); positive means the
+    /// model over-predicts.
     pub fn cpi_error(&self) -> f64 {
-        (self.prediction.cpi() - self.sim.cpi()) / self.sim.cpi()
+        self.prediction.cpi_error_vs(self.sim.cpi())
+    }
+
+    /// Magnitude of [`cpi_error`](Self::cpi_error).
+    pub fn abs_cpi_error(&self) -> f64 {
+        self.cpi_error().abs()
     }
 }
 

@@ -93,6 +93,21 @@ impl Prediction {
     pub fn seconds_at(&self, frequency_ghz: f64) -> f64 {
         self.cycles / (frequency_ghz * 1e9)
     }
+
+    /// **Signed** relative CPI error of this prediction against a
+    /// reference CPI (typically the cycle-level simulator's):
+    /// `(model − reference) / reference`. Positive means the model
+    /// over-predicts.
+    ///
+    /// This is the single error convention of the workspace — the sweep
+    /// (`pmt_dse::PointOutcome::cpi_error`), the experiment harness and
+    /// the validation subsystem (`pmt_validate`) all report signed
+    /// relative errors so systematic bias survives averaging, and take
+    /// magnitudes explicitly (`abs_*` helpers, `ErrorStats::mean_abs`)
+    /// when only size matters.
+    pub fn cpi_error_vs(&self, reference_cpi: f64) -> f64 {
+        (self.cpi() - reference_cpi) / reference_cpi
+    }
 }
 
 /// The micro-architecture independent interval model.

@@ -36,4 +36,6 @@ mod sweep;
 
 pub use empirical::EmpiricalModel;
 pub use pareto::{ParetoFront, PruningQuality};
-pub use sweep::{BatchEvaluation, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig};
+pub use sweep::{
+    sim_cache_key, BatchEvaluation, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig,
+};

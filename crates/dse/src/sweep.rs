@@ -3,11 +3,12 @@
 use pmt_core::{IntervalModel, ModelConfig};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::{DesignPoint, DesignSpace};
+use pmt_sim::{CacheKey, OooSimulator, SimCache, SimConfig, SimResult};
+use pmt_uarch::{DesignPoint, DesignSpace, MachineConfig};
 use pmt_workloads::WorkloadSpec;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One (design, workload) evaluation.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -41,17 +42,66 @@ impl PointOutcome {
         Some((self.sim_seconds?, self.sim_power?))
     }
 
-    /// Relative CPI error, if simulated.
+    /// **Signed** relative CPI error, if simulated:
+    /// `(model − sim) / sim`. Positive means the model over-predicts.
+    ///
+    /// This is the error convention everywhere in the workspace (see
+    /// [`pmt_core::Prediction::cpi_error_vs`]): errors are signed so that
+    /// systematic bias survives averaging; use
+    /// [`abs_cpi_error`](Self::abs_cpi_error) when only the magnitude
+    /// matters.
     pub fn cpi_error(&self) -> Option<f64> {
         let s = self.sim_cpi?;
         Some((self.model_cpi - s) / s)
     }
 
-    /// Relative power error, if simulated.
+    /// Magnitude of [`cpi_error`](Self::cpi_error).
+    pub fn abs_cpi_error(&self) -> Option<f64> {
+        self.cpi_error().map(f64::abs)
+    }
+
+    /// **Signed** relative IPC error, if simulated: `(model − sim)/sim`
+    /// in IPC terms, i.e. `sim_cpi/model_cpi − 1`.
+    pub fn ipc_error(&self) -> Option<f64> {
+        let s = self.sim_cpi?;
+        if self.model_cpi == 0.0 {
+            return None;
+        }
+        Some(s / self.model_cpi - 1.0)
+    }
+
+    /// Magnitude of [`ipc_error`](Self::ipc_error).
+    pub fn abs_ipc_error(&self) -> Option<f64> {
+        self.ipc_error().map(f64::abs)
+    }
+
+    /// **Signed** relative power error, if simulated:
+    /// `(model − sim) / sim`. Positive means the model over-predicts.
     pub fn power_error(&self) -> Option<f64> {
         let s = self.sim_power?;
         Some((self.model_power - s) / s)
     }
+
+    /// Magnitude of [`power_error`](Self::power_error).
+    pub fn abs_power_error(&self) -> Option<f64> {
+        self.power_error().map(f64::abs)
+    }
+}
+
+/// The content key memoizing one reference simulation: the full workload
+/// spec, the full machine configuration and the instruction budget, each
+/// rendered to canonical JSON. Any field change — a cache size, the ROB
+/// depth, the workload seed, the budget — changes the key.
+pub fn sim_cache_key(
+    spec: &WorkloadSpec,
+    machine: &MachineConfig,
+    sim_instructions: u64,
+) -> CacheKey {
+    CacheKey::of_parts(&[
+        &serde_json::to_string(spec).expect("workload specs serialize"),
+        &serde_json::to_string(machine).expect("machine configs serialize"),
+        &sim_instructions.to_string(),
+    ])
 }
 
 /// Sweep configuration.
@@ -64,6 +114,12 @@ pub struct SweepConfig {
     /// Instructions per simulation (ignored for the model, which uses the
     /// profile).
     pub sim_instructions: u64,
+    /// Optional shared memoization cache for simulation results, keyed by
+    /// [`sim_cache_key`]. Repeated sweeps over overlapping (workload,
+    /// point, budget) grids — e.g. successive `pmt_validate` runs — skip
+    /// already-simulated points; the simulator is deterministic, so cached
+    /// results are bit-identical to fresh ones.
+    pub sim_cache: Option<Arc<SimCache>>,
 }
 
 impl Default for SweepConfig {
@@ -72,6 +128,7 @@ impl Default for SweepConfig {
             model: ModelConfig::default(),
             with_simulation: false,
             sim_instructions: 200_000,
+            sim_cache: None,
         }
     }
 }
@@ -144,8 +201,17 @@ impl SpaceEvaluation {
 
         let (sim_cpi, sim_power, sim_seconds) = if cfg.with_simulation {
             let spec = spec.expect("checked in run()");
-            let r = OooSimulator::new(SimConfig::new(machine.clone()))
-                .run(&mut spec.trace(cfg.sim_instructions));
+            let simulate = || {
+                OooSimulator::new(SimConfig::new(machine.clone()))
+                    .run(&mut spec.trace(cfg.sim_instructions))
+            };
+            let r: Arc<SimResult> = match &cfg.sim_cache {
+                Some(cache) => {
+                    let key = sim_cache_key(spec, machine, cfg.sim_instructions);
+                    cache.get_or_run(key, simulate)
+                }
+                None => Arc::new(simulate()),
+            };
             let p = power_model.power(&r.activity).total();
             (
                 Some(r.cpi()),
@@ -258,6 +324,13 @@ impl<'a> SweepBuilder<'a> {
     pub fn with_simulation(mut self, sim_instructions: u64) -> Self {
         self.config.with_simulation = true;
         self.config.sim_instructions = sim_instructions;
+        self
+    }
+
+    /// Memoize simulation results in `cache` (shared; see
+    /// [`SweepConfig::sim_cache`]).
+    pub fn sim_cache(mut self, cache: Arc<SimCache>) -> Self {
+        self.config.sim_cache = Some(cache);
         self
     }
 
@@ -404,6 +477,116 @@ mod tests {
             assert_eq!(p.model_cpi.to_bits(), s.model_cpi.to_bits());
             assert_eq!(p.model_power.to_bits(), s.model_power.to_bits());
             assert_eq!(p.model_seconds.to_bits(), s.model_seconds.to_bits());
+        }
+    }
+
+    /// The workspace error convention: signed relative errors, magnitude
+    /// via the `abs_*` helpers, zero for a perfect model.
+    #[test]
+    fn error_helpers_are_signed_with_abs_variants() {
+        let mut o = PointOutcome {
+            design_id: 0,
+            workload: "w".into(),
+            model_cpi: 1.2,
+            model_power: 8.0,
+            model_seconds: 1.0,
+            sim_cpi: Some(1.0),
+            sim_power: Some(10.0),
+            sim_seconds: Some(1.0),
+        };
+        // Over-predicted CPI: positive error; under-predicted power:
+        // negative error — but both abs_* helpers are non-negative.
+        assert!((o.cpi_error().unwrap() - 0.2).abs() < 1e-12);
+        assert!((o.power_error().unwrap() + 0.2).abs() < 1e-12);
+        assert!((o.abs_cpi_error().unwrap() - 0.2).abs() < 1e-12);
+        assert!((o.abs_power_error().unwrap() - 0.2).abs() < 1e-12);
+        // IPC error has the opposite sign of the CPI error.
+        assert!(o.ipc_error().unwrap() < 0.0);
+        assert!((o.ipc_error().unwrap() + 1.0 / 6.0).abs() < 1e-12);
+
+        // A perfect model has exactly zero error on every metric.
+        o.model_cpi = 1.0;
+        o.model_power = 10.0;
+        assert_eq!(o.cpi_error(), Some(0.0));
+        assert_eq!(o.ipc_error(), Some(0.0));
+        assert_eq!(o.power_error(), Some(0.0));
+
+        // Model-only outcomes have no error to report.
+        o.sim_cpi = None;
+        o.sim_power = None;
+        assert_eq!(o.cpi_error(), None);
+        assert_eq!(o.abs_cpi_error(), None);
+        assert_eq!(o.ipc_error(), None);
+        assert_eq!(o.power_error(), None);
+        assert_eq!(o.abs_power_error(), None);
+    }
+
+    /// Every machine knob the design space sweeps, the workload identity
+    /// and the budget must all feed the memoization key.
+    #[test]
+    fn cache_key_is_sensitive_to_every_input() {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        let base = DesignSpace::small().enumerate()[0].clone();
+        let mut keys = vec![sim_cache_key(&spec, &base.machine, 10_000)];
+
+        // Budget.
+        keys.push(sim_cache_key(&spec, &base.machine, 20_000));
+        // Workload identity (a different seed alone must re-simulate).
+        let mut reseeded = spec.clone();
+        reseeded.seed ^= 1;
+        keys.push(sim_cache_key(&reseeded, &base.machine, 10_000));
+        // Each swept DesignPoint coordinate.
+        for p in DesignSpace::small().enumerate().iter().skip(1) {
+            keys.push(sim_cache_key(&spec, &p.machine, 10_000));
+        }
+
+        let mut unique: Vec<u64> = keys.iter().map(|k| k.0).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), keys.len(), "cache key collision");
+    }
+
+    /// A cached simulated sweep is bit-identical to an uncached one, and a
+    /// second run over the same grid performs zero new simulations.
+    #[test]
+    fn cached_sweep_matches_uncached_and_warm_run_is_free() {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        let points = DesignSpace::small().enumerate()[..4].to_vec();
+        let profile = profile();
+        let cold_cfg = SweepConfig {
+            with_simulation: true,
+            sim_instructions: 5_000,
+            ..Default::default()
+        };
+        let uncached = SpaceEvaluation::run_serial(&points, &profile, Some(&spec), &cold_cfg);
+
+        let cache = SimCache::shared();
+        let cached_cfg = SweepConfig {
+            sim_cache: Some(cache.clone()),
+            ..cold_cfg
+        };
+        let cold = SpaceEvaluation::run(&points, &profile, Some(&spec), &cached_cfg);
+        assert_eq!(cache.stats().misses, points.len() as u64);
+        let warm = SpaceEvaluation::run(&points, &profile, Some(&spec), &cached_cfg);
+        assert_eq!(
+            cache.stats().misses,
+            points.len() as u64,
+            "warm run re-simulated"
+        );
+        assert_eq!(cache.stats().hits, points.len() as u64);
+
+        for ((u, c), w) in uncached
+            .outcomes
+            .iter()
+            .zip(&cold.outcomes)
+            .zip(&warm.outcomes)
+        {
+            assert_eq!(u.sim_cpi.unwrap().to_bits(), c.sim_cpi.unwrap().to_bits());
+            assert_eq!(c.sim_cpi.unwrap().to_bits(), w.sim_cpi.unwrap().to_bits());
+            assert_eq!(
+                c.sim_power.unwrap().to_bits(),
+                w.sim_power.unwrap().to_bits()
+            );
         }
     }
 

@@ -1,0 +1,295 @@
+//! Content-keyed memoization of simulation results.
+//!
+//! Differential validation (`pmt_validate`) and simulated design-space
+//! sweeps (`pmt_dse::sweep`) both pay for the same slow thing: cycle-level
+//! reference runs. Because the simulator is fully deterministic — the same
+//! workload spec, machine configuration and instruction budget always
+//! produce the same [`SimResult`] bit for bit — those runs are perfect
+//! memoization candidates. [`SimCache`] maps a 64-bit content hash of the
+//! inputs (see [`CacheKey`]) to an `Arc<SimResult>`, counts hits and
+//! misses so callers can *prove* a warm run performed zero new
+//! simulations, and can persist itself to JSON so repeated CLI or CI
+//! invocations skip already-simulated points across processes.
+//!
+//! The cache is `Sync`: a rayon-parallel cold sweep shares one instance
+//! across threads. Lookups hold a mutex only briefly; the simulation
+//! itself runs outside the lock, so concurrent cold misses on *different*
+//! keys never serialize behind each other.
+
+use crate::SimResult;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 64-bit content hash identifying one simulation: workload spec ×
+/// machine configuration × instruction budget.
+///
+/// Keys are built with [`CacheKey::of_parts`] from canonical (serialized)
+/// renderings of the inputs, so *any* field change — a different cache
+/// size, ROB depth, workload seed or budget — yields a different key.
+/// The hash is FNV-1a, fixed for all time: persisted caches remain valid
+/// across processes, platforms and Rust versions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// Hash a sequence of canonical content strings into one key.
+    ///
+    /// Parts are domain-separated (length-prefixed) so `["ab", "c"]` and
+    /// `["a", "bc"]` hash differently.
+    pub fn of_parts(parts: &[&str]) -> CacheKey {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for part in parts {
+            eat(&(part.len() as u64).to_le_bytes());
+            eat(part.as_bytes());
+        }
+        CacheKey(h)
+    }
+}
+
+/// A snapshot of cache traffic: lookups served from memory (`hits`),
+/// simulations actually executed (`misses`) and resident results
+/// (`entries`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered without simulating.
+    pub hits: u64,
+    /// Simulations executed on behalf of [`SimCache::get_or_run`].
+    pub misses: u64,
+    /// Results currently held.
+    pub entries: usize,
+}
+
+/// A thread-safe, content-keyed memoization cache for [`SimResult`]s.
+///
+/// ```
+/// use pmt_sim::{CacheKey, SimCache};
+/// # use pmt_sim::{OooSimulator, SimConfig};
+/// # use pmt_uarch::MachineConfig;
+/// # use pmt_workloads::WorkloadSpec;
+///
+/// let cache = SimCache::new();
+/// let spec = WorkloadSpec::by_name("astar").unwrap();
+/// let key = CacheKey::of_parts(&[&spec.name, "nehalem", "10000"]);
+/// let sim = || {
+///     OooSimulator::new(SimConfig::new(MachineConfig::nehalem())).run(&mut spec.trace(10_000))
+/// };
+/// let cold = cache.get_or_run(key, sim);
+/// let warm = cache.get_or_run(key, sim); // no simulation this time
+/// assert_eq!(cold.cycles, warm.cycles);
+/// assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+/// ```
+#[derive(Default)]
+pub struct SimCache {
+    entries: Mutex<BTreeMap<u64, Arc<SimResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache with zeroed counters.
+    pub fn new() -> SimCache {
+        SimCache::default()
+    }
+
+    /// An empty cache behind an [`Arc`], ready to share across a parallel
+    /// sweep or several validation runs.
+    pub fn shared() -> Arc<SimCache> {
+        Arc::new(SimCache::new())
+    }
+
+    /// Return the memoized result for `key`, or execute `simulate`, store
+    /// its result and return it.
+    ///
+    /// The closure runs *outside* the table lock, so concurrent misses on
+    /// distinct keys simulate in parallel. Two threads racing on the same
+    /// cold key may both simulate (each counted as a miss); determinism
+    /// makes the duplicate results identical and the first insertion wins.
+    pub fn get_or_run(
+        &self,
+        key: CacheKey,
+        simulate: impl FnOnce() -> SimResult,
+    ) -> Arc<SimResult> {
+        if let Some(found) = self.lookup(key) {
+            return found;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = Arc::new(simulate());
+        self.insert(key, result.clone());
+        result
+    }
+
+    /// Look up `key`, counting a hit when present (misses are only counted
+    /// by [`get_or_run`](Self::get_or_run), which knows a simulation ran).
+    pub fn lookup(&self, key: CacheKey) -> Option<Arc<SimResult>> {
+        let found = self
+            .entries
+            .lock()
+            .expect("sim cache poisoned")
+            .get(&key.0)
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Insert a result, keeping the existing entry if one raced in first.
+    pub fn insert(&self, key: CacheKey, result: Arc<SimResult>) {
+        self.entries
+            .lock()
+            .expect("sim cache poisoned")
+            .entry(key.0)
+            .or_insert(result);
+    }
+
+    /// Current traffic counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("sim cache poisoned").len(),
+        }
+    }
+
+    /// Number of memoized results.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("sim cache poisoned").len()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize every entry to a JSON string (key-sorted, so the output
+    /// is deterministic for identical contents).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<(u64, Arc<SimResult>)> = self
+            .entries
+            .lock()
+            .expect("sim cache poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let rows: Vec<(u64, &SimResult)> = rows.iter().map(|(k, v)| (*k, v.as_ref())).collect();
+        serde_json::to_string(&rows).expect("sim results serialize")
+    }
+
+    /// Rebuild a cache from [`to_json`](Self::to_json) output. Counters
+    /// start at zero: a freshly loaded cache has served nothing yet.
+    pub fn from_json(json: &str) -> Result<SimCache, String> {
+        let rows: Vec<(u64, SimResult)> =
+            serde_json::from_str(json).map_err(|e| format!("sim cache: {e:?}"))?;
+        let cache = SimCache::new();
+        {
+            let mut entries = cache.entries.lock().expect("sim cache poisoned");
+            for (k, v) in rows {
+                entries.insert(k, Arc::new(v));
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Persist to `path` as JSON.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()).map_err(|e| format!("writing {path}: {e}"))
+    }
+
+    /// Load a cache persisted with [`save`](Self::save).
+    pub fn load(path: &str) -> Result<SimCache, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        SimCache::from_json(&json)
+    }
+}
+
+impl fmt::Debug for SimCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SimCache")
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OooSimulator, SimConfig};
+    use pmt_uarch::MachineConfig;
+    use pmt_workloads::WorkloadSpec;
+
+    fn tiny_result(cycles: u64) -> SimResult {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        let mut r =
+            OooSimulator::new(SimConfig::new(MachineConfig::nehalem())).run(&mut spec.trace(2_000));
+        r.cycles = cycles;
+        r
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = SimCache::new();
+        let key = CacheKey::of_parts(&["a", "b", "1"]);
+        let mut runs = 0;
+        for _ in 0..3 {
+            cache.get_or_run(key, || {
+                runs += 1;
+                tiny_result(7)
+            });
+        }
+        assert_eq!(runs, 1, "only the cold call simulates");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = SimCache::new();
+        let a = cache.get_or_run(CacheKey::of_parts(&["x"]), || tiny_result(1));
+        let b = cache.get_or_run(CacheKey::of_parts(&["y"]), || tiny_result(2));
+        assert_eq!((a.cycles, b.cycles), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn part_boundaries_are_domain_separated() {
+        assert_ne!(
+            CacheKey::of_parts(&["ab", "c"]),
+            CacheKey::of_parts(&["a", "bc"])
+        );
+        assert_ne!(CacheKey::of_parts(&[]), CacheKey::of_parts(&[""]));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries_and_resets_counters() {
+        let cache = SimCache::new();
+        let key = CacheKey::of_parts(&["roundtrip"]);
+        let original = cache.get_or_run(key, || tiny_result(42));
+        cache.get_or_run(key, || unreachable!("warm"));
+
+        let reloaded = SimCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(
+            reloaded.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 1
+            }
+        );
+        let warm = reloaded.get_or_run(key, || unreachable!("persisted entry must hit"));
+        assert_eq!(warm.cycles, original.cycles);
+        assert_eq!(reloaded.stats().hits, 1);
+    }
+}

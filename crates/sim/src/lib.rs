@@ -33,11 +33,13 @@
 //! assert!(result.cpi() > 0.2 && result.cpi() < 5.0);
 //! ```
 
+mod cache;
 mod config;
 mod core;
 mod memory;
 mod result;
 
+pub use cache::{CacheKey, CacheStats, SimCache};
 pub use config::SimConfig;
 pub use core::OooSimulator;
 pub use result::{CpiComponent, CpiStack, IntervalSample, SimResult};

@@ -49,6 +49,21 @@ impl DesignSpace {
         }
     }
 
+    /// The 3×3×3 = 27-point validation subspace: the full core sweep
+    /// (width × ROB × L1) at the reference L2/L3 capacities. This is the
+    /// grid `pmt validate --smoke`, the golden-snapshot test and the
+    /// `validation_report` binary simulate when the 243-point space is
+    /// too expensive.
+    pub fn validation_subspace() -> DesignSpace {
+        DesignSpace {
+            dispatch_widths: vec![2, 4, 6],
+            rob_sizes: vec![64, 128, 256],
+            l1_kb: vec![16, 32, 64],
+            l2_kb: vec![256],
+            l3_kb: vec![4096],
+        }
+    }
+
     /// A 2×2×2×2×2 = 32-point subset for fast tests.
     pub fn small() -> DesignSpace {
         DesignSpace {
@@ -121,6 +136,20 @@ mod tests {
         let space = DesignSpace::thesis_table_6_3();
         assert_eq!(space.len(), 243);
         assert_eq!(space.enumerate().len(), 243);
+    }
+
+    #[test]
+    fn validation_subspace_is_a_27_point_slice_of_the_full_space() {
+        let sub = DesignSpace::validation_subspace();
+        assert_eq!(sub.len(), 27);
+        let full: Vec<_> = DesignSpace::thesis_table_6_3()
+            .enumerate()
+            .into_iter()
+            .map(|p| p.coords)
+            .collect();
+        for p in sub.enumerate() {
+            assert!(full.contains(&p.coords), "{:?} not in Table 6.3", p.coords);
+        }
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! The serializable validation report and its stable JSON schema.
+
+use crate::stats::ErrorStats;
+use serde::{Deserialize, Serialize};
+
+/// Version of the [`ValidationReport`] JSON schema. Bump on any breaking
+/// change (field rename/removal/semantic change); consumers — the golden
+/// snapshot test, CI threshold checks, downstream dashboards — key on it.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Simulation-cache traffic attributable to one validation run
+/// (before/after counter deltas, not cache lifetime totals).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheActivity {
+    /// Reference simulations served from the memoization cache.
+    pub hits: u64,
+    /// Reference simulations actually executed by this run.
+    pub misses: u64,
+    /// Results resident in the cache after the run.
+    pub entries: usize,
+}
+
+/// Model-vs-simulator agreement for one workload across the whole
+/// design-point set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadValidation {
+    /// Workload name.
+    pub workload: String,
+    /// Design points evaluated.
+    pub points: usize,
+    /// Signed relative CPI error distribution.
+    pub cpi: ErrorStats,
+    /// Signed relative IPC error distribution.
+    pub ipc: ErrorStats,
+    /// Signed relative power error distribution.
+    pub power: ErrorStats,
+    /// Spearman ρ between the model's and the simulator's CPI ordering of
+    /// the design points (1 = the model ranks designs exactly right).
+    pub cpi_rank_correlation: f64,
+    /// Spearman ρ for the power ordering of the design points.
+    pub power_rank_correlation: f64,
+}
+
+/// The product of a differential validation run: per-workload and pooled
+/// error distributions plus design-ordering agreement, with the cache
+/// traffic that produced them.
+///
+/// Serialized with a stable field order (declaration order) and compact
+/// float formatting, so identical runs produce byte-identical JSON — the
+/// golden snapshot test depends on that.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Design points per workload.
+    pub design_points: usize,
+    /// Instructions profiled per workload (the model's input budget).
+    pub profile_instructions: u64,
+    /// Instructions simulated per (workload, point) reference run.
+    pub sim_instructions: u64,
+    /// Per-workload agreement, in insertion order.
+    pub workloads: Vec<WorkloadValidation>,
+    /// Pooled CPI error distribution over every (workload, point) pair.
+    pub cpi: ErrorStats,
+    /// Pooled IPC error distribution.
+    pub ipc: ErrorStats,
+    /// Pooled power error distribution.
+    pub power: ErrorStats,
+    /// Mean per-workload CPI rank correlation.
+    pub mean_cpi_rank_correlation: f64,
+    /// Worst per-workload CPI rank correlation.
+    pub min_cpi_rank_correlation: f64,
+    /// Cache traffic of this run.
+    pub cache: CacheActivity,
+}
+
+impl ValidationReport {
+    /// Serialize to the stable JSON schema.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("reports serialize")
+    }
+
+    /// Parse a report serialized with [`to_json`](Self::to_json).
+    pub fn from_json(json: &str) -> Result<ValidationReport, String> {
+        serde_json::from_str(json).map_err(|e| format!("validation report: {e:?}"))
+    }
+
+    /// The headline accuracy number: pooled mean |CPI error| (the paper
+    /// reports a few percent across the 243-point space).
+    pub fn mean_abs_cpi_error(&self) -> f64 {
+        self.cpi.mean_abs
+    }
+
+    /// Whether the pooled mean |CPI error| is within `threshold`
+    /// (a fraction, e.g. `0.15` for 15%). CI gates on this.
+    pub fn within_cpi_threshold(&self, threshold: f64) -> bool {
+        self.cpi.mean_abs <= threshold
+    }
+
+    /// Render the report as an aligned text table (the `pmt validate` and
+    /// `validation_report` output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let pct = |x: f64| format!("{:6.1}%", x * 100.0);
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+            "workload",
+            "points",
+            "CPIbias",
+            "CPI|e|",
+            "CPIp95",
+            "CPImax",
+            "PWR|e|",
+            "rhoCPI",
+            "rhoPWR"
+        ));
+        for w in &self.workloads {
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7.3} {:>7.3}\n",
+                w.workload,
+                w.points,
+                pct(w.cpi.mean),
+                pct(w.cpi.mean_abs),
+                pct(w.cpi.p95_abs),
+                pct(w.cpi.max_abs),
+                pct(w.power.mean_abs),
+                w.cpi_rank_correlation,
+                w.power_rank_correlation,
+            ));
+        }
+        out.push_str(&format!(
+            "\npooled over {} (workload, point) pairs:\n",
+            self.cpi.n
+        ));
+        out.push_str(&format!(
+            "  CPI   bias {}  mean|e| {}  p95 {}  max {}\n",
+            pct(self.cpi.mean),
+            pct(self.cpi.mean_abs),
+            pct(self.cpi.p95_abs),
+            pct(self.cpi.max_abs)
+        ));
+        out.push_str(&format!(
+            "  IPC   bias {}  mean|e| {}  p95 {}  max {}\n",
+            pct(self.ipc.mean),
+            pct(self.ipc.mean_abs),
+            pct(self.ipc.p95_abs),
+            pct(self.ipc.max_abs)
+        ));
+        out.push_str(&format!(
+            "  power bias {}  mean|e| {}  p95 {}  max {}\n",
+            pct(self.power.mean),
+            pct(self.power.mean_abs),
+            pct(self.power.p95_abs),
+            pct(self.power.max_abs)
+        ));
+        out.push_str(&format!(
+            "  CPI rank correlation: mean {:.3}, worst {:.3}\n",
+            self.mean_cpi_rank_correlation, self.min_cpi_rank_correlation
+        ));
+        out.push_str(&format!(
+            "  simulations: {} fresh, {} from cache ({} cached total)\n",
+            self.cache.misses, self.cache.hits, self.cache.entries
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ValidationReport {
+        let stats = ErrorStats::of_signed(&[0.05, -0.1, 0.2]);
+        ValidationReport {
+            schema_version: SCHEMA_VERSION,
+            design_points: 3,
+            profile_instructions: 1000,
+            sim_instructions: 500,
+            workloads: vec![WorkloadValidation {
+                workload: "astar".into(),
+                points: 3,
+                cpi: stats,
+                ipc: stats,
+                power: stats,
+                cpi_rank_correlation: 0.9,
+                power_rank_correlation: 1.0,
+            }],
+            cpi: stats,
+            ipc: stats,
+            power: stats,
+            mean_cpi_rank_correlation: 0.9,
+            min_cpi_rank_correlation: 0.9,
+            cache: CacheActivity {
+                hits: 0,
+                misses: 3,
+                entries: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample();
+        let json = r.to_json();
+        let back = ValidationReport::from_json(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(json, back.to_json(), "re-serialization must be stable");
+    }
+
+    #[test]
+    fn schema_fields_are_present_in_declared_order() {
+        let json = sample().to_json();
+        let fields = [
+            "\"schema_version\":",
+            "\"design_points\":",
+            "\"profile_instructions\":",
+            "\"sim_instructions\":",
+            "\"workloads\":",
+            "\"cpi\":",
+            "\"ipc\":",
+            "\"power\":",
+            "\"mean_cpi_rank_correlation\":",
+            "\"min_cpi_rank_correlation\":",
+            "\"cache\":",
+        ];
+        let mut last = 0;
+        for f in fields {
+            let at = json[last..]
+                .find(f)
+                .unwrap_or_else(|| panic!("{f} missing or out of order"));
+            last += at;
+        }
+    }
+
+    #[test]
+    fn threshold_check_uses_pooled_mean_abs() {
+        let r = sample();
+        assert!(r.within_cpi_threshold(r.mean_abs_cpi_error() + 1e-9));
+        assert!(!r.within_cpi_threshold(r.mean_abs_cpi_error() - 1e-9));
+    }
+
+    #[test]
+    fn table_mentions_every_workload() {
+        let t = sample().render_table();
+        assert!(t.contains("astar"));
+        assert!(t.contains("rank correlation"));
+    }
+}

@@ -1,0 +1,268 @@
+//! The differential validation runner.
+
+use crate::report::{CacheActivity, ValidationReport, WorkloadValidation, SCHEMA_VERSION};
+use crate::stats::{spearman, ErrorStats};
+use pmt_core::ModelConfig;
+use pmt_dse::{PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_sim::SimCache;
+use pmt_trace::SamplingConfig;
+use pmt_uarch::{DesignPoint, DesignSpace};
+use pmt_workloads::WorkloadSpec;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Budgets and model/profiler settings for one validation run.
+#[derive(Clone, Debug)]
+pub struct ValidationConfig {
+    /// Instructions profiled per workload (the model's input).
+    pub profile_instructions: u64,
+    /// Instructions simulated per (workload, design point) reference run.
+    pub sim_instructions: u64,
+    /// Profiler configuration.
+    pub profiler: ProfilerConfig,
+    /// Interval-model configuration.
+    pub model: ModelConfig,
+}
+
+impl ValidationConfig {
+    /// Full-accuracy scale: 200k-instruction windows, thesis profiler
+    /// sampling.
+    ///
+    /// Profile and simulation budgets default to the **same** window: a
+    /// differential comparison is only fair when both sides see the same
+    /// instructions — profiling 1M instructions but simulating the first
+    /// 20k would score the model against a different (cache-cold) phase
+    /// of the workload and report phantom error. Override the fields
+    /// separately only when that mismatch is the thing under study.
+    pub fn default_scale() -> ValidationConfig {
+        let mut profiler = ProfilerConfig::thesis_default();
+        profiler.sampling = SamplingConfig {
+            micro_trace_instructions: 1_000,
+            window_instructions: 10_000,
+        };
+        ValidationConfig {
+            profile_instructions: 200_000,
+            sim_instructions: 200_000,
+            profiler,
+            model: ModelConfig::default(),
+        }
+    }
+
+    /// Tiny budgets for CI smoke runs and golden tests: the whole
+    /// pipeline end-to-end on a toy trace (windows aligned, like
+    /// [`default_scale`](Self::default_scale)).
+    pub fn smoke() -> ValidationConfig {
+        ValidationConfig {
+            profile_instructions: 10_000,
+            sim_instructions: 10_000,
+            profiler: ProfilerConfig::fast_test(),
+            model: ModelConfig::default(),
+        }
+    }
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig::default_scale()
+    }
+}
+
+/// Differential validation of the analytical model against the
+/// cycle-level simulator: workloads × design points, both sides
+/// evaluated, errors reported as distributions.
+///
+/// Reference simulations are memoized in a shared [`SimCache`]: rerunning
+/// a validator (or a second validator given the same cache via
+/// [`cache`](Self::cache)) performs **zero** new simulations for points
+/// already covered, which the emitted [`CacheActivity`] counters prove.
+///
+/// ```
+/// use pmt_uarch::DesignSpace;
+/// use pmt_validate::{ValidationConfig, Validator};
+///
+/// let report = Validator::new(ValidationConfig::smoke())
+///     .space(&DesignSpace::small())
+///     .workload_named("astar")
+///     .unwrap()
+///     .run();
+/// assert_eq!(report.design_points, 32);
+/// assert_eq!(report.cache.misses, 32); // cold: every point simulated
+/// assert!(report.cpi.max_abs >= report.cpi.mean_abs);
+/// ```
+pub struct Validator {
+    points: Vec<DesignPoint>,
+    specs: Vec<WorkloadSpec>,
+    config: ValidationConfig,
+    cache: Arc<SimCache>,
+}
+
+impl Validator {
+    /// A validator over the full 243-point Table 6.3 space with no
+    /// workloads yet; add them with [`workload`](Self::workload) /
+    /// [`workload_named`](Self::workload_named).
+    pub fn new(config: ValidationConfig) -> Validator {
+        Validator {
+            points: DesignSpace::thesis_table_6_3().enumerate(),
+            specs: Vec::new(),
+            config,
+            cache: SimCache::shared(),
+        }
+    }
+
+    /// Validate over every point of `space` instead.
+    pub fn space(mut self, space: &DesignSpace) -> Validator {
+        self.points = space.enumerate();
+        self
+    }
+
+    /// Validate over an explicit point list instead.
+    pub fn points(mut self, points: Vec<DesignPoint>) -> Validator {
+        self.points = points;
+        self
+    }
+
+    /// Add a workload by spec.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Validator {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Add a suite workload by SPEC name.
+    pub fn workload_named(self, name: &str) -> Result<Validator, String> {
+        let spec = WorkloadSpec::by_name(name)
+            .ok_or_else(|| format!("unknown workload `{name}` — try `pmt list`"))?;
+        Ok(self.workload(spec))
+    }
+
+    /// Share (or restore) a simulation cache. Runs only *add* entries;
+    /// passing the same cache to successive validators turns overlapping
+    /// grids into pure lookups.
+    pub fn cache(mut self, cache: Arc<SimCache>) -> Validator {
+        self.cache = cache;
+        self
+    }
+
+    /// The simulation cache this validator will use.
+    pub fn shared_cache(&self) -> Arc<SimCache> {
+        self.cache.clone()
+    }
+
+    /// Profile every workload once, evaluate model and simulator over the
+    /// whole (workload × point) grid — rayon-parallel on cache misses —
+    /// and distill the error distributions into a [`ValidationReport`].
+    pub fn run(&self) -> ValidationReport {
+        assert!(!self.specs.is_empty(), "add at least one workload");
+        let before = self.cache.stats();
+
+        // The micro-architecture independent step: one profile per
+        // workload, reused for every design point.
+        let profiles: Vec<ApplicationProfile> = self
+            .specs
+            .par_iter()
+            .map(|spec| {
+                Profiler::new(self.config.profiler.clone()).profile_named(
+                    &spec.name,
+                    &mut spec.trace(self.config.profile_instructions),
+                )
+            })
+            .collect();
+
+        let sweep_config = SweepConfig {
+            model: self.config.model.clone(),
+            with_simulation: true,
+            sim_instructions: self.config.sim_instructions,
+            sim_cache: Some(self.cache.clone()),
+        };
+        let mut builder = SweepBuilder::new()
+            .points(self.points.clone())
+            .config(sweep_config);
+        for (profile, spec) in profiles.iter().zip(&self.specs) {
+            builder = builder.profile_with_spec(profile, spec);
+        }
+        let batch = builder.run();
+
+        let workloads: Vec<WorkloadValidation> = batch
+            .evaluations
+            .iter()
+            .zip(&batch.workloads)
+            .map(|(eval, name)| Self::summarize_workload(name, eval))
+            .collect();
+
+        let all: Vec<&PointOutcome> = batch.outcomes().collect();
+        let pooled = |f: fn(&PointOutcome) -> Option<f64>| {
+            ErrorStats::of_signed(&all.iter().filter_map(|o| f(o)).collect::<Vec<f64>>())
+        };
+        let rhos: Vec<f64> = workloads.iter().map(|w| w.cpi_rank_correlation).collect();
+        let after = self.cache.stats();
+
+        ValidationReport {
+            schema_version: SCHEMA_VERSION,
+            design_points: self.points.len(),
+            profile_instructions: self.config.profile_instructions,
+            sim_instructions: self.config.sim_instructions,
+            workloads,
+            cpi: pooled(PointOutcome::cpi_error),
+            ipc: pooled(PointOutcome::ipc_error),
+            power: pooled(PointOutcome::power_error),
+            mean_cpi_rank_correlation: rhos.iter().sum::<f64>() / rhos.len() as f64,
+            min_cpi_rank_correlation: rhos.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+            cache: CacheActivity {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                entries: after.entries,
+            },
+        }
+    }
+
+    fn summarize_workload(name: &str, eval: &SpaceEvaluation) -> WorkloadValidation {
+        let collect = |f: fn(&PointOutcome) -> Option<f64>| {
+            ErrorStats::of_signed(&eval.outcomes.iter().filter_map(f).collect::<Vec<f64>>())
+        };
+        let model_cpi: Vec<f64> = eval.outcomes.iter().map(|o| o.model_cpi).collect();
+        let sim_cpi: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.sim_cpi).collect();
+        let model_power: Vec<f64> = eval.outcomes.iter().map(|o| o.model_power).collect();
+        let sim_power: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.sim_power).collect();
+        WorkloadValidation {
+            workload: name.to_string(),
+            points: eval.outcomes.len(),
+            cpi: collect(PointOutcome::cpi_error),
+            ipc: collect(PointOutcome::ipc_error),
+            power: collect(PointOutcome::power_error),
+            cpi_rank_correlation: spearman(&model_cpi, &sim_cpi),
+            power_rank_correlation: spearman(&model_power, &sim_power),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_validator() -> Validator {
+        Validator::new(ValidationConfig::smoke())
+            .points(DesignSpace::small().enumerate()[..4].to_vec())
+            .workload_named("astar")
+            .unwrap()
+    }
+
+    #[test]
+    fn report_covers_the_grid() {
+        let report = tiny_validator().run();
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.design_points, 4);
+        assert_eq!(report.workloads.len(), 1);
+        assert_eq!(report.cpi.n, 4);
+        assert_eq!(report.cache.misses, 4);
+        assert_eq!(report.cache.hits, 0);
+        assert!(report.cpi.mean_abs <= report.cpi.max_abs);
+        assert!(report.mean_cpi_rank_correlation >= -1.0);
+        assert!(report.mean_cpi_rank_correlation <= 1.0);
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let err = Validator::new(ValidationConfig::smoke()).workload_named("nope");
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Error-distribution statistics and rank correlation.
+//!
+//! Hofmann et al. ("On the accuracy and usefulness of analytic energy
+//! models for contemporary multicore processors") make the case that a
+//! model's error must be reported as a *distribution* — an average hides
+//! both outliers and systematic bias. [`ErrorStats`] therefore keeps the
+//! signed mean (bias), the mean magnitude, the p95 magnitude and the
+//! worst case together, and [`spearman`] checks that the model *orders*
+//! design points like the simulator does — the property design-space
+//! pruning actually depends on (thesis §7.4).
+
+use serde::{Deserialize, Serialize};
+
+/// **Signed** relative error `(model − reference) / reference`, the
+/// single error convention of the workspace. Positive means the model
+/// over-predicts. Relative errors are scale-invariant: multiplying both
+/// operands by the same positive factor leaves the error unchanged.
+pub fn relative_error(model: f64, reference: f64) -> f64 {
+    (model - reference) / reference
+}
+
+/// Summary statistics of a set of signed relative errors.
+///
+/// Invariants (property-tested in `tests/properties.rs`):
+/// `|mean| ≤ mean_abs ≤ p95_abs ≤ max_abs`, and all four are exactly
+/// zero for an empty or all-zero error set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Number of errors summarized.
+    pub n: usize,
+    /// Signed mean — the model's systematic bias.
+    pub mean: f64,
+    /// Mean magnitude — the headline accuracy number.
+    pub mean_abs: f64,
+    /// 95th-percentile magnitude (nearest-rank on the sorted magnitudes).
+    pub p95_abs: f64,
+    /// Worst-case magnitude.
+    pub max_abs: f64,
+}
+
+impl ErrorStats {
+    /// Summarize a set of signed errors. An empty set yields all-zero
+    /// statistics.
+    pub fn of_signed(errors: &[f64]) -> ErrorStats {
+        if errors.is_empty() {
+            return ErrorStats {
+                n: 0,
+                mean: 0.0,
+                mean_abs: 0.0,
+                p95_abs: 0.0,
+                max_abs: 0.0,
+            };
+        }
+        let n = errors.len();
+        let mean = errors.iter().sum::<f64>() / n as f64;
+        let mut abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        let mean_abs = abs.iter().sum::<f64>() / n as f64;
+        ErrorStats {
+            n,
+            mean,
+            mean_abs,
+            p95_abs: abs[nearest_rank_index(n, 0.95)],
+            max_abs: abs[n - 1],
+        }
+    }
+}
+
+/// Nearest-rank index of quantile `q` in a sorted sample of `n` items:
+/// the smallest index covering at least a `q` fraction of the mass.
+fn nearest_rank_index(n: usize, q: f64) -> usize {
+    debug_assert!(n > 0);
+    ((n as f64 * q).ceil() as usize).clamp(1, n) - 1
+}
+
+/// Spearman rank-correlation coefficient between two equal-length series
+/// (ties receive averaged ranks).
+///
+/// ρ = 1 means the model ranks every design point exactly as the
+/// simulator does — pruning on model numbers then keeps exactly the
+/// right designs even if the absolute values are off. Degenerate cases
+/// are defined deterministically: series shorter than two elements, or
+/// two series whose rankings are identical, yield 1; otherwise a series
+/// with zero rank variance yields 0.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank correlation needs paired series");
+    if a.len() < 2 {
+        return 1.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    if ra == rb {
+        return 1.0;
+    }
+    let n = ra.len() as f64;
+    let mean = (n + 1.0) / 2.0; // ranks are 1..=n, possibly tie-averaged
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        var_a += (x - mean).powi(2);
+        var_b += (y - mean).powi(2);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a * var_b).sqrt()
+}
+
+/// Ranks 1..=n with ties averaged (the standard Spearman treatment).
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite series"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j hold equal values; all get the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_series() {
+        let s = ErrorStats::of_signed(&[0.1, -0.1, 0.3, -0.05]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 0.0625).abs() < 1e-12);
+        assert!((s.mean_abs - 0.1375).abs() < 1e-12);
+        assert_eq!(s.max_abs, 0.3);
+        assert_eq!(s.p95_abs, 0.3);
+    }
+
+    #[test]
+    fn empty_series_is_all_zero() {
+        let s = ErrorStats::of_signed(&[]);
+        assert_eq!(
+            s,
+            ErrorStats {
+                n: 0,
+                mean: 0.0,
+                mean_abs: 0.0,
+                p95_abs: 0.0,
+                max_abs: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn nearest_rank_covers_edge_cases() {
+        assert_eq!(nearest_rank_index(1, 0.95), 0);
+        assert_eq!(nearest_rank_index(20, 0.95), 18);
+        assert_eq!(nearest_rank_index(100, 0.95), 94);
+    }
+
+    #[test]
+    fn spearman_detects_perfect_and_inverted_orderings() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(spearman(&a, &up), 1.0);
+        assert!((spearman(&a, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_averages_ties() {
+        // [1, 2, 2, 3] vs a strictly increasing series: still a perfect
+        // monotone relation once ties share their averaged rank on both
+        // sides of the comparison.
+        let rho = spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert!(rho > 0.9 && rho <= 1.0, "rho = {rho}");
+    }
+
+    #[test]
+    fn spearman_degenerate_series_are_deterministic() {
+        assert_eq!(spearman(&[], &[]), 1.0);
+        assert_eq!(spearman(&[1.0], &[5.0]), 1.0);
+        assert_eq!(spearman(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(spearman(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+    }
+}

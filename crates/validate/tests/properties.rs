@@ -1,0 +1,88 @@
+//! Property-based tests for the validation error statistics.
+
+use pmt_validate::{relative_error, spearman, ErrorStats};
+use proptest::prelude::*;
+
+fn arb_errors() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2.0f64..2.0, 1..200)
+}
+
+fn arb_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..100.0, 2..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The distribution invariants: |bias| ≤ mean|e| ≤ p95 ≤ max.
+    #[test]
+    fn stats_are_ordered(errors in arb_errors()) {
+        let s = ErrorStats::of_signed(&errors);
+        prop_assert_eq!(s.n, errors.len());
+        prop_assert!(s.mean.abs() <= s.mean_abs + 1e-12);
+        prop_assert!(s.mean_abs <= s.max_abs + 1e-12);
+        prop_assert!(s.p95_abs <= s.max_abs);
+        prop_assert!(s.max_abs >= 0.0);
+    }
+
+    /// p95 is a nearest-rank order statistic: at least 95% of the
+    /// magnitudes are ≤ it, and it is itself one of the magnitudes.
+    #[test]
+    fn p95_is_an_order_statistic(errors in arb_errors()) {
+        let s = ErrorStats::of_signed(&errors);
+        let below = errors.iter().filter(|e| e.abs() <= s.p95_abs).count();
+        prop_assert!(below as f64 >= 0.95 * errors.len() as f64 - 1e-9);
+        prop_assert!(errors.iter().any(|e| e.abs() == s.p95_abs));
+    }
+
+    /// A model that reproduces the reference exactly has exactly zero
+    /// error — no epsilon, no rounding residue.
+    #[test]
+    fn identical_inputs_have_zero_error(values in arb_series()) {
+        let errors: Vec<f64> = values.iter().map(|&v| relative_error(v, v)).collect();
+        prop_assert!(errors.iter().all(|&e| e == 0.0));
+        let s = ErrorStats::of_signed(&errors);
+        prop_assert_eq!(s.mean, 0.0);
+        prop_assert_eq!(s.mean_abs, 0.0);
+        prop_assert_eq!(s.p95_abs, 0.0);
+        prop_assert_eq!(s.max_abs, 0.0);
+    }
+
+    /// Relative error is scale-invariant: rescaling model and reference
+    /// by the same positive factor leaves it (numerically) unchanged.
+    #[test]
+    fn relative_error_is_scale_invariant(
+        model in 0.1f64..100.0,
+        reference in 0.1f64..100.0,
+        scale in 0.01f64..1000.0,
+    ) {
+        let base = relative_error(model, reference);
+        let scaled = relative_error(model * scale, reference * scale);
+        prop_assert!((base - scaled).abs() <= 1e-9 * base.abs().max(1.0));
+    }
+
+    /// Spearman ρ is bounded, perfect on self, and inverted on reversal.
+    #[test]
+    fn spearman_is_a_correlation(a in arb_series(), b in arb_series()) {
+        let n = a.len().min(b.len());
+        let rho = spearman(&a[..n], &b[..n]);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&rho), "rho = {rho}");
+        prop_assert_eq!(spearman(&a, &a), 1.0);
+        let reversed: Vec<f64> = a.iter().rev().copied().collect();
+        let self_vs_rev = spearman(&a, &reversed);
+        prop_assert!(self_vs_rev <= 1.0 + 1e-12);
+    }
+
+    /// ρ only depends on orderings: any strictly monotone transform of
+    /// either series leaves it unchanged.
+    #[test]
+    fn spearman_is_rank_invariant(a in arb_series(), b in arb_series()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let rho = spearman(a, b);
+        let squashed: Vec<f64> = a.iter().map(|x| x.ln()).collect();
+        let stretched: Vec<f64> = b.iter().map(|x| x * 3.0 + 7.0).collect();
+        let rho2 = spearman(&squashed, &stretched);
+        prop_assert!((rho - rho2).abs() < 1e-9, "{rho} vs {rho2}");
+    }
+}

@@ -8,6 +8,7 @@
 //! $ pmt simulate mcf --instructions 200000
 //! $ pmt sweep --profile mcf.profile.json
 //! $ pmt corun milc mcf --instructions 200000
+//! $ pmt validate --workloads astar,mcf --smoke
 //! ```
 
 use pmt::dse::{ParetoFront, SpaceEvaluation, SweepConfig};
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "validate" => cmd_validate(&args[1..]),
         "corun" => cmd_corun(&args[1..]),
         "smt" => cmd_smt(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -56,6 +58,11 @@ USAGE:
   pmt simulate <workload> [--instructions N] [--machine M]
                                                  cycle-level ground truth
   pmt sweep --profile FILE                       243-point Pareto sweep
+  pmt validate [--workloads a,b|all] [--space full|validation|small]
+               [--instructions N] [--sim-instructions N] [--out FILE]
+               [--cache FILE] [--max-mean-cpi-error F] [--smoke]
+                                                 model-vs-simulator accuracy
+                                                 report (memoized sim runs)
   pmt corun <w1> <w2> [..] [--instructions N]    shared-LLC co-run model
   pmt smt <w1> <w2> [..] [--instructions N]      SMT (shared-core) model
 
@@ -210,6 +217,95 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         println!(
             "{:>26} {:>9.3} {:>9.2}",
             points[i].machine.name, o.model_cpi, o.model_power
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    use pmt::validate::{ValidationConfig, Validator};
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let mut config = if smoke {
+        ValidationConfig::smoke()
+    } else {
+        ValidationConfig::default_scale()
+    };
+    if let Some(n) = flag(args, "--instructions").and_then(|v| v.parse().ok()) {
+        config.profile_instructions = n;
+    }
+    if let Some(n) = flag(args, "--sim-instructions").and_then(|v| v.parse().ok()) {
+        config.sim_instructions = n;
+    }
+
+    let space_name =
+        flag(args, "--space").unwrap_or_else(|| if smoke { "validation" } else { "full" }.into());
+    let space = match space_name.as_str() {
+        "full" => DesignSpace::thesis_table_6_3(),
+        "validation" => DesignSpace::validation_subspace(),
+        "small" => DesignSpace::small(),
+        other => return Err(format!("unknown space `{other}` (full|validation|small)")),
+    };
+
+    let default_workloads = if smoke {
+        "astar,mcf"
+    } else {
+        "astar,gcc,mcf,milc"
+    };
+    let workloads = flag(args, "--workloads").unwrap_or_else(|| default_workloads.into());
+    let names: Vec<&str> = if workloads == "all" {
+        SUITE.to_vec()
+    } else {
+        workloads.split(',').map(str::trim).collect()
+    };
+
+    let mut validator = Validator::new(config.clone()).space(&space);
+    for name in &names {
+        validator = validator.workload_named(name)?;
+    }
+    let cache_path = flag(args, "--cache");
+    if let Some(path) = &cache_path {
+        if std::path::Path::new(path).exists() {
+            validator = validator.cache(std::sync::Arc::new(SimCache::load(path)?));
+        }
+    }
+
+    eprintln!(
+        "validating {} workloads x {} points ({} sim instructions each)...",
+        names.len(),
+        space.len(),
+        config.sim_instructions
+    );
+    let report = validator.run();
+    print!("{}", report.render_table());
+
+    if let Some(path) = &cache_path {
+        validator.shared_cache().save(path)?;
+        eprintln!("simulation cache -> {path}");
+    }
+    if let Some(path) = flag(args, "--out") {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("validation report -> {path}");
+    }
+    // A malformed or valueless threshold must fail loudly, never
+    // silently skip the check — CI's accuracy gate depends on it.
+    if args.iter().any(|a| a == "--max-mean-cpi-error") {
+        let raw =
+            flag(args, "--max-mean-cpi-error").ok_or("missing value for --max-mean-cpi-error")?;
+        let threshold: f64 = raw.parse().map_err(|_| {
+            format!("invalid --max-mean-cpi-error `{raw}` (want a fraction, e.g. 0.15)")
+        })?;
+        if !report.within_cpi_threshold(threshold) {
+            return Err(format!(
+                "mean |CPI error| {:.2}% exceeds threshold {:.2}%",
+                report.mean_abs_cpi_error() * 100.0,
+                threshold * 100.0
+            ));
+        }
+        println!(
+            "threshold check: mean |CPI error| {:.2}% <= {:.2}% — OK",
+            report.mean_abs_cpi_error() * 100.0,
+            threshold * 100.0
         );
     }
     Ok(())

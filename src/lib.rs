@@ -18,7 +18,9 @@
 //! * [`model`] — the micro-architecture independent interval model (the
 //!   paper's contribution),
 //! * [`power`] — the McPAT-style power model,
-//! * [`dse`] — design-space exploration, Pareto pruning and DVFS.
+//! * [`dse`] — design-space exploration, Pareto pruning and DVFS,
+//! * [`validate`] — differential model-vs-simulator validation with
+//!   memoized reference runs and serializable accuracy reports.
 //!
 //! # Quickstart
 //!
@@ -54,6 +56,7 @@ pub use pmt_sim as sim;
 pub use pmt_statstack as statstack;
 pub use pmt_trace as trace;
 pub use pmt_uarch as uarch;
+pub use pmt_validate as validate;
 pub use pmt_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used types.
@@ -62,8 +65,9 @@ pub mod prelude {
     pub use pmt_dse::{BatchEvaluation, ParetoFront, SpaceEvaluation, SweepBuilder, SweepConfig};
     pub use pmt_power::{PowerBreakdown, PowerModel};
     pub use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
-    pub use pmt_sim::{OooSimulator, SimConfig, SimResult};
+    pub use pmt_sim::{OooSimulator, SimCache, SimConfig, SimResult};
     pub use pmt_trace::{MicroOp, SamplingConfig, TraceSource, UopClass};
     pub use pmt_uarch::{DesignSpace, MachineConfig};
+    pub use pmt_validate::{ErrorStats, ValidationConfig, ValidationReport, Validator};
     pub use pmt_workloads::{WorkloadSpec, SUITE};
 }

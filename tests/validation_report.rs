@@ -1,0 +1,82 @@
+//! Golden-snapshot integration test: a fixed-seed workload validated over
+//! the 27-point subspace must produce a **bit-stable** `ValidationReport`
+//! JSON. This guards the whole differential pipeline — trace generator,
+//! profiler, interval model, power model *and* reference simulator —
+//! against silent numeric drift: any change to either side of the
+//! comparison changes the report.
+//!
+//! After an *intentional* model/simulator change, regenerate with
+//!
+//! ```console
+//! $ PMT_UPDATE_GOLDEN=1 cargo test --test validation_report
+//! ```
+//!
+//! and commit the new `tests/golden/validation_report.json` alongside the
+//! change that explains it.
+
+use pmt::prelude::*;
+use pmt::validate::SCHEMA_VERSION;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/validation_report.json"
+);
+
+/// The fixed scenario: one deterministic seed-42 workload, the 3×3×3
+/// validation subspace, toy budgets. Everything here is pinned — changing
+/// any of it invalidates the snapshot on purpose.
+fn golden_report() -> ValidationReport {
+    let config = ValidationConfig {
+        profile_instructions: 20_000,
+        sim_instructions: 20_000,
+        profiler: ProfilerConfig::fast_test(),
+        model: ModelConfig::default(),
+    };
+    Validator::new(config)
+        .space(&DesignSpace::validation_subspace())
+        .workload(WorkloadSpec::baseline("golden", 42))
+        .run()
+}
+
+#[test]
+fn validation_report_matches_golden_snapshot() {
+    let report = golden_report();
+    let json = report.to_json();
+
+    if std::env::var("PMT_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &json).expect("writing golden snapshot");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden snapshot missing — regenerate with PMT_UPDATE_GOLDEN=1 cargo test --test validation_report",
+    );
+    assert_eq!(
+        json, expected,
+        "ValidationReport drifted from the golden snapshot. If the model or \
+         simulator change was intentional, regenerate with \
+         PMT_UPDATE_GOLDEN=1 cargo test --test validation_report"
+    );
+}
+
+#[test]
+fn golden_scenario_is_sane_and_round_trips() {
+    let report = golden_report();
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert_eq!(report.design_points, 27);
+    assert_eq!(report.workloads.len(), 1);
+    assert_eq!(report.cpi.n, 27);
+    assert_eq!(report.cache.misses, 27, "cold golden run simulates all");
+    assert!(
+        report.cpi.mean_abs > 0.0,
+        "model and simulator never agree exactly"
+    );
+    assert!(report.cpi.mean_abs <= report.cpi.max_abs);
+    assert!(
+        report.mean_cpi_rank_correlation > 0.0,
+        "orderings should correlate"
+    );
+
+    let back = ValidationReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back.to_json(), report.to_json(), "serialization is stable");
+}

@@ -1,69 +1,9 @@
 //! Quick model-vs-simulator accuracy probe over the whole suite
 //! (development aid; the real experiments are the fig*/tbl* binaries).
-
-use pmt_bench::harness::{evaluate_suite, mean_abs_error, pct, HarnessConfig};
-use pmt_uarch::{CpiComponent, MachineConfig};
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let machine = MachineConfig::nehalem();
-    let results = evaluate_suite(&machine, &cfg);
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
-        "workload",
-        "simCPI",
-        "modCPI",
-        "err",
-        "simBr",
-        "modBr",
-        "simDRAM",
-        "modDRAM",
-        "simMLP",
-        "modMLP",
-        "simMiss",
-        "modMiss"
-    );
-    let mut errors = Vec::new();
-    for r in &results {
-        let e = r.cpi_error();
-        errors.push(e);
-        let mod_misses: f64 = r
-            .prediction
-            .windows
-            .iter()
-            .map(|w| w.memory.llc_load_misses)
-            .sum();
-        let mod_store_misses: f64 = r
-            .prediction
-            .windows
-            .iter()
-            .map(|w| w.memory.llc_store_misses)
-            .sum();
-        let mean_density: f64 = {
-            let ws = &r.prediction.windows;
-            ws.iter().map(|w| w.memory.miss_window_density).sum::<f64>() / ws.len() as f64
-        };
-        println!(
-            "{:<12} {:>8.3} {:>8.3} {:>8} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.2} {:>7.2} {:>9} {:>9.0}",
-            r.name,
-            r.sim.cpi(),
-            r.prediction.cpi(),
-            pct(e),
-            r.sim.cpi_stack.get(CpiComponent::Branch),
-            r.prediction.cpi_stack.get(CpiComponent::Branch),
-            r.sim.cpi_stack.get(CpiComponent::Dram),
-            r.prediction.cpi_stack.get(CpiComponent::Dram),
-            r.sim.mlp,
-            r.prediction.mlp,
-            r.sim.cache_stats.l3.load_misses,
-            mod_misses,
-        );
-        if std::env::var("PMT_VERBOSE").is_ok() {
-            println!(
-                "             simStMiss={} modStMiss={:.0} density={:.2}",
-                r.sim.cache_stats.l3.store_misses, mod_store_misses, mean_density
-            );
-        }
-    }
-    println!("\nmean |CPI error| = {}", pct(mean_abs_error(&errors)));
+    pmt_bench::run_binary("accuracy_probe");
 }

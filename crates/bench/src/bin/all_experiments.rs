@@ -1,63 +1,38 @@
-//! Run every experiment binary in sequence (the full reproduction pass).
-//! Heavy space sweeps inherit the default sub-sampling; override with
-//! PMT_SPACE_STRIDE / PMT_SIM_INSTRUCTIONS / PMT_INSTRUCTIONS.
+//! Run every registered experiment in sequence (the full reproduction
+//! pass), in-process through the shared `emit()` path — no per-figure
+//! glue, no child processes. Heavy space sweeps inherit the default
+//! sub-sampling; override with PMT_SPACE_STRIDE / PMT_SIM_INSTRUCTIONS
+//! / PMT_INSTRUCTIONS, and `--smoke` shrinks every budget.
 
-use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "tbl6_1_reference",
-    "fig3_1_uops",
-    "fig3_4_chains",
-    "fig3_6_dispatch_limits",
-    "fig3_7_base_component",
-    "fig3_9_entropy_fit",
-    "fig3_10_predictors",
-    "fig4_2_cache_mpki",
-    "fig4_3_no_mlp",
-    "fig4_4_cold_capacity",
-    "fig4_7_stride_classes",
-    "fig4_9_llc_chaining",
-    "fig5_2_mix_sampling",
-    "fig5_4_interpolation",
-    "fig5_5_dep_sampling",
-    "fig5_6_branch_component",
-    "fig6_1_cpi_stacks",
-    "fig6_3_sample_budget",
-    "fig6_4_separate_vs_combined",
-    "tbl6_2_component_errors",
-    "fig6_5_space_performance",
-    "fig6_8_space_power",
-    "fig6_14_phases",
-    "fig6_15_mlp_models",
-    "tbl7_1_power_constraint",
-    "fig7_3_dvfs",
-    "fig7_4_pareto",
-    "fig7_7_pareto_metrics",
-    "fig7_10_empirical",
-    "speedup",
-];
+use pmt_bench::harness::{train_entropy_model, HarnessConfig};
+use pmt_bench::{build_entry, emit_all, REGISTRY};
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    let smoke = pmt_bench::harness::HarnessConfig::smoke_requested();
+    let base = HarnessConfig::default_scale();
+    // One entropy-training pass shared by every experiment that wants it
+    // (each standalone binary pays this separately).
+    let trained = train_entropy_model((base.instructions / 4).max(100_000));
     let mut failures = Vec::new();
-    for name in EXPERIMENTS {
+    for entry in REGISTRY {
         println!("\n================================================================");
-        println!("== {name}");
+        println!("== {}  ({} — {})", entry.bin, entry.paper_ref, entry.title);
         println!("================================================================");
-        let mut cmd = Command::new(dir.join(name));
-        if smoke {
-            // Children read the env knob; `--smoke` itself doesn't propagate.
-            cmd.env("PMT_SMOKE", "1");
+        // Isolate failures: one panicking experiment must not abort the
+        // reproduction pass (the behaviour the old child-process driver
+        // had for free).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            build_entry(entry, &base, Some(&trained))
+        }));
+        match result {
+            Ok(figures) => emit_all(&figures),
+            Err(_) => {
+                eprintln!("!! {} panicked", entry.bin);
+                failures.push(entry.bin);
+            }
         }
-        let status = cmd
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        if !status.success() {
-            eprintln!("!! {name} exited with {status}");
-            failures.push(*name);
-        }
+    }
+    if let Err(e) = pmt_bench::harness::save_shared_sim_cache() {
+        eprintln!("warning: saving PMT_SIM_CACHE: {e}");
     }
     if !failures.is_empty() {
         eprintln!(

@@ -1,79 +1,9 @@
-//! Fig 3.10: entropy-model MPKI error for five predictors.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_branch::{EntropyMissModel, EntropyProfiler, PredictorSim};
-use pmt_trace::{collect_trace, count_instructions, UopClass};
-use pmt_uarch::{PredictorConfig, PredictorKind};
-use pmt_workloads::suite;
+//! Fig 3.10: entropy-model MPKI error for five predictors (plus the
+//! Fig 3.8-style per-family fits).
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(400_000);
-    // Gather per-workload entropy and per-predictor truth.
-    let rows = parallel_map(suite(), |spec| {
-        let uops = collect_trace(spec.trace(n), u64::MAX);
-        let insts = count_instructions(&uops);
-        let mut entropy = EntropyProfiler::new(8);
-        let mut sims: Vec<PredictorSim> = PredictorKind::ALL
-            .iter()
-            .map(|&k| PredictorSim::from_config(&PredictorConfig::sized_4kb(k)))
-            .collect();
-        for u in uops.iter().filter(|u| u.class == UopClass::Branch) {
-            entropy.record(u.static_id, u.taken);
-            for s in sims.iter_mut() {
-                s.predict_and_update(u.static_id, u.taken);
-            }
-        }
-        let branches = sims[0].predictions();
-        (
-            entropy.entropy(),
-            insts,
-            branches,
-            sims.iter().map(|s| s.misses()).collect::<Vec<_>>(),
-        )
-    });
-    // Train the per-predictor lines (leave-none-out, as in the thesis'
-    // cross-application model).
-    let mut model = EntropyMissModel::new();
-    for (i, kind) in PredictorKind::ALL.iter().enumerate() {
-        let series: Vec<(f64, f64)> = rows
-            .iter()
-            .map(|(e, _, b, m)| (*e, m[i] as f64 / *b as f64))
-            .collect();
-        let fit = model.train(*kind, &series);
-        println!(
-            "{:<8} fit: missrate = {:.3}E + {:.4} (R² {:.3})",
-            kind.name(),
-            fit.slope,
-            fit.intercept,
-            fit.r_squared
-        );
-    }
-    println!("\nfig 3.10 — MPKI error (model − simulated) per predictor");
-    println!(
-        "{:<8} {:>10} {:>10} {:>12}",
-        "pred", "simMPKI", "modMPKI", "|err| MPKI"
-    );
-    for (i, kind) in PredictorKind::ALL.iter().enumerate() {
-        let mut sim_mpki = 0.0;
-        let mut mod_mpki = 0.0;
-        let mut err = 0.0;
-        for (e, insts, branches, misses) in &rows {
-            let true_mpki = misses[i] as f64 * 1000.0 / *insts as f64;
-            let pred_rate = model.miss_rate(*kind, *e);
-            let pred_mpki = pred_rate * *branches as f64 * 1000.0 / *insts as f64;
-            sim_mpki += true_mpki;
-            mod_mpki += pred_mpki;
-            err += (pred_mpki - true_mpki).abs();
-        }
-        let n_rows = rows.len() as f64;
-        println!(
-            "{:<8} {:>10.2} {:>10.2} {:>12.2}",
-            kind.name(),
-            sim_mpki / n_rows,
-            mod_mpki / n_rows,
-            err / n_rows
-        );
-    }
-    println!("(thesis: avg MPKI 9.3/8.5/7.6/6.9/7.1; |err| 0.64/0.63/1.14/1.06/0.99)");
+    pmt_bench::run_binary("fig3_10_predictors");
 }

@@ -1,27 +1,8 @@
 //! Fig 3.1: micro-operations per instruction for all benchmarks.
-
-use pmt_bench::harness::HarnessConfig;
-use pmt_trace::{collect_trace, InstructionMix};
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(200_000);
-    println!("fig 3.1 — μops per instruction (thesis range: 1.07 lbm … 1.38 GemsFDTD)");
-    println!("{:<12} {:>10}", "workload", "uops/inst");
-    let mut lo: (String, f64) = (String::new(), f64::MAX);
-    let mut hi: (String, f64) = (String::new(), 0.0);
-    for spec in suite() {
-        let uops = collect_trace(spec.trace(n), u64::MAX);
-        let mix = InstructionMix::from_uops(&uops);
-        let upi = mix.uops_per_instruction();
-        println!("{:<12} {:>10.3}", spec.name, upi);
-        if upi < lo.1 {
-            lo = (spec.name.clone(), upi);
-        }
-        if upi > hi.1 {
-            hi = (spec.name.clone(), upi);
-        }
-    }
-    println!("\nmin: {} {:.3}   max: {} {:.3}", lo.0, lo.1, hi.0, hi.1);
+    pmt_bench::run_binary("fig3_1_uops");
 }

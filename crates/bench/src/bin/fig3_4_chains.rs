@@ -1,22 +1,8 @@
 //! Fig 3.4: AP / ABP / CP dependence chains at ROB 128.
-
-use pmt_bench::harness::{profile_suite, HarnessConfig};
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let profiles = profile_suite(&cfg);
-    println!("fig 3.4 — dependence chain lengths at ROB 128");
-    println!("{:<12} {:>8} {:>8} {:>8}", "workload", "AP", "ABP", "CP");
-    let mut ap_sum = 0.0;
-    let mut cp_sum = 0.0;
-    for p in &profiles {
-        let (ap, abp, cp) = (p.deps.ap(128), p.deps.abp(128), p.deps.cp(128));
-        println!("{:<12} {:>8.2} {:>8.2} {:>8.2}", p.name, ap, abp, cp);
-        ap_sum += ap;
-        cp_sum += cp;
-    }
-    println!(
-        "\nCP/AP ratio (thesis: ≈2.9 on average): {:.2}",
-        cp_sum / ap_sum
-    );
+    pmt_bench::run_binary("fig3_4_chains");
 }

@@ -1,50 +1,8 @@
 //! Fig 3.6: which factor limits the effective dispatch rate per workload.
-
-use pmt_bench::harness::{profile_suite, HarnessConfig};
-use pmt_core::IntervalModel;
-use pmt_uarch::MachineConfig;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let machine = MachineConfig::nehalem();
-    let profiles = profile_suite(&cfg);
-    println!("fig 3.6 — effective dispatch rate limits (reference core)");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}  limiter",
-        "workload", "width", "deps", "port", "unit", "Deff"
-    );
-    for p in &profiles {
-        let prediction = IntervalModel::with_config(&machine, cfg.model.clone()).predict(p);
-        // Aggregate the per-window dispatch breakdowns (uop-weighted).
-        let mut acc = [0.0f64; 4];
-        let mut eff = 0.0;
-        let mut weight = 0.0;
-        let mut limiters = std::collections::BTreeMap::new();
-        for w in &prediction.windows {
-            let b = &w.dispatch;
-            let wt = w.instructions;
-            acc[0] += b.width_limit * wt;
-            acc[1] += b.dependence_limit.min(99.0) * wt;
-            acc[2] += b.port_limit.min(99.0) * wt;
-            acc[3] += b.unit_limit.min(99.0) * wt;
-            eff += b.effective * wt;
-            weight += wt;
-            *limiters.entry(b.limiter.label()).or_insert(0u64) += 1;
-        }
-        let dominant = limiters
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .map(|(l, _)| *l)
-            .unwrap_or("-");
-        println!(
-            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}  {}",
-            p.name,
-            acc[0] / weight,
-            acc[1] / weight,
-            acc[2] / weight,
-            acc[3] / weight,
-            eff / weight,
-            dominant
-        );
-    }
+    pmt_bench::run_binary("fig3_6_dispatch_limits");
 }

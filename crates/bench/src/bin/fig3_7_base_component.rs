@@ -1,77 +1,10 @@
 //! Fig 3.7: prediction error of the base component against a perfect
 //! (no-miss-event) simulation, as refinements are added: instructions /
 //! micro-ops / critical path / functional units.
-
-use pmt_bench::harness::{mean_abs_error, parallel_map, pct, HarnessConfig};
-use pmt_core::dispatch::effective_dispatch_rate;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_trace::UopClass;
-use pmt_uarch::MachineConfig;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let machine = MachineConfig::nehalem();
-    let n = cfg.instructions.min(300_000);
-
-    let rows = parallel_map(suite(), |spec| {
-        // Perfect-mode simulation = maximum achievable performance.
-        let sim =
-            OooSimulator::new(SimConfig::new(machine.clone()).perfect()).run(&mut spec.trace(n));
-        let profile = pmt_profiler::Profiler::new(cfg.profiler.clone())
-            .profile_named(&spec.name, &mut spec.trace(n));
-        let insts = sim.instructions as f64;
-        let uops = profile.total_uops;
-        let d = machine.core.dispatch_width as f64;
-        // Variant 1: instructions / D.
-        let c1 = insts / d;
-        // Variant 2: μops / D.
-        let c2 = uops / d;
-        // Variant 3: μops / min(D, ROB/(lat·CP)).
-        let mut counts = [0.0; UopClass::COUNT];
-        for c in UopClass::ALL {
-            counts[c.index()] = profile.mix.fraction(c) * uops;
-        }
-        let lat = machine.average_latency(&profile.class_fractions());
-        let cp = profile.deps.cp(machine.core.rob_size);
-        let rob = machine.core.rob_size as f64;
-        let deff3 = d.min(rob / (lat * cp.max(1.0)));
-        let c3 = uops / deff3;
-        // Variant 4: full Eq 3.10.
-        let b = effective_dispatch_rate(&machine, &counts, cp, lat);
-        let c4 = uops / b.effective;
-        let s = sim.cycles as f64;
-        (
-            spec.name.clone(),
-            [(c1 - s) / s, (c2 - s) / s, (c3 - s) / s, (c4 - s) / s],
-        )
-    });
-
-    println!("fig 3.7 — base-component error vs perfect simulation");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "workload", "insts", "uops", "critical", "functional"
-    );
-    let mut cols: [Vec<f64>; 4] = Default::default();
-    for (name, errs) in &rows {
-        println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>10}",
-            name,
-            pct(errs[0]),
-            pct(errs[1]),
-            pct(errs[2]),
-            pct(errs[3])
-        );
-        for i in 0..4 {
-            cols[i].push(errs[i]);
-        }
-    }
-    println!(
-        "\nmean |err|: insts {} → uops {} → critical {} → functional {}",
-        pct(mean_abs_error(&cols[0])),
-        pct(mean_abs_error(&cols[1])),
-        pct(mean_abs_error(&cols[2])),
-        pct(mean_abs_error(&cols[3]))
-    );
-    println!("(thesis: 41.6% → 32.7% → 23.3% → 11.7%)");
+    pmt_bench::run_binary("fig3_7_base_component");
 }

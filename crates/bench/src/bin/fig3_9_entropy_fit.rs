@@ -1,34 +1,8 @@
 //! Fig 3.9: linear fit of branch entropy vs predictor miss rate.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_branch::{EntropyProfiler, LinearFit, PredictorSim};
-use pmt_trace::{collect_trace, UopClass};
-use pmt_uarch::{PredictorConfig, PredictorKind};
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(400_000);
-    let pts = parallel_map(suite(), |spec| {
-        let uops = collect_trace(spec.trace(n), u64::MAX);
-        let mut entropy = EntropyProfiler::new(8);
-        let mut sim = PredictorSim::from_config(&PredictorConfig::sized_4kb(PredictorKind::GAg));
-        for u in uops.iter().filter(|u| u.class == UopClass::Branch) {
-            entropy.record(u.static_id, u.taken);
-            sim.predict_and_update(u.static_id, u.taken);
-        }
-        (spec.name.clone(), entropy.entropy(), sim.miss_rate())
-    });
-    println!("fig 3.9 — branch entropy vs GAg miss rate");
-    println!("{:<12} {:>9} {:>9}", "workload", "entropy", "missrate");
-    let series: Vec<(f64, f64)> = pts.iter().map(|(_, e, m)| (*e, *m)).collect();
-    for (name, e, m) in &pts {
-        println!("{name:<12} {e:>9.4} {m:>9.4}");
-    }
-    let fit = LinearFit::fit(&series);
-    println!(
-        "\nlinear fit: missrate = {:.3}·E + {:.4}   (R² = {:.3})",
-        fit.slope, fit.intercept, fit.r_squared
-    );
-    println!("(thesis Fig 3.9: a clear linear relation across >400 experiments)");
+    pmt_bench::run_binary("fig3_9_entropy_fit");
 }

@@ -1,81 +1,9 @@
 //! Fig 4.2: StatStack-estimated vs simulated MPKI for the three-level
 //! hierarchy (32 KB / 256 KB / 8 MB).
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_cachesim::HierarchySim;
-use pmt_core::cache_model::CacheModel;
-use pmt_profiler::Profiler;
-use pmt_trace::{collect_trace, UopClass};
-use pmt_uarch::CacheHierarchy;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions;
-    let caches = CacheHierarchy::nehalem();
-    let rows = parallel_map(suite(), |spec| {
-        // Simulated truth.
-        let uops = collect_trace(spec.trace(n), u64::MAX);
-        let mut sim = HierarchySim::new(caches, None);
-        let mut insts = 0u64;
-        for u in &uops {
-            if u.begins_instruction {
-                insts += 1;
-            }
-            if u.class.is_memory() {
-                sim.access_data(u.addr, u.class == UopClass::Store, u.static_id);
-            }
-        }
-        let s = sim.stats();
-        let ki = insts as f64 / 1000.0;
-        let sim_mpki = [
-            s.l1d.misses() as f64 / ki,
-            s.l2.misses() as f64 / ki,
-            s.l3.misses() as f64 / ki,
-        ];
-        // StatStack prediction from the profile.
-        let profile =
-            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(n));
-        let loads = CacheModel::fit(&profile.memory.loads, &caches);
-        let stores = CacheModel::fit(&profile.memory.stores, &caches);
-        let l = profile.memory.loads_per_uop * profile.total_uops;
-        let st = profile.memory.stores_per_uop * profile.total_uops;
-        let pred = |lr: f64, sr: f64| (lr * l + sr * st) / ki;
-        let mod_mpki = [
-            pred(loads.ratios.l1, stores.ratios.l1),
-            pred(loads.ratios.l2, stores.ratios.l2),
-            pred(loads.ratios.l3, stores.ratios.l3),
-        ];
-        (spec.name.clone(), sim_mpki, mod_mpki)
-    });
-    println!("fig 4.2 — cache MPKI: simulated vs StatStack");
-    println!(
-        "{:<12} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
-        "workload", "L1 sim", "L1 mod", "L2 sim", "L2 mod", "L3 sim", "L3 mod"
-    );
-    let mut errs = [Vec::new(), Vec::new(), Vec::new()];
-    for (name, sim, model) in &rows {
-        println!(
-            "{:<12} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
-            name, sim[0], model[0], sim[1], model[1], sim[2], model[2]
-        );
-        for i in 0..3 {
-            if sim[i] > 5.0 {
-                errs[i].push((model[i] - sim[i]).abs() / sim[i]);
-            }
-        }
-    }
-    for (i, level) in ["L1", "L2", "L3"].iter().enumerate() {
-        let mean = if errs[i].is_empty() {
-            0.0
-        } else {
-            errs[i].iter().sum::<f64>() / errs[i].len() as f64
-        };
-        println!(
-            "{level} mean |err| over benchmarks with >5 MPKI: {:.1}%  ({} benchmarks)",
-            mean * 100.0,
-            errs[i].len()
-        );
-    }
-    println!("(thesis: 4.1% / 6.7% / 3.5% for the three levels)");
+    pmt_bench::run_binary("fig4_2_cache_mpki");
 }

@@ -1,47 +1,8 @@
 //! Fig 4.3: normalized execution time with and without MLP modeling.
-
-use pmt_bench::harness::{evaluate_suite, mean_abs_error, pct, HarnessConfig};
-use pmt_core::IntervalModel;
-use pmt_uarch::MachineConfig;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let machine = MachineConfig::nehalem();
-    let results = evaluate_suite(&machine, &cfg);
-    println!("fig 4.3 — impact of MLP modeling (exec time normalized to sim)");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "workload", "model", "no-MLP", "sim=1.0"
-    );
-    let mut with_mlp = Vec::new();
-    let mut without = Vec::new();
-    for r in &results {
-        // Re-evaluate the same profile with MLP forced to 1: scale the
-        // DRAM component of each window back up by its MLP.
-        let no_mlp_cycles: f64 = r
-            .prediction
-            .windows
-            .iter()
-            .map(|w| {
-                let dram = w.stack.get(pmt_uarch::CpiComponent::Dram) * w.instructions;
-                w.cycles + dram * (w.memory.mlp - 1.0)
-            })
-            .sum();
-        let sim = r.sim.cycles as f64;
-        println!(
-            "{:<12} {:>10.3} {:>10.3} {:>10.3}",
-            r.name,
-            r.prediction.cycles / sim,
-            no_mlp_cycles / sim,
-            1.0
-        );
-        with_mlp.push(r.prediction.cycles / sim - 1.0);
-        without.push(no_mlp_cycles / sim - 1.0);
-        let _ = IntervalModel::new(&machine); // (explicit dependency)
-    }
-    println!(
-        "\nmean |err|: with MLP {}, without MLP {} (thesis: no-MLP error 24.6%, max 96%)",
-        pct(mean_abs_error(&with_mlp)),
-        pct(mean_abs_error(&without))
-    );
+    pmt_bench::run_binary("fig4_3_no_mlp");
 }

@@ -1,72 +1,8 @@
 //! Fig 4.4: cold vs capacity LLC misses, short trace vs warmed-up trace.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_cachesim::HierarchySim;
-use pmt_trace::UopClass;
-use pmt_uarch::CacheHierarchy;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(500_000);
-    let rows = parallel_map(suite(), |spec| {
-        let run = |warmup: u64| {
-            let mut sim = HierarchySim::new(CacheHierarchy::nehalem(), None);
-            let mut trace = spec.trace(warmup + n);
-            let mut buf = Vec::new();
-            let mut seen = 0u64;
-            let mut baseline = (0u64, 0u64, 0u64, 0u64);
-            loop {
-                buf.clear();
-                if pmt_trace::TraceSource::fill(&mut trace, &mut buf, 8192) == 0 {
-                    break;
-                }
-                for u in &buf {
-                    if u.begins_instruction {
-                        seen += 1;
-                        if seen == warmup {
-                            let s = sim.stats();
-                            baseline = (
-                                s.l3.cold_load_misses,
-                                s.l3.capacity_load_misses(),
-                                s.l3.cold_store_misses,
-                                s.l3.capacity_store_misses(),
-                            );
-                        }
-                    }
-                    if u.class.is_memory() {
-                        sim.access_data(u.addr, u.class == UopClass::Store, u.static_id);
-                    }
-                }
-            }
-            let s = sim.stats();
-            (
-                s.l3.cold_load_misses - baseline.0,
-                s.l3.capacity_load_misses() - baseline.1,
-                s.l3.cold_store_misses - baseline.2,
-                s.l3.capacity_store_misses() - baseline.3,
-            )
-        };
-        (spec.name.clone(), run(0), run(n))
-    });
-    println!("fig 4.4 — LLC miss breakdown: no warmup vs {n}-instruction warmup");
-    println!(
-        "{:<12} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
-        "workload", "coldL", "capL", "coldS", "capS", "w.coldL", "w.capL", "w.coldS", "w.capS"
-    );
-    for (name, cold_run, warm_run) in &rows {
-        println!(
-            "{:<12} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
-            name,
-            cold_run.0,
-            cold_run.1,
-            cold_run.2,
-            cold_run.3,
-            warm_run.0,
-            warm_run.1,
-            warm_run.2,
-            warm_run.3
-        );
-    }
-    println!("(thesis: warmup shrinks the cold share for most, but not all, benchmarks)");
+    pmt_bench::run_binary("fig4_4_cold_capacity");
 }

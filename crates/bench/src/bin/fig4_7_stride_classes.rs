@@ -1,41 +1,8 @@
 //! Fig 4.7: per-workload ratios of the stride categories.
-
-use pmt_bench::harness::{profile_suite, HarnessConfig};
-use pmt_profiler::StrideCategory;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let profiles = profile_suite(&cfg);
-    let cats = [
-        StrideCategory::SingleExact,
-        StrideCategory::Filtered1,
-        StrideCategory::Filtered2,
-        StrideCategory::Filtered3,
-        StrideCategory::Filtered4,
-        StrideCategory::Random,
-        StrideCategory::Unique,
-    ];
-    println!("fig 4.7 — stride class ratios (per static load occurrence)");
-    print!("{:<12}", "workload");
-    for c in cats {
-        print!(" {:>9}", c.label());
-    }
-    println!();
-    for p in &profiles {
-        let mut counts = vec![0u64; cats.len()];
-        let mut total = 0u64;
-        for t in &p.micro_traces {
-            for l in &t.static_loads {
-                let idx = cats.iter().position(|&c| c == l.category).unwrap();
-                counts[idx] += 1;
-                total += 1;
-            }
-        }
-        print!("{:<12}", p.name);
-        for c in &counts {
-            print!(" {:>8.1}%", *c as f64 * 100.0 / total.max(1) as f64);
-        }
-        println!();
-    }
-    println!("(thesis: one-stride loads dominate; cactusADM/omnetpp/xalancbmk >50% unique)");
+    pmt_bench::run_binary("fig4_7_stride_classes");
 }

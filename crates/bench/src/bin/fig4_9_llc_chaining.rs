@@ -1,57 +1,9 @@
 //! Fig 4.9: gcc CPI over time, with and without the LLC-hit chaining
 //! component, against the simulator.
-
-use pmt_bench::harness::HarnessConfig;
-use pmt_core::IntervalModel;
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::MachineConfig;
-use pmt_workloads::WorkloadSpec;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let machine = MachineConfig::nehalem();
-    let spec = WorkloadSpec::by_name("gcc").unwrap();
-    let interval = (cfg.instructions / 40).max(1);
-
-    let sim = OooSimulator::new(SimConfig::new(machine.clone()).with_intervals(interval))
-        .run(&mut spec.trace(cfg.instructions));
-    let profile =
-        Profiler::new(cfg.profiler.clone()).profile_named("gcc", &mut spec.trace(cfg.instructions));
-    let with = IntervalModel::with_config(&machine, cfg.model.clone()).predict(&profile);
-    let mut no_chain_cfg = cfg.model.clone();
-    no_chain_cfg.llc_chaining = false;
-    let without = IntervalModel::with_config(&machine, no_chain_cfg).predict(&profile);
-
-    println!("fig 4.9 — gcc CPI over time (model vs sim; LLC chaining on/off)");
-    println!(
-        "{:>10} {:>8} {:>8} {:>8}",
-        "inst", "sim", "model", "no-chain"
-    );
-    let windows_per_interval = (interval / profile.sampling.window_instructions).max(1) as usize;
-    for (i, s) in sim.intervals.iter().enumerate() {
-        let lo = i * windows_per_interval;
-        let hi = ((i + 1) * windows_per_interval).min(with.windows.len());
-        if lo >= hi {
-            break;
-        }
-        let avg = |p: &pmt_core::Prediction| {
-            let c: f64 = p.windows[lo..hi].iter().map(|w| w.cycles).sum();
-            let n: f64 = p.windows[lo..hi].iter().map(|w| w.instructions).sum();
-            c / n
-        };
-        println!(
-            "{:>10} {:>8.3} {:>8.3} {:>8.3}",
-            s.instructions,
-            s.cpi,
-            avg(&with),
-            avg(&without)
-        );
-    }
-    let err = |p: &pmt_core::Prediction| (p.cycles - sim.cycles as f64) / sim.cycles as f64 * 100.0;
-    println!(
-        "\ntotal error: with chaining {:+.1}%, without {:+.1}% (thesis gcc: -3.6% vs -12.3%)",
-        err(&with),
-        err(&without)
-    );
+    pmt_bench::run_binary("fig4_9_llc_chaining");
 }

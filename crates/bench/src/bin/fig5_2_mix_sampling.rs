@@ -1,35 +1,8 @@
 //! Fig 5.2 / Eq 5.1: instruction-mix sampling error.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_profiler::Profiler;
-use pmt_trace::UopClass;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let rows = parallel_map(suite(), |spec| {
-        let p = Profiler::new(cfg.profiler.clone())
-            .profile_named(&spec.name, &mut spec.trace(cfg.instructions));
-        let errs = p.mix.sampling_error(&p.full_mix);
-        (spec.name.clone(), errs)
-    });
-    println!(
-        "fig 5.2 — per-class sampling error of the instruction mix (Eq 5.1), rate {}",
-        cfg.profiler.sampling.sample_rate()
-    );
-    println!("{:<12} {:>10} {:>10}", "workload", "mean err", "max err");
-    let mut worst: f64 = 0.0;
-    let mut total = 0.0;
-    for (name, errs) in &rows {
-        let mean = errs.iter().sum::<f64>() / UopClass::COUNT as f64;
-        let max = errs.iter().cloned().fold(0.0f64, f64::max);
-        println!("{:<12} {:>9.3}% {:>9.3}%", name, mean * 100.0, max * 100.0);
-        worst = worst.max(max);
-        total += mean;
-    }
-    println!(
-        "\nsuite mean {:.3}%, worst class {:.2}% (thesis: 0.08% mean, 1.8% max)",
-        total / rows.len() as f64 * 100.0,
-        worst * 100.0
-    );
+    pmt_bench::run_binary("fig5_2_mix_sampling");
 }

@@ -1,64 +1,8 @@
-//! Fig 5.3/5.4: error of the logarithmic dependence-chain interpolation.
+//! Figs 5.3/5.4: error of the logarithmic dependence-chain interpolation.
 //!
-//! Profiles chains on the full 16-step grid, then rebuilds a coarse grid
-//! (every other point) and compares interpolated against measured values
-//! at the skipped sizes.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_profiler::DependenceProfile;
-use pmt_trace::collect_trace;
-use pmt_workloads::suite;
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(100_000);
-    let fine: Vec<u32> = (1..=16).map(|i| i * 16).collect();
-    let rows = parallel_map(suite(), |spec| {
-        let uops = collect_trace(spec.trace(n), u64::MAX);
-        let full = DependenceProfile::profile(&uops, &fine);
-        let coarse_grid: Vec<u32> = fine.iter().copied().step_by(2).collect();
-        let coarse = DependenceProfile::profile(&uops, &coarse_grid);
-        // Compare at the skipped grid points.
-        let mut errs = [0.0f64; 3];
-        let mut count = 0;
-        for &rob in fine.iter().skip(1).step_by(2) {
-            let pairs = [
-                (full.ap(rob), coarse.ap(rob)),
-                (full.abp(rob), coarse.abp(rob)),
-                (full.cp(rob), coarse.cp(rob)),
-            ];
-            for (i, (truth, interp)) in pairs.iter().enumerate() {
-                if *truth > 0.0 {
-                    errs[i] += (interp - truth).abs() / truth;
-                }
-            }
-            count += 1;
-        }
-        for e in errs.iter_mut() {
-            *e /= count as f64;
-        }
-        (spec.name.clone(), errs)
-    });
-    println!("fig 5.4 — interpolation error for AP / ABP / CP");
-    println!("{:<12} {:>8} {:>8} {:>8}", "workload", "AP", "ABP", "CP");
-    let mut sums = [0.0f64; 3];
-    for (name, e) in &rows {
-        println!(
-            "{:<12} {:>7.2}% {:>7.2}% {:>7.2}%",
-            name,
-            e[0] * 100.0,
-            e[1] * 100.0,
-            e[2] * 100.0
-        );
-        for i in 0..3 {
-            sums[i] += e[i];
-        }
-    }
-    let n_rows = rows.len() as f64;
-    println!(
-        "\nsuite means: AP {:.2}% ABP {:.2}% CP {:.2}% (thesis: 0.34% / 0.23% / 0.61%)",
-        sums[0] / n_rows * 100.0,
-        sums[1] / n_rows * 100.0,
-        sums[2] / n_rows * 100.0
-    );
+    pmt_bench::run_binary("fig5_4_interpolation");
 }

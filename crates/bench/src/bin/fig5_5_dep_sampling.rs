@@ -1,48 +1,8 @@
 //! Fig 5.5: dependence-chain error introduced by micro-trace sampling.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_profiler::{Profiler, ProfilerConfig};
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(300_000);
-    let rows = parallel_map(suite(), |spec| {
-        let sampled =
-            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(n));
-        let full = Profiler::new(ProfilerConfig::exhaustive(n))
-            .profile_named(&spec.name, &mut spec.trace(n));
-        let rob = 128;
-        let rel = |a: f64, b: f64| if b > 0.0 { (a - b).abs() / b } else { 0.0 };
-        (
-            spec.name.clone(),
-            [
-                rel(sampled.deps.ap(rob), full.deps.ap(rob)),
-                rel(sampled.deps.abp(rob), full.deps.abp(rob)),
-                rel(sampled.deps.cp(rob), full.deps.cp(rob)),
-            ],
-        )
-    });
-    println!("fig 5.5 — micro-trace sampling error on dependence chains (ROB 128)");
-    println!("{:<12} {:>8} {:>8} {:>8}", "workload", "AP", "ABP", "CP");
-    let mut sums = [0.0f64; 3];
-    for (name, e) in &rows {
-        println!(
-            "{:<12} {:>7.2}% {:>7.2}% {:>7.2}%",
-            name,
-            e[0] * 100.0,
-            e[1] * 100.0,
-            e[2] * 100.0
-        );
-        for i in 0..3 {
-            sums[i] += e[i];
-        }
-    }
-    let n_rows = rows.len() as f64;
-    println!(
-        "\nsuite means: AP {:.2}% ABP {:.2}% CP {:.2}% (thesis: 0.45% / 4.22% / 0.34%)",
-        sums[0] / n_rows * 100.0,
-        sums[1] / n_rows * 100.0,
-        sums[2] / n_rows * 100.0
-    );
+    pmt_bench::run_binary("fig5_5_dep_sampling");
 }

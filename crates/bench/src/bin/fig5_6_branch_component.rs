@@ -1,36 +1,9 @@
 //! Fig 5.6: relative contribution of the branch component to total
 //! execution time (simulator CPI stacks).
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::{CpiComponent, MachineConfig};
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let machine = MachineConfig::nehalem();
-    let rows = parallel_map(suite(), |spec| {
-        let r = OooSimulator::new(SimConfig::new(machine.clone()))
-            .run(&mut spec.trace(cfg.instructions.min(400_000)));
-        (
-            spec.name.clone(),
-            r.cpi(),
-            r.cpi_stack.get(CpiComponent::Branch),
-        )
-    });
-    println!("fig 5.6 — branch component share of total CPI (simulator)");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8}",
-        "workload", "CPI", "branch", "share"
-    );
-    for (name, cpi, branch) in &rows {
-        println!(
-            "{:<12} {:>8.3} {:>8.3} {:>7.1}%",
-            name,
-            cpi,
-            branch,
-            branch / cpi * 100.0
-        );
-    }
-    println!("(thesis: the branch component is small for most benchmarks)");
+    pmt_bench::run_binary("fig5_6_branch_component");
 }

@@ -1,65 +1,9 @@
 //! Fig 6.14: phase tracking — CPI over time, model vs sim, for the
 //! thesis' three example benchmarks.
-
-use pmt_bench::harness::HarnessConfig;
-use pmt_core::IntervalModel;
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::MachineConfig;
-use pmt_workloads::WorkloadSpec;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let machine = MachineConfig::nehalem();
-    for name in ["astar", "bzip2", "cactusADM"] {
-        let spec = WorkloadSpec::by_name(name).unwrap();
-        let interval = (cfg.instructions / 25).max(1);
-        let sim = OooSimulator::new(SimConfig::new(machine.clone()).with_intervals(interval))
-            .run(&mut spec.trace(cfg.instructions));
-        let profile = Profiler::new(cfg.profiler.clone())
-            .profile_named(name, &mut spec.trace(cfg.instructions));
-        let pred = IntervalModel::with_config(&machine, cfg.model.clone()).predict(&profile);
-        println!("\nfig 6.14 — {name}: CPI per interval (sim vs model)");
-        println!("{:>10} {:>8} {:>8}", "inst", "sim", "model");
-        let wpi = (interval / profile.sampling.window_instructions).max(1) as usize;
-        let mut sim_series = Vec::new();
-        let mut mod_series = Vec::new();
-        for (i, s) in sim.intervals.iter().enumerate() {
-            let lo = i * wpi;
-            let hi = ((i + 1) * wpi).min(pred.windows.len());
-            if lo >= hi {
-                break;
-            }
-            let c: f64 = pred.windows[lo..hi].iter().map(|w| w.cycles).sum();
-            let ins: f64 = pred.windows[lo..hi].iter().map(|w| w.instructions).sum();
-            println!("{:>10} {:>8.3} {:>8.3}", s.instructions, s.cpi, c / ins);
-            sim_series.push(s.cpi);
-            mod_series.push(c / ins);
-        }
-        // Phase-tracking quality: correlation between the two series.
-        let corr = correlation(&sim_series, &mod_series);
-        println!("correlation(sim, model) = {corr:.3}");
-    }
-}
-
-fn correlation(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len().min(b.len()) as f64;
-    if n < 2.0 {
-        return 1.0;
-    }
-    let ma = a.iter().sum::<f64>() / n;
-    let mb = b.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut va = 0.0;
-    let mut vb = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        cov += (x - ma) * (y - mb);
-        va += (x - ma).powi(2);
-        vb += (y - mb).powi(2);
-    }
-    if va * vb > 0.0 {
-        cov / (va * vb).sqrt()
-    } else {
-        0.0
-    }
+    pmt_bench::run_binary("fig6_14_phases");
 }

@@ -1,46 +1,9 @@
-//! Figs 6.15–6.18: cold-miss vs stride MLP model — error on the DRAM wait
+//! Figs 6.15-6.18: cold-miss vs stride MLP model — error on the DRAM wait
 //! component, with and without hardware prefetching.
-
-use pmt_bench::harness::{evaluate_suite, mean_abs_error, pct, HarnessConfig};
-use pmt_core::MlpModelKind;
-use pmt_uarch::{CpiComponent, MachineConfig};
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    for (label, machine) in [
-        ("no prefetcher (figs 6.15/6.16)", MachineConfig::nehalem()),
-        (
-            "stride prefetcher (fig 6.18)",
-            MachineConfig::nehalem_with_prefetcher(),
-        ),
-    ] {
-        println!("\n=== {label} ===");
-        let mut table: Vec<(&str, Vec<f64>)> = Vec::new();
-        for (name, kind) in [
-            ("stride MLP", MlpModelKind::Stride),
-            ("cold-miss MLP", MlpModelKind::ColdMiss),
-        ] {
-            let mut cfg = HarnessConfig::default_scale().with_trained_entropy();
-            cfg.model = cfg.model.with_mlp(kind);
-            let results = evaluate_suite(&machine, &cfg);
-            // Error on the DRAM wait (CPI memory component), per thesis.
-            let errs: Vec<f64> = results
-                .iter()
-                .map(|r| {
-                    let s = r.sim.cpi_stack.get(CpiComponent::Dram).max(1e-3);
-                    let m = r.prediction.cpi_stack.get(CpiComponent::Dram);
-                    // Normalize by total CPI so near-zero components don't
-                    // explode the relative error.
-                    (m - s) / r.sim.cpi()
-                })
-                .collect();
-            table.push((name, errs));
-        }
-        for (name, errs) in &table {
-            println!(
-                "{name:<14} mean |DRAM-wait error| (fraction of CPI): {}",
-                pct(mean_abs_error(errs))
-            );
-        }
-        println!("(thesis CAL'18: stride 3.6% vs cold-miss 16.9% with prefetching)");
-    }
+    pmt_bench::run_binary("fig6_15_mlp_models");
 }

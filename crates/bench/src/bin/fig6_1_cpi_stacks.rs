@@ -1,34 +1,9 @@
 //! Fig 6.1: CPI stacks, model vs simulator, reference architecture.
 //! Also reports the §6.2.1 headline: mean absolute CPI error.
-
-use pmt_bench::harness::{evaluate_suite, mean_abs_error, pct, HarnessConfig};
-use pmt_uarch::{CpiComponent, MachineConfig};
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let results = evaluate_suite(&MachineConfig::nehalem(), &cfg);
-    println!("fig 6.1 — CPI stacks (sim row / model row per workload)");
-    print!("{:<14}{:>8}", "workload", "CPI");
-    for c in CpiComponent::ALL {
-        print!("{:>9}", c.label());
-    }
-    println!();
-    let mut errors = Vec::new();
-    for r in &results {
-        print!("{:<14}{:>8.3}", format!("{} sim", r.name), r.sim.cpi());
-        for c in CpiComponent::ALL {
-            print!("{:>9.3}", r.sim.cpi_stack.get(c));
-        }
-        println!();
-        print!("{:<14}{:>8.3}", "  model", r.prediction.cpi());
-        for c in CpiComponent::ALL {
-            print!("{:>9.3}", r.prediction.cpi_stack.get(c));
-        }
-        println!();
-        errors.push(r.cpi_error());
-    }
-    println!(
-        "\nmean |CPI error| on the reference architecture: {} (thesis §6.2.1: 7.6%)",
-        pct(mean_abs_error(&errors))
-    );
+    pmt_bench::run_binary("fig6_1_cpi_stacks");
 }

@@ -1,53 +1,9 @@
 //! Fig 6.3: prediction error vs number of instructions profiled
 //! (sampling-rate sweep).
-
-use pmt_bench::harness::{mean_abs_error, parallel_map, pct, HarnessConfig};
-use pmt_core::IntervalModel;
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_trace::SamplingConfig;
-use pmt_uarch::MachineConfig;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let machine = MachineConfig::nehalem();
-    let n = cfg.instructions;
-    // Ground truth once per workload.
-    let sims = parallel_map(suite(), |spec| {
-        OooSimulator::new(SimConfig::new(machine.clone())).run(&mut spec.trace(n))
-    });
-    println!("fig 6.3 — mean |CPI error| vs profiled instruction budget");
-    println!("{:>14} {:>12} {:>10}", "micro/window", "profiled", "error");
-    for (micro, window) in [
-        (200u64, 40_000u64),
-        (500, 20_000),
-        (1_000, 10_000),
-        (2_000, 8_000),
-        (4_000, 8_000),
-    ] {
-        let mut pcfg = cfg.profiler.clone();
-        pcfg.sampling = SamplingConfig {
-            micro_trace_instructions: micro,
-            window_instructions: window,
-        };
-        let errs: Vec<f64> = parallel_map(suite(), |spec| {
-            let p = Profiler::new(pcfg.clone()).profile_named(&spec.name, &mut spec.trace(n));
-            let pred = IntervalModel::with_config(&machine, cfg.model.clone()).predict(&p);
-            let i = pmt_workloads::SUITE
-                .iter()
-                .position(|w| *w == spec.name)
-                .unwrap();
-            (pred.cpi() - sims[i].cpi()) / sims[i].cpi()
-        });
-        let profiled = n * micro / window;
-        println!(
-            "{:>7}/{:<7} {:>12} {:>10}",
-            micro,
-            window,
-            profiled,
-            pct(mean_abs_error(&errs))
-        );
-    }
-    println!("(thesis: error flattens once ~1M instructions are profiled)");
+    pmt_bench::run_binary("fig6_3_sample_budget");
 }

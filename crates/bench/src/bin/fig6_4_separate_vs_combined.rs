@@ -1,40 +1,8 @@
 //! Fig 6.4 / §6.2.2: per-micro-trace vs combined model evaluation.
-
-use pmt_bench::harness::{evaluate_suite, mean_abs_error, pct, HarnessConfig};
-use pmt_core::EvaluationMode;
-use pmt_uarch::MachineConfig;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let machine = MachineConfig::nehalem();
-    let base = HarnessConfig::default_scale().with_trained_entropy();
-
-    let mut separate_cfg = base.clone();
-    separate_cfg.model = separate_cfg
-        .model
-        .with_evaluation(EvaluationMode::PerMicroTrace);
-    let separate = evaluate_suite(&machine, &separate_cfg);
-
-    let mut combined_cfg = base;
-    combined_cfg.model = combined_cfg.model.with_evaluation(EvaluationMode::Combined);
-    let combined = evaluate_suite(&machine, &combined_cfg);
-
-    println!("fig 6.4 — evaluation granularity (CPI error per workload)");
-    println!("{:<12} {:>12} {:>12}", "workload", "separate", "combined");
-    let mut es = Vec::new();
-    let mut ec = Vec::new();
-    for (s, c) in separate.iter().zip(&combined) {
-        println!(
-            "{:<12} {:>12} {:>12}",
-            s.name,
-            pct(s.cpi_error()),
-            pct(c.cpi_error())
-        );
-        es.push(s.cpi_error());
-        ec.push(c.cpi_error());
-    }
-    println!(
-        "\nmean |err|: separate {} vs combined {} (thesis: separate wins)",
-        pct(mean_abs_error(&es)),
-        pct(mean_abs_error(&ec))
-    );
+    pmt_bench::run_binary("fig6_4_separate_vs_combined");
 }

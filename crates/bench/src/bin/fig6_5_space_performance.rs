@@ -1,59 +1,10 @@
 //! Table 6.3 + Figs 6.5/6.6: CPI accuracy across the processor design
-//! space. `PMT_SPACE_STRIDE` subsamples the 243 points (default 9 → 27
+//! space. `PMT_SPACE_STRIDE` subsamples the 243 points (default 9 -> 27
 //! points); `PMT_SPACE_STRIDE=1` runs the full space.
-
-use pmt_bench::harness::{mean_abs_error, parallel_map, pct, HarnessConfig};
-use pmt_core::IntervalModel;
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::DesignSpace;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride = pmt_bench::harness::space_stride(9);
-    let sim_n = pmt_bench::harness::sim_instructions(cfg.instructions.min(300_000));
-    let space = DesignSpace::thesis_table_6_3();
-    let points: Vec<_> = space.enumerate().into_iter().step_by(stride).collect();
-    println!(
-        "table 6.3 space: {} points ({} sampled, stride {stride}); sim budget {} inst",
-        space.len(),
-        points.len(),
-        sim_n
-    );
-
-    // Profile once per workload (the micro-architecture independent step).
-    let profiles = parallel_map(suite(), |spec| {
-        Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(sim_n))
-    });
-
-    // All (workload, point) pairs.
-    let mut pairs = Vec::new();
-    for (wi, spec) in suite().into_iter().enumerate() {
-        for p in &points {
-            pairs.push((wi, spec.clone(), p.clone()));
-        }
-    }
-    let errs = parallel_map(pairs, |(wi, spec, point)| {
-        let sim =
-            OooSimulator::new(SimConfig::new(point.machine.clone())).run(&mut spec.trace(sim_n));
-        let pred =
-            IntervalModel::with_config(&point.machine, cfg.model.clone()).predict(&profiles[wi]);
-        (pred.cpi() - sim.cpi()) / sim.cpi()
-    });
-
-    // Error distribution (the box-plot numbers of Fig 6.5).
-    let mut abs: Vec<f64> = errs.iter().map(|e| e.abs()).collect();
-    abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let q = |f: f64| abs[((abs.len() - 1) as f64 * f) as usize];
-    println!("\nfig 6.5 — CPI error distribution over the space:");
-    println!(
-        "  mean {}  median {}  p75 {}  p95 {}  max {}",
-        pct(mean_abs_error(&errs)),
-        pct(q(0.50)),
-        pct(q(0.75)),
-        pct(q(0.95)),
-        pct(q(1.0))
-    );
-    println!("  (thesis: 9.3% mean across the design space; 13% for the ISPASS'15 variant)");
+    pmt_bench::run_binary("fig6_5_space_performance");
 }

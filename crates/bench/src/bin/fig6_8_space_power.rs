@@ -1,92 +1,8 @@
-//! Figs 6.7–6.10: power stacks and power accuracy across the design space.
-
-use pmt_bench::harness::{mean_abs_error, parallel_map, pct, HarnessConfig};
-use pmt_core::IntervalModel;
-use pmt_power::{PowerComponent, PowerModel};
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::{DesignSpace, MachineConfig};
-use pmt_workloads::suite;
+//! Figs 6.7-6.10: power stacks and power accuracy across the design space.
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let machine = MachineConfig::nehalem();
-    let n = cfg.instructions;
-
-    // --- Fig 6.7: power stacks on the reference machine -----------------
-    println!("fig 6.7 — power stacks (W), sim row / model row");
-    print!("{:<14}{:>8}{:>8}", "workload", "total", "static");
-    for c in PowerComponent::ALL {
-        print!("{:>9}", c.label());
-    }
-    println!();
-    let rows = parallel_map(suite(), |spec| {
-        let sim = OooSimulator::new(SimConfig::new(machine.clone())).run(&mut spec.trace(n));
-        let profile =
-            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(n));
-        let pred = IntervalModel::with_config(&machine, cfg.model.clone()).predict(&profile);
-        let pm = PowerModel::new(&machine);
-        (
-            spec.name.clone(),
-            pm.power(&sim.activity),
-            pm.power(&pred.activity),
-        )
-    });
-    let mut errors = Vec::new();
-    for (name, sim_p, mod_p) in &rows {
-        for (label, b) in [("sim", sim_p), ("model", mod_p)] {
-            print!(
-                "{:<14}{:>8.2}{:>8.2}",
-                if label == "sim" {
-                    name.clone()
-                } else {
-                    "  model".into()
-                },
-                b.total(),
-                b.static_w
-            );
-            for c in PowerComponent::ALL {
-                print!("{:>9.2}", b.dynamic(c));
-            }
-            println!();
-        }
-        errors.push((mod_p.total() - sim_p.total()) / sim_p.total());
-    }
-    println!(
-        "\nreference-machine power error: {} (thesis §6.3.1: 3.4%)",
-        pct(mean_abs_error(&errors))
-    );
-
-    // --- Figs 6.8–6.10: across the (sub-sampled) space ------------------
-    let stride = pmt_bench::harness::space_stride(27);
-    let sim_n = n.min(200_000);
-    let points: Vec<_> = DesignSpace::thesis_table_6_3()
-        .enumerate()
-        .into_iter()
-        .step_by(stride)
-        .collect();
-    let profiles = parallel_map(suite(), |spec| {
-        Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(sim_n))
-    });
-    let mut pairs = Vec::new();
-    for (wi, spec) in suite().into_iter().enumerate() {
-        for p in &points {
-            pairs.push((wi, spec.clone(), p.clone()));
-        }
-    }
-    let errs = parallel_map(pairs, |(wi, spec, point)| {
-        let sim =
-            OooSimulator::new(SimConfig::new(point.machine.clone())).run(&mut spec.trace(sim_n));
-        let pred =
-            IntervalModel::with_config(&point.machine, cfg.model.clone()).predict(&profiles[wi]);
-        let pm = PowerModel::new(&point.machine);
-        let sp = pm.power(&sim.activity).total();
-        let mp = pm.power(&pred.activity).total();
-        (mp - sp) / sp
-    });
-    println!(
-        "\nfig 6.9 — power error across {} space points: mean {} (thesis: 4.3%)",
-        points.len(),
-        pct(mean_abs_error(&errs))
-    );
+    pmt_bench::run_binary("fig6_8_space_power");
 }

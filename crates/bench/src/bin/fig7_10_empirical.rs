@@ -1,95 +1,9 @@
-//! Figs 7.10–7.13: mechanistic model vs empirical (ridge regression)
+//! Figs 7.10-7.13: mechanistic model vs empirical (ridge regression)
 //! comparator for Pareto pruning.
-
-use pmt_bench::harness::{parallel_map, pct, HarnessConfig};
-use pmt_dse::{EmpiricalModel, PruningQuality, SpaceEvaluation, SweepConfig};
-use pmt_profiler::Profiler;
-use pmt_uarch::DesignSpace;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride = pmt_bench::harness::space_stride(9);
-    let sim_n = pmt_bench::harness::sim_instructions(cfg.instructions.min(200_000));
-    let points: Vec<_> = DesignSpace::thesis_table_6_3()
-        .enumerate()
-        .into_iter()
-        .step_by(stride)
-        .collect();
-    println!(
-        "figs 7.10–7.13 — mechanistic (0 training sims) vs empirical ({} training sims) over {} points",
-        points.len().div_ceil(4),
-        points.len()
-    );
-    println!(
-        "{:<12} {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}",
-        "workload", "m.sens", "e.sens", "m.spec", "e.spec", "m.HVR", "e.HVR"
-    );
-    let rows = parallel_map(suite(), |spec| {
-        let profile =
-            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(sim_n));
-        let sweep = SweepConfig {
-            model: cfg.model.clone(),
-            with_simulation: true,
-            sim_instructions: sim_n,
-            ..Default::default()
-        };
-        let eval = SpaceEvaluation::run(&points, &profile, Some(&spec), &sweep);
-        let truth = eval.sim_points();
-        // Mechanistic.
-        let q_mech = PruningQuality::evaluate(&truth, &eval.model_points());
-        // Empirical: train on a quarter of the simulated points — note
-        // that even this training set costs simulations the mechanistic
-        // model does not need.
-        let train: Vec<(&pmt_uarch::DesignPoint, f64, f64)> = points
-            .iter()
-            .enumerate()
-            .step_by(4)
-            .map(|(i, p)| {
-                let o = &eval.outcomes[i];
-                (p, o.sim_cpi.unwrap(), o.sim_power.unwrap())
-            })
-            .collect();
-        let emp = EmpiricalModel::train(&train);
-        let emp_pts: Vec<(f64, f64)> = points
-            .iter()
-            .map(|p| {
-                let cpi = emp.predict_cpi(p);
-                let secs = cpi * sim_n as f64 / (p.machine.core.frequency_ghz * 1e9);
-                (secs, emp.predict_power(p))
-            })
-            .collect();
-        let q_emp = PruningQuality::evaluate(&truth, &emp_pts);
-        (spec.name.clone(), q_mech, q_emp)
-    });
-    let mut acc = [0.0f64; 6];
-    for (name, m, e) in &rows {
-        println!(
-            "{:<12} {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7}",
-            name,
-            pct(m.sensitivity),
-            pct(e.sensitivity),
-            pct(m.specificity),
-            pct(e.specificity),
-            pct(m.hvr),
-            pct(e.hvr)
-        );
-        acc[0] += m.sensitivity;
-        acc[1] += e.sensitivity;
-        acc[2] += m.specificity;
-        acc[3] += e.specificity;
-        acc[4] += m.hvr;
-        acc[5] += e.hvr;
-    }
-    let n = rows.len() as f64;
-    println!(
-        "\naverages: mech sens {} spec {} HVR {} | emp sens {} spec {} HVR {}",
-        pct(acc[0] / n),
-        pct(acc[2] / n),
-        pct(acc[4] / n),
-        pct(acc[1] / n),
-        pct(acc[3] / n),
-        pct(acc[5] / n)
-    );
-    println!("(thesis: the mechanistic model prunes better despite similar average error)");
+    pmt_bench::run_binary("fig7_10_empirical");
 }

@@ -1,34 +1,8 @@
 //! Table 7.2 / Fig 7.3: DVFS exploration and ED²P optimization.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_dse::dvfs::{best_ed2p, explore};
-use pmt_profiler::Profiler;
-use pmt_uarch::{nehalem_dvfs_points, MachineConfig};
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let machine = MachineConfig::nehalem();
-    let points = nehalem_dvfs_points();
-    println!("fig 7.3 — ED²P across DVFS settings (model)");
-    print!("{:<12}", "workload");
-    for p in &points {
-        print!(" {:>11}", format!("{:.2} GHz", p.frequency_ghz));
-    }
-    println!("   best");
-    let rows = parallel_map(suite(), |spec| {
-        let profile = Profiler::new(cfg.profiler.clone())
-            .profile_named(&spec.name, &mut spec.trace(cfg.instructions.min(300_000)));
-        let out = explore(&machine, &points, &profile, &cfg.model);
-        (spec.name.clone(), out)
-    });
-    for (name, out) in &rows {
-        print!("{name:<12}");
-        let best = best_ed2p(out).unwrap().point.frequency_ghz;
-        for o in out {
-            print!(" {:>11.3e}", o.ed2p);
-        }
-        println!("   {best:.2} GHz");
-    }
-    println!("(thesis: memory-bound workloads prefer lower, compute-bound higher clocks)");
+    pmt_bench::run_binary("fig7_3_dvfs");
 }

@@ -1,57 +1,8 @@
 //! Figs 7.4/7.5: Pareto frontiers for four example workloads.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_dse::{ParetoFront, SpaceEvaluation, SweepConfig};
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::DesignSpace;
-use pmt_workloads::WorkloadSpec;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride = pmt_bench::harness::space_stride(3);
-    let sim_n = cfg.instructions.min(200_000);
-    let points: Vec<_> = DesignSpace::thesis_table_6_3()
-        .enumerate()
-        .into_iter()
-        .step_by(stride)
-        .collect();
-    for name in ["bzip2", "calculix", "gromacs", "xalancbmk"] {
-        let spec = WorkloadSpec::by_name(name).unwrap();
-        let profile =
-            Profiler::new(cfg.profiler.clone()).profile_named(name, &mut spec.trace(sim_n));
-        let sweep = SweepConfig {
-            model: cfg.model.clone(),
-            with_simulation: false,
-            sim_instructions: sim_n,
-            ..Default::default()
-        };
-        let eval = SpaceEvaluation::run(&points, &profile, None, &sweep);
-        let model_pts = eval.model_points();
-        let front = ParetoFront::of(&model_pts);
-        // Simulate only the model-selected frontier (the thesis' pruning
-        // use case) plus report its size.
-        let chosen = front.indices();
-        let sims = parallel_map(chosen.clone(), |i| {
-            let machine = points[i].machine.clone();
-            let r = OooSimulator::new(SimConfig::new(machine.clone())).run(&mut spec.trace(sim_n));
-            (i, r.seconds_at(machine.core.frequency_ghz))
-        });
-        println!(
-            "\nfig 7.4 — {name}: {} of {} designs model-Pareto-optimal",
-            chosen.len(),
-            points.len()
-        );
-        println!(
-            "{:>22} {:>12} {:>12} {:>10}",
-            "design", "model s", "sim s", "model W"
-        );
-        for (i, sim_s) in sims {
-            let o = &eval.outcomes[i];
-            println!(
-                "{:>22} {:>12.4e} {:>12.4e} {:>10.2}",
-                points[i].machine.name, o.model_seconds, sim_s, o.model_power
-            );
-        }
-    }
+    pmt_bench::run_binary("fig7_4_pareto");
 }

@@ -1,86 +1,9 @@
-//! Figs 7.6–7.9: space-wide error plus the four pruning metrics
+//! Figs 7.6-7.9: space-wide error plus the four pruning metrics
 //! (sensitivity, specificity, accuracy, HVR) per workload.
-
-use pmt_bench::harness::{mean_abs_error, parallel_map, pct, HarnessConfig};
-use pmt_dse::{PruningQuality, SpaceEvaluation, SweepConfig};
-use pmt_profiler::Profiler;
-use pmt_uarch::DesignSpace;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let stride = pmt_bench::harness::space_stride(9);
-    let sim_n = pmt_bench::harness::sim_instructions(cfg.instructions.min(200_000));
-    let points: Vec<_> = DesignSpace::thesis_table_6_3()
-        .enumerate()
-        .into_iter()
-        .step_by(stride)
-        .collect();
-    println!(
-        "figs 7.6–7.9 — pruning quality over {} space points, {} instructions",
-        points.len(),
-        sim_n
-    );
-    println!(
-        "{:<12} {:>8} {:>8} {:>12} {:>12} {:>10} {:>8}",
-        "workload", "cpiErr", "powErr", "sensitivity", "specificity", "accuracy", "HVR"
-    );
-    let rows = parallel_map(suite(), |spec| {
-        let profile =
-            Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(sim_n));
-        let sweep = SweepConfig {
-            model: cfg.model.clone(),
-            with_simulation: true,
-            sim_instructions: sim_n,
-            ..Default::default()
-        };
-        let eval = SpaceEvaluation::run(&points, &profile, Some(&spec), &sweep);
-        let truth = eval.sim_points();
-        let predicted = eval.model_points();
-        let q = PruningQuality::evaluate(&truth, &predicted);
-        let cpi_errs: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.cpi_error()).collect();
-        let pow_errs: Vec<f64> = eval
-            .outcomes
-            .iter()
-            .filter_map(|o| o.power_error())
-            .collect();
-        (
-            spec.name.clone(),
-            mean_abs_error(&cpi_errs),
-            mean_abs_error(&pow_errs),
-            q,
-        )
-    });
-    let mut sums = PruningQuality::default();
-    let mut cpi_sum = 0.0;
-    let mut pow_sum = 0.0;
-    for (name, cpi, pow, q) in &rows {
-        println!(
-            "{:<12} {:>8} {:>8} {:>12} {:>12} {:>10} {:>8}",
-            name,
-            pct(*cpi),
-            pct(*pow),
-            pct(q.sensitivity),
-            pct(q.specificity),
-            pct(q.accuracy),
-            pct(q.hvr)
-        );
-        sums.sensitivity += q.sensitivity;
-        sums.specificity += q.specificity;
-        sums.accuracy += q.accuracy;
-        sums.hvr += q.hvr;
-        cpi_sum += cpi;
-        pow_sum += pow;
-    }
-    let n = rows.len() as f64;
-    println!(
-        "\naverages: cpi {} power {} | sens {} spec {} acc {} HVR {}",
-        pct(cpi_sum / n),
-        pct(pow_sum / n),
-        pct(sums.sensitivity / n),
-        pct(sums.specificity / n),
-        pct(sums.accuracy / n),
-        pct(sums.hvr / n)
-    );
-    println!("(thesis: 9.3% / 4.3% | 46.2% / 87.9% / 76.8% / 97.0%)");
+    pmt_bench::run_binary("fig7_7_pareto_metrics");
 }

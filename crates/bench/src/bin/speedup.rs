@@ -1,57 +1,10 @@
 //! §6.2 headline: design-space evaluation speedup — profile-once + model
-//! versus per-point cycle-level simulation.
-
-use pmt_bench::harness::HarnessConfig;
-use pmt_core::IntervalModel;
-use pmt_profiler::Profiler;
-use pmt_sim::{OooSimulator, SimConfig};
-use pmt_uarch::DesignSpace;
-use pmt_workloads::WorkloadSpec;
-use std::time::Instant;
+//! versus per-point cycle-level simulation (wall-clock, so excluded from
+//! the deterministic report).
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale();
-    let n = cfg.instructions.min(300_000);
-    let spec = WorkloadSpec::by_name("astar").unwrap();
-    let points = DesignSpace::thesis_table_6_3().enumerate();
-
-    // One-time profiling cost.
-    let t0 = Instant::now();
-    let profile = Profiler::new(cfg.profiler.clone()).profile_named("astar", &mut spec.trace(n));
-    let t_profile = t0.elapsed();
-
-    // Model evaluation across the whole space.
-    let t1 = Instant::now();
-    let mut acc = 0.0;
-    for p in &points {
-        acc += IntervalModel::with_config(&p.machine, cfg.model.clone())
-            .predict(&profile)
-            .cpi();
-    }
-    let t_model = t1.elapsed();
-
-    // Simulation for a sample of the space, extrapolated.
-    let sample = 8.min(points.len());
-    let t2 = Instant::now();
-    for p in points.iter().take(sample) {
-        let r = OooSimulator::new(SimConfig::new(p.machine.clone())).run(&mut spec.trace(n));
-        acc += r.cpi();
-    }
-    let t_sim_sample = t2.elapsed();
-    let t_sim_full = t_sim_sample * (points.len() as u32) / (sample as u32);
-
-    println!(
-        "§6.2 — design-space evaluation cost (astar, {n} instructions, {} points)",
-        points.len()
-    );
-    println!("  profiling (once)      : {:>10.2?}", t_profile);
-    println!("  model × space         : {:>10.2?}", t_model);
-    println!("  model total           : {:>10.2?}", t_profile + t_model);
-    println!(
-        "  simulation × space    : {:>10.2?} (extrapolated from {sample} points)",
-        t_sim_full
-    );
-    let speedup = t_sim_full.as_secs_f64() / (t_profile + t_model).as_secs_f64();
-    println!("  speedup               : {speedup:>10.1}× (thesis: 315× vs detailed simulation)");
-    let _ = acc;
+    pmt_bench::run_binary("speedup");
 }

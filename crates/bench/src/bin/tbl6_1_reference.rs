@@ -1,40 +1,8 @@
 //! Table 6.1: the reference architecture.
-
-use pmt_uarch::MachineConfig;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let m = MachineConfig::nehalem();
-    println!("table 6.1 — reference architecture ({})", m.name);
-    println!("  dispatch width      : {}", m.core.dispatch_width);
-    println!(
-        "  ROB / IQ / LSQ      : {} / {} / {}",
-        m.core.rob_size, m.core.iq_size, m.core.lsq_size
-    );
-    println!("  front-end depth     : {} stages", m.core.frontend_depth);
-    println!(
-        "  frequency / Vdd     : {} GHz / {} V",
-        m.core.frequency_ghz, m.core.vdd
-    );
-    println!("  issue ports         : {}", m.exec.ports.port_count());
-    for (label, c) in [
-        ("L1-I", &m.caches.l1i),
-        ("L1-D", &m.caches.l1d),
-        ("L2  ", &m.caches.l2),
-        ("L3  ", &m.caches.l3),
-    ] {
-        println!(
-            "  {label} cache          : {} KB, {}-way, {} B lines, {} cycles",
-            c.size_kb, c.associativity, c.line_bytes, c.latency
-        );
-    }
-    println!(
-        "  DRAM                : {} cycles + bus {} cycles/line",
-        m.mem.dram_latency, m.mem.bus_transfer_cycles
-    );
-    println!("  MSHRs               : {}", m.mem.mshr_entries);
-    println!(
-        "  branch predictor    : {} ({} B)",
-        m.predictor.kind,
-        m.predictor.storage_bytes()
-    );
+    pmt_bench::run_binary("tbl6_1_reference");
 }

@@ -1,43 +1,9 @@
 //! Table 6.2: error as each micro-architecture independent input replaces
 //! its simulated counterpart (here: model variants toggled).
-
-use pmt_bench::harness::{evaluate_suite, mean_abs_error, pct, HarnessConfig};
-use pmt_core::MlpModelKind;
-use pmt_uarch::MachineConfig;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let machine = MachineConfig::nehalem();
-    let base = HarnessConfig::default_scale().with_trained_entropy();
-    println!("table 6.2 — model-variant errors (mean |CPI error| / max)");
-
-    let mut variants: Vec<(&str, HarnessConfig)> = Vec::new();
-    let full = base.clone();
-    variants.push(("full model (stride MLP)", full));
-    let mut cold = base.clone();
-    cold.model = cold.model.with_mlp(MlpModelKind::ColdMiss);
-    variants.push(("cold-miss MLP", cold));
-    let mut no_chain = base.clone();
-    no_chain.model.llc_chaining = false;
-    variants.push(("no LLC chaining", no_chain));
-    let mut no_bus = base.clone();
-    no_bus.model.bus_queuing = false;
-    variants.push(("no bus queuing", no_bus));
-    let mut no_mshr = base.clone();
-    no_mshr.model.mshr_cap = false;
-    variants.push(("no MSHR cap", no_mshr));
-
-    for (label, cfg) in variants {
-        let results = evaluate_suite(&machine, &cfg);
-        let errs: Vec<f64> = results.iter().map(|r| r.cpi_error()).collect();
-        let max = results
-            .iter()
-            .map(|r| r.abs_cpi_error())
-            .fold(0.0f64, f64::max);
-        println!(
-            "{:<26} {:>8}  max {:>8}",
-            label,
-            pct(mean_abs_error(&errs)),
-            pct(max)
-        );
-    }
+    pmt_bench::run_binary("tbl6_2_component_errors");
 }

@@ -1,49 +1,8 @@
 //! Table 7.1: optimizing performance under a power budget.
-
-use pmt_bench::harness::{parallel_map, HarnessConfig};
-use pmt_dse::constrain::fastest_under_power;
-use pmt_dse::{SpaceEvaluation, SweepConfig};
-use pmt_profiler::Profiler;
-use pmt_uarch::DesignSpace;
-use pmt_workloads::suite;
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let cfg = HarnessConfig::default_scale().with_trained_entropy();
-    let points = DesignSpace::thesis_table_6_3().enumerate();
-    let sweep = SweepConfig {
-        model: cfg.model.clone(),
-        with_simulation: false,
-        sim_instructions: 0,
-        ..Default::default()
-    };
-    println!("table 7.1 — fastest design under a power budget (model-selected)");
-    println!(
-        "{:<12} {:>8} {:>22} {:>10} {:>8}",
-        "workload", "budget", "design", "CPI", "power"
-    );
-    let rows = parallel_map(suite(), |spec| {
-        let profile = Profiler::new(cfg.profiler.clone())
-            .profile_named(&spec.name, &mut spec.trace(cfg.instructions.min(300_000)));
-        let eval = SpaceEvaluation::run(&points, &profile, None, &sweep);
-        let mut out = Vec::new();
-        for budget in [15.0, 20.0, 30.0] {
-            if let Some(best) = fastest_under_power(&eval.outcomes, budget) {
-                out.push((
-                    spec.name.clone(),
-                    budget,
-                    points[best.design_id].machine.name.clone(),
-                    best.model_cpi,
-                    best.model_power,
-                ));
-            }
-        }
-        out
-    });
-    for row in rows.into_iter().flatten() {
-        println!(
-            "{:<12} {:>6.0} W {:>22} {:>10.3} {:>6.1} W",
-            row.0, row.1, row.2, row.3, row.4
-        );
-    }
-    println!("(thesis: tighter budgets force narrower pipelines and smaller caches)");
+    pmt_bench::run_binary("tbl7_1_power_constraint");
 }

@@ -5,50 +5,11 @@
 //! Scale knobs: `PMT_SMOKE=1`/`--smoke` shrinks to three workloads on toy
 //! budgets; `PMT_SIM_INSTRUCTIONS` overrides the per-point reference
 //! budget; `PMT_SPACE_STRIDE` subsamples the 27-point validation
-//! subspace (`PMT_SPACE_STRIDE=1` is the default full subspace).
-
-use pmt_bench::harness::{sim_instructions, space_stride, HarnessConfig};
-use pmt_uarch::DesignSpace;
-use pmt_validate::{ValidationConfig, Validator};
-use pmt_workloads::suite;
+//! subspace; `PMT_SIM_CACHE=FILE` memoizes reference simulations.
+//!
+//! Thin front-end over the shared figure registry: builds the typed
+//! figures and renders them through `pmt_bench::emit`.
 
 fn main() {
-    let harness = HarnessConfig::default_scale().with_trained_entropy();
-    let smoke = HarnessConfig::smoke_requested();
-    // One budget for both sides: a differential comparison is only fair
-    // when the model's profile and the reference simulation cover the
-    // same instruction window.
-    let budget = sim_instructions(harness.instructions.min(200_000));
-    let config = ValidationConfig {
-        profile_instructions: budget,
-        sim_instructions: budget,
-        profiler: harness.profiler.clone(),
-        model: harness.model.clone(),
-    };
-
-    let space = DesignSpace::validation_subspace();
-    let points: Vec<_> = space
-        .enumerate()
-        .into_iter()
-        .step_by(space_stride(1))
-        .collect();
-    let specs: Vec<_> = if smoke {
-        suite().into_iter().take(3).collect()
-    } else {
-        suite()
-    };
-
-    println!(
-        "validation report — {} workloads x {} points, {} sim instructions per point",
-        specs.len(),
-        points.len(),
-        config.sim_instructions
-    );
-    let mut validator = Validator::new(config).points(points);
-    for spec in specs {
-        validator = validator.workload(spec);
-    }
-    let report = validator.run();
-    print!("{}", report.render_table());
-    println!("(thesis: 9.3% mean CPI error across the design space; a few percent for power)");
+    pmt_bench::run_binary("validation_report");
 }

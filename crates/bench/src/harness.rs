@@ -66,6 +66,42 @@ impl HarnessConfig {
     }
 }
 
+/// The process-wide memoized simulation cache behind `PMT_SIM_CACHE`:
+/// when the env var names a file, every sweep/validation builder that
+/// supports memoization shares this one cache, so a warm `pmt report`
+/// (or repeated figure run) performs zero new reference simulations.
+/// Call [`save_shared_sim_cache`] before exit to persist it.
+pub fn shared_sim_cache() -> Option<std::sync::Arc<pmt_sim::SimCache>> {
+    use std::sync::{Arc, OnceLock};
+    static CACHE: OnceLock<Option<Arc<pmt_sim::SimCache>>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let path = std::env::var("PMT_SIM_CACHE").ok()?;
+            let cache = if std::path::Path::new(&path).exists() {
+                match pmt_sim::SimCache::load(&path) {
+                    Ok(cache) => cache,
+                    Err(e) => {
+                        eprintln!("warning: ignoring PMT_SIM_CACHE={path}: {e}");
+                        pmt_sim::SimCache::new()
+                    }
+                }
+            } else {
+                pmt_sim::SimCache::new()
+            };
+            Some(Arc::new(cache))
+        })
+        .clone()
+}
+
+/// Persist the [`shared_sim_cache`] back to its `PMT_SIM_CACHE` path (a
+/// no-op when the env var is unset).
+pub fn save_shared_sim_cache() -> Result<(), String> {
+    let (Some(cache), Ok(path)) = (shared_sim_cache(), std::env::var("PMT_SIM_CACHE")) else {
+        return Ok(());
+    };
+    cache.save(&path)
+}
+
 /// Design-space subsampling stride for the sweep figures: the
 /// `PMT_SPACE_STRIDE` override if set, else `default_stride`, tripled in
 /// smoke mode so CI touches every pipeline without paying for the space.
@@ -193,20 +229,4 @@ pub fn mean_abs_error(errors: &[f64]) -> f64 {
         return 0.0;
     }
     errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64
-}
-
-/// Format a fraction as a percentage.
-pub fn pct(x: f64) -> String {
-    format!("{:6.1}%", x * 100.0)
-}
-
-/// Print a header row.
-pub fn print_header(cols: &[&str]) {
-    println!("{}", cols.join("\t"));
-    println!("{}", "-".repeat(cols.len() * 12));
-}
-
-/// Print an aligned row.
-pub fn print_row(name: &str, values: &[String]) {
-    println!("{name:<12}\t{}", values.join("\t"));
 }

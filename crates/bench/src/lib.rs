@@ -1,13 +1,30 @@
-//! Experiment harness utilities shared by the per-figure binaries.
+//! Experiment harness for the per-figure binaries (thesis Ch 3–7).
 //!
-//! Every thesis table and figure has a binary under `src/bin/` (see
-//! `DESIGN.md` §4 for the index); this library holds the common plumbing:
-//! suite iteration, profile/simulation caching, error metrics and aligned
-//! text-table output.
+//! Every thesis table and figure has a binary under `src/bin/` — the
+//! generated `docs/PAPER_MAP.md` is the index — and each binary is a
+//! thin `main` over three layers here:
+//!
+//! * [`harness`] — common plumbing: suite iteration, smoke/env scale
+//!   knobs, entropy-model training, error metrics, the shared
+//!   `PMT_SIM_CACHE` memoization,
+//! * [`figures`] — one builder per experiment returning typed
+//!   [`Figure`](pmt_report::Figure) values, plus the [`figures::REGISTRY`]
+//!   that maps every binary to its paper artifact and the crates it
+//!   exercises,
+//! * [`emit`](mod@emit) — the shared output path rendering figures to
+//!   stdout text (and, under `PMT_REPORT_DIR`, to SVG/Markdown files).
+//!
+//! The `pmt report` subcommand drives the same registry to regenerate
+//! `docs/REPRODUCTION.md`.
 
+pub mod emit;
+pub mod figures;
 pub mod harness;
+pub mod report_gen;
 
+pub use emit::{emit, emit_all};
+pub use figures::{build_entry, by_bin, run_binary, FigureBinary, REGISTRY};
 pub use harness::{
-    evaluate_suite, mean_abs_error, parallel_map, pct, print_header, print_row, profile_one,
-    profile_suite, simulate_suite, train_entropy_model, Evaluated, HarnessConfig,
+    evaluate_suite, mean_abs_error, parallel_map, profile_one, profile_suite, simulate_suite,
+    train_entropy_model, Evaluated, HarnessConfig,
 };

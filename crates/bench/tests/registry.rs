@@ -1,0 +1,99 @@
+//! Structural guarantees on the figure registry: it is the single
+//! source for `all_experiments`, `pmt report` and the generated
+//! `docs/PAPER_MAP.md`, so it must stay in lockstep with the actual
+//! binaries.
+
+use pmt_bench::{build_entry, by_bin, HarnessConfig, REGISTRY};
+use std::collections::BTreeSet;
+
+fn bin_files() -> BTreeSet<String> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    std::fs::read_dir(dir)
+        .expect("src/bin exists")
+        .map(|e| {
+            e.unwrap()
+                .file_name()
+                .to_string_lossy()
+                .trim_end_matches(".rs")
+                .to_string()
+        })
+        .collect()
+}
+
+/// Every registry entry has a binary, and every binary (except the
+/// `all_experiments` driver) is registered — so `docs/PAPER_MAP.md`
+/// can never silently miss an experiment.
+#[test]
+fn registry_matches_binaries() {
+    let files = bin_files();
+    for entry in REGISTRY {
+        assert!(
+            files.contains(entry.bin),
+            "registry entry `{}` has no src/bin/{}.rs",
+            entry.bin,
+            entry.bin
+        );
+    }
+    let registered: BTreeSet<String> = REGISTRY.iter().map(|e| e.bin.to_string()).collect();
+    for file in &files {
+        if file == "all_experiments" {
+            continue;
+        }
+        assert!(
+            registered.contains(file),
+            "src/bin/{file}.rs is not in the figure registry"
+        );
+    }
+}
+
+#[test]
+fn registry_entries_are_well_formed() {
+    let mut bins = BTreeSet::new();
+    for entry in REGISTRY {
+        assert!(
+            bins.insert(entry.bin),
+            "duplicate registry bin {}",
+            entry.bin
+        );
+        assert!(
+            (3..=7).contains(&entry.chapter),
+            "{}: chapter {} outside thesis range",
+            entry.bin,
+            entry.chapter
+        );
+        assert!(!entry.crates.is_empty(), "{}: no crates listed", entry.bin);
+        assert!(!entry.paper_ref.is_empty() && !entry.title.is_empty());
+    }
+    assert!(by_bin("fig6_1_cpi_stacks").is_some());
+    assert!(by_bin("nonexistent").is_none());
+}
+
+/// The generated paper map mentions every registered binary.
+#[test]
+fn paper_map_covers_the_registry() {
+    let map = pmt_bench::report_gen::paper_map();
+    for entry in REGISTRY {
+        assert!(
+            map.contains(&format!("`{}`", entry.bin)),
+            "paper map is missing {}",
+            entry.bin
+        );
+    }
+}
+
+/// Building the same (cheap, simulation-free) figure twice renders
+/// byte-identical text, Markdown and SVG — the determinism contract of
+/// the shared emit path, end to end through a real builder.
+#[test]
+fn figure_building_is_deterministic() {
+    let entry = by_bin("tbl6_1_reference").unwrap();
+    let cfg = HarnessConfig::default_scale();
+    let a = build_entry(entry, &cfg, None);
+    let b = build_entry(entry, &cfg, None);
+    assert_eq!(a.len(), b.len());
+    for (fa, fb) in a.iter().zip(&b) {
+        assert_eq!(fa.render_text(), fb.render_text());
+        assert_eq!(fa.render_markdown(), fb.render_markdown());
+        assert_eq!(fa.meta.binary, "tbl6_1_reference");
+    }
+}

@@ -166,7 +166,8 @@ impl SpaceEvaluation {
         SpaceEvaluation { outcomes }
     }
 
-    /// The sequential reference path: identical arithmetic to [`run`],
+    /// The sequential reference path: identical arithmetic to
+    /// [`run`](Self::run),
     /// one point at a time. Kept public so benchmarks and equivalence
     /// tests can measure the parallel speedup against it.
     pub fn run_serial(

@@ -1,0 +1,130 @@
+//! Stable float formatting.
+//!
+//! Every number that reaches a checked-in artifact goes through these
+//! helpers. Rust's `core::fmt` is already locale-independent (it never
+//! consults the C locale), but the helpers add the remaining guarantees
+//! the golden snapshots need: negative zero collapses to zero, NaN and
+//! infinities render as fixed tokens, and the decimal count is always
+//! explicit — no shortest-round-trip output whose length could vary with
+//! the value.
+
+/// Fixed-point formatting with `decimals` fractional digits.
+///
+/// `-0.0` renders as `0.0…` (a sign that flips with FMA contraction or
+/// summation order must never show up in a diff), NaN as `nan`, and
+/// infinities as `inf`/`-inf`.
+pub fn f64(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        return "nan".into();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    let s = format!("{x:.decimals$}");
+    // Normalize "-0", "-0.00", … to its unsigned spelling.
+    if s.starts_with('-') && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// A fraction as a percentage with one decimal: `0.076` → `7.6%`.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        return "nan".into();
+    }
+    format!("{}%", f64(x * 100.0, 1))
+}
+
+/// Scientific notation with `decimals` mantissa digits: `1.2345e-3`.
+pub fn sci(x: f64, decimals: usize) -> String {
+    if x.is_nan() {
+        return "nan".into();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    let s = format!("{x:.decimals$e}");
+    if s.starts_with('-') && !s[1..].bytes().any(|b| b.is_ascii_digit() && b != b'0') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Compact coordinate formatting for SVG attributes: two decimals, which
+/// is below pixel resolution at the fixed viewBox scale.
+pub fn coord(x: f64) -> String {
+    f64(x, 2)
+}
+
+/// Magnitude-aware formatting: fixed-point for ordinary values,
+/// scientific for very large or very small ones (data tables mixing CPI
+/// values with ED²P joules·s² need both).
+pub fn auto(x: f64, decimals: usize) -> String {
+    if !x.is_finite() || x == 0.0 {
+        return f64(x, decimals);
+    }
+    let a = x.abs();
+    if !(1e-3..1e6).contains(&a) {
+        sci(x, decimals)
+    } else {
+        f64(x, decimals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixed_point_is_stable() {
+        assert_eq!(super::f64(0.0756, 3), "0.076");
+        assert_eq!(super::f64(1.0, 0), "1");
+        assert_eq!(super::f64(-1.5, 2), "-1.50");
+    }
+
+    #[test]
+    fn negative_zero_collapses() {
+        assert_eq!(super::f64(-0.0, 2), "0.00");
+        assert_eq!(super::f64(-1e-9, 3), "0.000");
+        assert_eq!(super::coord(-0.0), "0.00");
+    }
+
+    #[test]
+    fn non_finite_values_have_fixed_tokens() {
+        assert_eq!(super::f64(f64::NAN, 2), "nan");
+        assert_eq!(super::f64(f64::INFINITY, 2), "inf");
+        assert_eq!(super::f64(f64::NEG_INFINITY, 2), "-inf");
+        assert_eq!(super::pct(f64::NAN), "nan");
+        assert_eq!(super::sci(f64::NAN, 3), "nan");
+    }
+
+    #[test]
+    fn percentage_and_scientific() {
+        assert_eq!(super::pct(0.076), "7.6%");
+        assert_eq!(super::pct(-0.0001), "0.0%");
+        assert_eq!(super::sci(0.0012345, 3), "1.234e-3");
+        assert_eq!(super::sci(-0.0, 2), "0.00e0");
+    }
+
+    /// The same value formats identically no matter which thread (and
+    /// hence which OS-level locale state) does the formatting.
+    #[test]
+    fn formatting_is_run_and_thread_stable() {
+        let values = [0.1, 1.0 / 3.0, 12345.6789, -0.0, 2.5e-7];
+        let on_main: Vec<String> = values.iter().map(|&v| super::f64(v, 6)).collect();
+        let on_thread = std::thread::spawn(move || {
+            values
+                .iter()
+                .map(|&v| super::f64(v, 6))
+                .collect::<Vec<String>>()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(on_main, on_thread);
+        for _ in 0..100 {
+            let again: Vec<String> = values.iter().map(|&v| super::f64(v, 6)).collect();
+            assert_eq!(on_main, again);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Assembling many figures into one chaptered Markdown document.
+
+use crate::figure::Figure;
+
+/// One thesis chapter of the generated document.
+#[derive(Clone, Debug, Default)]
+pub struct Chapter {
+    /// Chapter heading (`Chapter 6 — Performance and power validation`).
+    pub title: String,
+    /// Introductory prose under the heading.
+    pub intro: String,
+    /// The chapter's figures, in thesis order.
+    pub figures: Vec<Figure>,
+}
+
+impl Chapter {
+    /// An empty chapter.
+    pub fn new(title: &str, intro: &str) -> Chapter {
+        Chapter {
+            title: title.into(),
+            intro: intro.into(),
+            figures: Vec::new(),
+        }
+    }
+}
+
+/// The whole regenerable document (`docs/REPRODUCTION.md`): a title,
+/// preamble prose, and chapters of figures. [`Report::render_markdown`]
+/// produces the Markdown (with `figures/<id>.svg` image references for
+/// every chart) and [`Report::svg_files`] the SVG files those references
+/// point at.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Document title.
+    pub title: String,
+    /// Prose between the title and the first chapter.
+    pub preamble: String,
+    /// The chapters.
+    pub chapters: Vec<Chapter>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(title: &str, preamble: &str) -> Report {
+        Report {
+            title: title.into(),
+            preamble: preamble.into(),
+            chapters: Vec::new(),
+        }
+    }
+
+    /// Append a chapter.
+    pub fn chapter(mut self, chapter: Chapter) -> Report {
+        self.chapters.push(chapter);
+        self
+    }
+
+    /// All figures across all chapters, in document order.
+    pub fn figures(&self) -> impl Iterator<Item = &Figure> {
+        self.chapters.iter().flat_map(|c| c.figures.iter())
+    }
+
+    /// `(file name, content)` for every chart figure, in document order.
+    pub fn svg_files(&self) -> Vec<(String, String)> {
+        self.figures()
+            .filter(|f| f.is_chart())
+            .map(|f| (format!("{}.svg", f.meta.id), f.render_svg()))
+            .collect()
+    }
+
+    /// The full Markdown document.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n\n", self.title));
+        if !self.preamble.is_empty() {
+            out.push_str(&self.preamble);
+            out.push_str("\n\n");
+        }
+        // Table of contents over the chapters.
+        for chapter in &self.chapters {
+            out.push_str(&format!(
+                "- [{}](#{})\n",
+                chapter.title,
+                anchor(&chapter.title)
+            ));
+        }
+        out.push('\n');
+        for chapter in &self.chapters {
+            out.push_str(&format!("## {}\n\n", chapter.title));
+            if !chapter.intro.is_empty() {
+                out.push_str(&chapter.intro);
+                out.push_str("\n\n");
+            }
+            for figure in &chapter.figures {
+                out.push_str(&figure.render_markdown());
+            }
+        }
+        out
+    }
+}
+
+/// GitHub-style heading anchor: lowercase, alphanumerics kept, spaces
+/// and dashes become dashes, everything else dropped.
+fn anchor(title: &str) -> String {
+    let mut out = String::new();
+    for c in title.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if c == ' ' || c == '-' {
+            out.push('-');
+        }
+    }
+    out
+}

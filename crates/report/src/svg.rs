@@ -1,0 +1,605 @@
+//! Hand-rolled SVG rendering.
+//!
+//! No plotting library: plain string building into a fixed
+//! `viewBox="0 0 960 420"` canvas, with every coordinate passing through
+//! [`crate::fmt::coord`]. The output for a given [`Figure`] value is a
+//! pure function of that value — bit-identical across runs, hosts and
+//! thread counts — which is what lets `docs/figures/*.svg` be checked in
+//! and staleness-gated by CI.
+
+use crate::figure::{BarChart, Figure, FigureKind, LineChart, ScatterPlot, Table};
+use crate::fmt;
+
+const WIDTH: f64 = 960.0;
+const HEIGHT: f64 = 420.0;
+// Plot area; the right margin hosts the legend, the bottom margin the
+// rotated category labels.
+const X0: f64 = 70.0;
+const X1: f64 = 770.0;
+const Y0: f64 = 42.0;
+const Y1: f64 = 330.0;
+const LEGEND_X: f64 = 782.0;
+const MAX_LEGEND: usize = 20;
+
+const PALETTE: [&str; 12] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#2f4b7c", "#a05195",
+];
+
+pub(crate) fn render(figure: &Figure) -> String {
+    match &figure.kind {
+        FigureKind::Bar(chart) => chart_svg(figure, |svg| bar_body(svg, chart)),
+        FigureKind::Line(chart) => chart_svg(figure, |svg| line_body(svg, chart)),
+        FigureKind::Scatter(plot) => chart_svg(figure, |svg| scatter_body(svg, plot)),
+        FigureKind::Table(table) => table_svg(figure, table),
+    }
+}
+
+fn chart_svg(figure: &Figure, body: impl FnOnce(&mut String)) -> String {
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" \
+         font-family=\"Menlo,Consolas,monospace\" font-size=\"11\">\n",
+        fmt::coord(WIDTH),
+        fmt::coord(HEIGHT)
+    ));
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"#ffffff\"/>\n",
+        fmt::coord(WIDTH),
+        fmt::coord(HEIGHT)
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"20\" font-size=\"13\" font-weight=\"bold\">{}</text>\n",
+        fmt::coord(X0),
+        escape(&format!(
+            "{} — {}",
+            figure.meta.paper_ref, figure.meta.title
+        ))
+    ));
+    body(&mut svg);
+    svg.push_str("</svg>\n");
+    svg
+}
+
+// ---------------------------------------------------------------- axes
+
+/// A "nice" step (1/2/5 × 10^k) covering `span` in about `n` steps.
+fn nice_step(span: f64, n: usize) -> f64 {
+    let raw = (span / n as f64).max(f64::MIN_POSITIVE);
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let factor = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    factor * mag
+}
+
+/// Tick label with precision matched to the step; large or tiny
+/// magnitudes switch to scientific notation.
+fn tick_label(v: f64, step: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e5).contains(&a) {
+        return fmt::sci(v, 1);
+    }
+    let decimals = if step >= 1.0 {
+        0
+    } else {
+        (-step.log10().floor()) as usize
+    };
+    fmt::f64(v, decimals)
+}
+
+/// Expand a degenerate range so scales never divide by zero.
+fn widen(lo: f64, hi: f64) -> (f64, f64) {
+    if hi > lo {
+        (lo, hi)
+    } else if hi == lo {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+struct YScale {
+    lo: f64,
+    hi: f64,
+}
+
+impl YScale {
+    fn new(lo: f64, hi: f64) -> YScale {
+        let (lo, hi) = widen(lo, hi);
+        YScale { lo, hi }
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        Y1 - (v - self.lo) / (self.hi - self.lo) * (Y1 - Y0)
+    }
+
+    /// Gridlines, tick labels and the axis title.
+    fn draw(&self, svg: &mut String, label: &str) {
+        let step = nice_step(self.hi - self.lo, 5);
+        let mut tick = (self.lo / step).ceil() * step;
+        while tick <= self.hi + step * 1e-9 {
+            let y = self.y(tick);
+            svg.push_str(&format!(
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#dddddd\"/>\n",
+                fmt::coord(X0),
+                fmt::coord(y),
+                fmt::coord(X1),
+                fmt::coord(y)
+            ));
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>\n",
+                fmt::coord(X0 - 6.0),
+                fmt::coord(y + 4.0),
+                escape(&tick_label(tick, step))
+            ));
+            tick += step;
+        }
+        svg.push_str(&format!(
+            "<text x=\"14\" y=\"{}\" transform=\"rotate(-90 14 {})\" text-anchor=\"middle\">{}</text>\n",
+            fmt::coord((Y0 + Y1) / 2.0),
+            fmt::coord((Y0 + Y1) / 2.0),
+            escape(label)
+        ));
+        svg.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333333\"/>\n",
+            fmt::coord(X0),
+            fmt::coord(Y0),
+            fmt::coord(X0),
+            fmt::coord(Y1)
+        ));
+        svg.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333333\"/>\n",
+            fmt::coord(X0),
+            fmt::coord(Y1),
+            fmt::coord(X1),
+            fmt::coord(Y1)
+        ));
+    }
+}
+
+fn legend(svg: &mut String, names: &[String]) {
+    if names.len() < 2 {
+        return;
+    }
+    for (i, name) in names.iter().take(MAX_LEGEND).enumerate() {
+        let y = Y0 + 14.0 * i as f64;
+        svg.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+            fmt::coord(LEGEND_X),
+            fmt::coord(y),
+            PALETTE[i % PALETTE.len()]
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\">{}</text>\n",
+            fmt::coord(LEGEND_X + 14.0),
+            fmt::coord(y + 9.0),
+            escape(name)
+        ));
+    }
+    if names.len() > MAX_LEGEND {
+        let y = Y0 + 14.0 * MAX_LEGEND as f64;
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\">… {} more</text>\n",
+            fmt::coord(LEGEND_X),
+            fmt::coord(y + 9.0),
+            names.len() - MAX_LEGEND
+        ));
+    }
+}
+
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+// ----------------------------------------------------------------- bar
+
+fn bar_body(svg: &mut String, chart: &BarChart) {
+    let ncat = chart.categories.len().max(1);
+    let (mut lo, mut hi) = (0.0f64, 0.0f64);
+    if chart.stacked {
+        for i in 0..ncat {
+            let mut pos = 0.0;
+            let mut neg = 0.0;
+            for s in &chart.series {
+                let v = finite(s.values.get(i).copied().unwrap_or(0.0));
+                if v >= 0.0 {
+                    pos += v;
+                } else {
+                    neg += v;
+                }
+            }
+            hi = hi.max(pos);
+            lo = lo.min(neg);
+        }
+    } else {
+        for s in &chart.series {
+            for &v in &s.values {
+                let v = finite(v);
+                hi = hi.max(v);
+                lo = lo.min(v);
+            }
+        }
+    }
+    let scale = YScale::new(lo, hi);
+    scale.draw(svg, &chart.y_label);
+
+    let slot = (X1 - X0) / ncat as f64;
+    let nseries = chart.series.len().max(1);
+    for (ci, cat) in chart.categories.iter().enumerate() {
+        let left = X0 + slot * ci as f64;
+        if chart.stacked {
+            let width = (slot * 0.7).max(1.0);
+            let x = left + (slot - width) / 2.0;
+            let mut up = 0.0f64; // running positive stack
+            let mut down = 0.0f64; // running negative stack
+            for (si, s) in chart.series.iter().enumerate() {
+                let v = finite(s.values.get(ci).copied().unwrap_or(0.0));
+                let (from, to) = if v >= 0.0 {
+                    let seg = (up, up + v);
+                    up += v;
+                    seg
+                } else {
+                    let seg = (down + v, down);
+                    down += v;
+                    seg
+                };
+                push_bar_rect(svg, x, width, &scale, from, to, si);
+            }
+        } else {
+            let width = (slot * 0.8 / nseries as f64).max(1.0);
+            for (si, s) in chart.series.iter().enumerate() {
+                let v = finite(s.values.get(ci).copied().unwrap_or(0.0));
+                let x = left + slot * 0.1 + width * si as f64;
+                let (from, to) = if v >= 0.0 { (0.0, v) } else { (v, 0.0) };
+                push_bar_rect(svg, x, width, &scale, from, to, si);
+            }
+        }
+        // Rotated category label under the slot centre.
+        let cx = left + slot / 2.0;
+        svg.push_str(&format!(
+            "<text x=\"{x}\" y=\"{y}\" transform=\"rotate(-45 {x} {y})\" text-anchor=\"end\" font-size=\"9\">{label}</text>\n",
+            x = fmt::coord(cx),
+            y = fmt::coord(Y1 + 12.0),
+            label = escape(cat)
+        ));
+    }
+    // Zero line when the range crosses it.
+    if lo < 0.0 && hi > 0.0 {
+        let y = scale.y(0.0);
+        svg.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333333\"/>\n",
+            fmt::coord(X0),
+            fmt::coord(y),
+            fmt::coord(X1),
+            fmt::coord(y)
+        ));
+    }
+    let names: Vec<String> = chart.series.iter().map(|s| s.name.clone()).collect();
+    legend(svg, &names);
+}
+
+fn push_bar_rect(
+    svg: &mut String,
+    x: f64,
+    width: f64,
+    scale: &YScale,
+    from: f64,
+    to: f64,
+    si: usize,
+) {
+    let y_top = scale.y(to);
+    let y_bot = scale.y(from);
+    let h = (y_bot - y_top).max(0.0);
+    svg.push_str(&format!(
+        "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>\n",
+        fmt::coord(x),
+        fmt::coord(y_top),
+        fmt::coord(width),
+        fmt::coord(h),
+        PALETTE[si % PALETTE.len()]
+    ));
+}
+
+// ---------------------------------------------------------------- line
+
+struct XScale {
+    lo: f64,
+    hi: f64,
+    log: bool,
+}
+
+impl XScale {
+    fn over(points: impl Iterator<Item = f64>, log: bool) -> XScale {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for x in points {
+            if x.is_finite() && (!log || x > 0.0) {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = if log { 1.0 } else { 0.0 };
+            hi = if log { 10.0 } else { 1.0 };
+        }
+        let (lo, hi) = if log {
+            let (l, h) = widen(lo.log10(), hi.log10());
+            (10f64.powf(l), 10f64.powf(h))
+        } else {
+            widen(lo, hi)
+        };
+        XScale { lo, hi, log }
+    }
+
+    fn x(&self, v: f64) -> Option<f64> {
+        if !v.is_finite() || (self.log && v <= 0.0) {
+            return None;
+        }
+        let t = if self.log {
+            (v.log10() - self.lo.log10()) / (self.hi.log10() - self.lo.log10())
+        } else {
+            (v - self.lo) / (self.hi - self.lo)
+        };
+        Some(X0 + t.clamp(0.0, 1.0) * (X1 - X0))
+    }
+
+    fn draw(&self, svg: &mut String, label: &str) {
+        if self.log {
+            let mut exp = self.lo.log10().ceil() as i32;
+            let last = self.hi.log10().floor() as i32;
+            // A sub-decade range contains no integer power of ten; fall
+            // back to labelling the range endpoints so the axis never
+            // renders tickless.
+            let ticks: Vec<f64> = if exp > last {
+                vec![self.lo, self.hi]
+            } else {
+                let mut ticks = Vec::new();
+                while exp <= last {
+                    ticks.push(10f64.powi(exp));
+                    exp += 1;
+                }
+                ticks
+            };
+            for v in ticks {
+                if let Some(x) = self.x(v) {
+                    svg.push_str(&format!(
+                        "<line x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\" stroke=\"#dddddd\"/>\n",
+                        fmt::coord(Y0),
+                        fmt::coord(Y1),
+                        x = fmt::coord(x)
+                    ));
+                    svg.push_str(&format!(
+                        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+                        fmt::coord(x),
+                        fmt::coord(Y1 + 16.0),
+                        escape(&fmt::sci(v, 0))
+                    ));
+                }
+            }
+        } else {
+            let step = nice_step(self.hi - self.lo, 6);
+            let mut tick = (self.lo / step).ceil() * step;
+            while tick <= self.hi + step * 1e-9 {
+                if let Some(x) = self.x(tick) {
+                    svg.push_str(&format!(
+                        "<line x1=\"{x}\" y1=\"{}\" x2=\"{x}\" y2=\"{}\" stroke=\"#dddddd\"/>\n",
+                        fmt::coord(Y0),
+                        fmt::coord(Y1),
+                        x = fmt::coord(x)
+                    ));
+                    svg.push_str(&format!(
+                        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+                        fmt::coord(x),
+                        fmt::coord(Y1 + 16.0),
+                        escape(&tick_label(tick, step))
+                    ));
+                }
+                tick += step;
+            }
+        }
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            fmt::coord((X0 + X1) / 2.0),
+            fmt::coord(Y1 + 34.0),
+            escape(label)
+        ));
+    }
+}
+
+fn y_bounds(points: impl Iterator<Item = f64>) -> YScale {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for y in points {
+        if y.is_finite() {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return YScale::new(0.0, 1.0);
+    }
+    // Give line/scatter data headroom; bars always include zero instead.
+    let pad = (hi - lo).max(hi.abs().max(lo.abs()) * 1e-3) * 0.05;
+    YScale::new(lo - pad, hi + pad)
+}
+
+fn polyline(
+    svg: &mut String,
+    xs: &XScale,
+    ys: &YScale,
+    pts: &[(f64, f64)],
+    color: &str,
+    dashed: bool,
+) {
+    let coords: Vec<String> = pts
+        .iter()
+        .filter_map(|&(x, y)| {
+            let px = xs.x(x)?;
+            if !y.is_finite() {
+                return None;
+            }
+            Some(format!("{},{}", fmt::coord(px), fmt::coord(ys.y(y))))
+        })
+        .collect();
+    if coords.is_empty() {
+        return;
+    }
+    let dash = if dashed {
+        " stroke-dasharray=\"5,3\""
+    } else {
+        ""
+    };
+    svg.push_str(&format!(
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\"{}/>\n",
+        coords.join(" "),
+        color,
+        dash
+    ));
+}
+
+fn line_body(svg: &mut String, chart: &LineChart) {
+    let xs = XScale::over(
+        chart
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0)),
+        chart.log_x,
+    );
+    let ys = y_bounds(
+        chart
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1)),
+    );
+    ys.draw(svg, &chart.y_label);
+    xs.draw(svg, &chart.x_label);
+    for (si, s) in chart.series.iter().enumerate() {
+        polyline(svg, &xs, &ys, &s.points, PALETTE[si % PALETTE.len()], false);
+    }
+    let names: Vec<String> = chart.series.iter().map(|s| s.name.clone()).collect();
+    legend(svg, &names);
+}
+
+// ------------------------------------------------------------- scatter
+
+fn scatter_body(svg: &mut String, plot: &ScatterPlot) {
+    let overlay_pts = plot.overlay.iter().flat_map(|o| o.points.iter());
+    let xs = XScale::over(
+        plot.series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .chain(overlay_pts.clone())
+            .map(|p| p.0),
+        false,
+    );
+    let ys = y_bounds(
+        plot.series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .chain(overlay_pts)
+            .map(|p| p.1),
+    );
+    ys.draw(svg, &plot.y_label);
+    xs.draw(svg, &plot.x_label);
+    for (si, s) in plot.series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            let Some(px) = xs.x(x) else { continue };
+            if !y.is_finite() {
+                continue;
+            }
+            svg.push_str(&format!(
+                "<circle cx=\"{}\" cy=\"{}\" r=\"3\" fill=\"{}\" fill-opacity=\"0.75\"/>\n",
+                fmt::coord(px),
+                fmt::coord(ys.y(y)),
+                PALETTE[si % PALETTE.len()]
+            ));
+        }
+    }
+    if let Some(overlay) = &plot.overlay {
+        polyline(svg, &xs, &ys, &overlay.points, "#333333", true);
+    }
+    let mut names: Vec<String> = plot.series.iter().map(|s| s.name.clone()).collect();
+    if let Some(overlay) = &plot.overlay {
+        names.push(overlay.name.clone());
+    }
+    legend(svg, &names);
+}
+
+// --------------------------------------------------------------- table
+
+/// Tables render as a monospace text grid (used only when an SVG form of
+/// a table figure is explicitly requested; reports inline tables as
+/// Markdown instead).
+fn table_svg(figure: &Figure, table: &Table) -> String {
+    const ROW_H: f64 = 16.0;
+    const CHAR_W: f64 = 7.0;
+    let ncols = table.columns.len();
+    let mut widths: Vec<usize> = table.columns.iter().map(|c| c.chars().count()).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let total_chars: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    let width = (total_chars as f64 * CHAR_W + 40.0).max(320.0);
+    let height = 48.0 + ROW_H * (table.rows.len() + 1) as f64;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" \
+         font-family=\"Menlo,Consolas,monospace\" font-size=\"12\">\n",
+        fmt::coord(width),
+        fmt::coord(height)
+    );
+    svg.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"#ffffff\"/>\n",
+        fmt::coord(width),
+        fmt::coord(height)
+    ));
+    svg.push_str(&format!(
+        "<text x=\"20\" y=\"20\" font-size=\"13\" font-weight=\"bold\">{}</text>\n",
+        escape(&format!(
+            "{} — {}",
+            figure.meta.paper_ref, figure.meta.title
+        ))
+    ));
+    let emit_row = |svg: &mut String, cells: &[String], y: f64, bold: bool| {
+        let mut col_x = 20.0;
+        let weight = if bold { " font-weight=\"bold\"" } else { "" };
+        for (i, cell) in cells.iter().enumerate().take(ncols) {
+            svg.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\"{}>{}</text>\n",
+                fmt::coord(col_x),
+                fmt::coord(y),
+                weight,
+                escape(cell)
+            ));
+            col_x += (widths[i] + 2) as f64 * CHAR_W;
+        }
+    };
+    emit_row(&mut svg, &table.columns, 40.0, true);
+    for (ri, row) in table.rows.iter().enumerate() {
+        emit_row(&mut svg, row, 40.0 + ROW_H * (ri + 1) as f64, false);
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}

@@ -163,6 +163,66 @@ impl ValidationReport {
         ));
         out
     }
+
+    /// Adapt the report to a typed [`Figure`](pmt_report::Figure) table
+    /// (the `validation_report` binary and the `pmt report` document
+    /// render it from there). Cache counters are deliberately left out:
+    /// they vary between cold and warm runs, and the figure must be a
+    /// pure function of the model-vs-simulator comparison so generated
+    /// documents stay bit-identical.
+    pub fn to_figure(&self) -> pmt_report::Figure {
+        use pmt_report::{fmt, Figure, Table};
+        let mut rows = Vec::new();
+        for w in &self.workloads {
+            rows.push(vec![
+                w.workload.clone(),
+                w.points.to_string(),
+                fmt::pct(w.cpi.mean),
+                fmt::pct(w.cpi.mean_abs),
+                fmt::pct(w.cpi.p95_abs),
+                fmt::pct(w.cpi.max_abs),
+                fmt::pct(w.power.mean_abs),
+                fmt::f64(w.cpi_rank_correlation, 3),
+                fmt::f64(w.power_rank_correlation, 3),
+            ]);
+        }
+        let pooled = |label: &str, s: &ErrorStats| {
+            vec![
+                format!("pooled {label}"),
+                s.n.to_string(),
+                fmt::pct(s.mean),
+                fmt::pct(s.mean_abs),
+                fmt::pct(s.p95_abs),
+                fmt::pct(s.max_abs),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]
+        };
+        rows.push(pooled("CPI", &self.cpi));
+        rows.push(pooled("IPC", &self.ipc));
+        rows.push(pooled("power", &self.power));
+        Figure::table(
+            "validation",
+            "Table 6.1 claim",
+            "differential validation: signed error distributions and rank agreement",
+            Table {
+                columns: [
+                    "workload", "points", "bias", "mean|e|", "p95", "max", "PWR|e|", "rhoCPI",
+                    "rhoPWR",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                rows,
+            },
+        )
+        .note(format!(
+            "CPI rank correlation: mean {}, worst {}",
+            pmt_report::fmt::f64(self.mean_cpi_rank_correlation, 3),
+            pmt_report::fmt::f64(self.min_cpi_rank_correlation, 3)
+        ))
+    }
 }
 
 #[cfg(test)]

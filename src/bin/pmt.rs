@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         "corun" => cmd_corun(&args[1..]),
         "smt" => cmd_smt(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -63,6 +64,12 @@ USAGE:
                [--cache FILE] [--max-mean-cpi-error F] [--smoke]
                                                  model-vs-simulator accuracy
                                                  report (memoized sim runs)
+  pmt report [--out-dir DIR] [--cache FILE] [--smoke]
+                                                 regenerate docs/REPRODUCTION.md,
+                                                 docs/figures/*.svg and
+                                                 docs/PAPER_MAP.md (full
+                                                 profile→predict→sweep→validate
+                                                 pass; deterministic output)
   pmt corun <w1> <w2> [..] [--instructions N]    shared-LLC co-run model
   pmt smt <w1> <w2> [..] [--instructions N]      SMT (shared-core) model
 
@@ -308,6 +315,29 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             threshold * 100.0
         );
     }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let out_dir = flag(args, "--out-dir").unwrap_or_else(|| "docs".into());
+    // Thread the memoized simulation cache through every builder that
+    // supports it (the validation and simulated-sweep figures): a warm
+    // regeneration performs zero new reference simulations.
+    if let Some(cache) = flag(args, "--cache") {
+        std::env::set_var("PMT_SIM_CACHE", cache);
+    }
+    let scale = pmt_bench::HarnessConfig::default_scale();
+    eprintln!(
+        "generating the reproduction report at {} instructions per workload...",
+        scale.instructions
+    );
+    let report = pmt_bench::report_gen::generate();
+    let files = pmt_bench::report_gen::write(&report, std::path::Path::new(&out_dir))?;
+    pmt_bench::harness::save_shared_sim_cache()?;
+    let charts = report.figures().filter(|f| f.is_chart()).count();
+    let total = report.figures().count();
+    println!("report -> {out_dir}/REPRODUCTION.md ({total} figures, {charts} SVGs, {files} files)");
+    println!("index  -> {out_dir}/PAPER_MAP.md");
     Ok(())
 }
 

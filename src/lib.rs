@@ -20,7 +20,11 @@
 //! * [`power`] — the McPAT-style power model,
 //! * [`dse`] — design-space exploration, Pareto pruning and DVFS,
 //! * [`validate`] — differential model-vs-simulator validation with
-//!   memoized reference runs and serializable accuracy reports.
+//!   memoized reference runs and serializable accuracy reports,
+//! * [`report`] — deterministic figure rendering (typed figures to
+//!   text, Markdown and hand-rolled SVG) behind `docs/REPRODUCTION.md`,
+//! * [`bench`] — the experiment harness, the figure registry behind
+//!   every `fig*`/`tbl*` binary, and the `pmt report` generator.
 //!
 //! # Quickstart
 //!
@@ -46,12 +50,14 @@
 //! assert!(!front.indices().is_empty());
 //! ```
 
+pub use pmt_bench as bench;
 pub use pmt_branch as branch;
 pub use pmt_cachesim as cachesim;
 pub use pmt_core as model;
 pub use pmt_dse as dse;
 pub use pmt_power as power;
 pub use pmt_profiler as profiler;
+pub use pmt_report as report;
 pub use pmt_sim as sim;
 pub use pmt_statstack as statstack;
 pub use pmt_trace as trace;
@@ -65,6 +71,7 @@ pub mod prelude {
     pub use pmt_dse::{BatchEvaluation, ParetoFront, SpaceEvaluation, SweepBuilder, SweepConfig};
     pub use pmt_power::{PowerBreakdown, PowerModel};
     pub use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+    pub use pmt_report::{Figure, FigureKind, Report};
     pub use pmt_sim::{OooSimulator, SimCache, SimConfig, SimResult};
     pub use pmt_trace::{MicroOp, SamplingConfig, TraceSource, UopClass};
     pub use pmt_uarch::{DesignSpace, MachineConfig};

@@ -2,7 +2,7 @@
 //! must be orders of magnitude faster than cycle-level simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pmt_core::{IntervalModel, ModelConfig};
+use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
 use pmt_profiler::{Profiler, ProfilerConfig};
 use pmt_sim::{OooSimulator, SimConfig};
 use pmt_uarch::MachineConfig;
@@ -17,10 +17,21 @@ fn bench_model_vs_sim(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("design-point-evaluation");
     group.sample_size(20);
+    // Legacy per-point cost: refit every machine-independent model.
     group.bench_function(BenchmarkId::new("interval-model", n), |b| {
         b.iter(|| {
             IntervalModel::with_config(&machine, ModelConfig::default())
                 .predict(&profile)
+                .cpi()
+        })
+    });
+    // Prepared per-point cost: fit once outside the loop, query per point
+    // — this is what a design-space sweep pays per configuration.
+    let prepared = PreparedProfile::new(&profile);
+    group.bench_function(BenchmarkId::new("interval-model-prepared", n), |b| {
+        b.iter(|| {
+            IntervalModel::with_config(&machine, ModelConfig::default())
+                .predict_summary(&prepared)
                 .cpi()
         })
     });

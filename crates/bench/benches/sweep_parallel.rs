@@ -1,13 +1,17 @@
-//! Serial vs rayon-parallel design-space sweep throughput.
+//! Serial vs rayon-parallel design-space sweep throughput, and the
+//! prepared fast path vs the legacy refit-per-point model path.
 //!
 //! The paper's headline claim is evaluating a 243-point design space "in
 //! seconds instead of days"; this benchmark records what the parallel
-//! refactor buys on top. On an N-core machine the parallel sweep should
-//! approach N× the serial points/second (≥2× on ≥4 cores); on a 1-core
-//! machine the two paths time alike, and the printed ratio says so
-//! honestly instead of asserting a speedup that can't exist.
+//! refactor and the prepared-profile fast path buy on top. On an N-core
+//! machine the parallel sweep should approach N× the serial
+//! points/second (≥2× on ≥4 cores); on a 1-core machine the two paths
+//! time alike, and the printed ratio says so honestly instead of
+//! asserting a speedup that can't exist. The prepared-vs-legacy ratio is
+//! thread-count independent (it removes per-point refits outright).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmt_core::{IntervalModel, ModelConfig};
 use pmt_dse::{SpaceEvaluation, SweepConfig};
 use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_uarch::{DesignPoint, DesignSpace};
@@ -29,6 +33,20 @@ fn bench_sweep(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("space-sweep");
     group.sample_size(10);
+    // The legacy model path a sweep used to take: refit the
+    // machine-independent StatStack models at every design point.
+    group.bench_function(BenchmarkId::new("serial-legacy-refit", n), |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|p| {
+                    IntervalModel::with_config(&p.machine, ModelConfig::default())
+                        .predict(&profile)
+                        .cpi()
+                })
+                .sum::<f64>()
+        })
+    });
     group.bench_function(BenchmarkId::new("serial", n), |b| {
         b.iter(|| {
             SpaceEvaluation::run_serial(&points, &profile, None, &cfg)

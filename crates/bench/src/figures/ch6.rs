@@ -4,7 +4,7 @@
 use crate::harness::{
     evaluate_suite, mean_abs_error, parallel_map, sim_instructions, space_stride, HarnessConfig,
 };
-use pmt_core::{EvaluationMode, IntervalModel, MlpModelKind};
+use pmt_core::{EvaluationMode, IntervalModel, MlpModelKind, PreparedProfile};
 use pmt_power::{PowerComponent, PowerModel};
 use pmt_profiler::Profiler;
 use pmt_report::{fmt, BarChart, Figure, LineChart, LineSeries, Series, Table};
@@ -286,10 +286,12 @@ pub fn fig6_5_space_performance(cfg: &HarnessConfig) -> Vec<Figure> {
     let space = DesignSpace::thesis_table_6_3();
     let points: Vec<_> = space.enumerate().into_iter().step_by(stride).collect();
 
-    // Profile once per workload (the micro-architecture independent step).
+    // Profile once per workload (the micro-architecture independent step),
+    // then prepare once so every design point reuses the fitted models.
     let profiles = parallel_map(suite(), |spec| {
         Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(sim_n))
     });
+    let prepared: Vec<PreparedProfile<'_>> = profiles.iter().map(PreparedProfile::new).collect();
 
     // All (workload, point) pairs.
     let mut pairs = Vec::new();
@@ -301,8 +303,8 @@ pub fn fig6_5_space_performance(cfg: &HarnessConfig) -> Vec<Figure> {
     let errs = parallel_map(pairs, |(wi, spec, point)| {
         let sim =
             OooSimulator::new(SimConfig::new(point.machine.clone())).run(&mut spec.trace(sim_n));
-        let pred =
-            IntervalModel::with_config(&point.machine, cfg.model.clone()).predict(&profiles[wi]);
+        let pred = IntervalModel::with_config(&point.machine, cfg.model.clone())
+            .predict_summary(&prepared[wi]);
         (pred.cpi() - sim.cpi()) / sim.cpi()
     });
 
@@ -411,6 +413,7 @@ pub fn fig6_8_space_power(cfg: &HarnessConfig) -> Vec<Figure> {
     let profiles = parallel_map(suite(), |spec| {
         Profiler::new(cfg.profiler.clone()).profile_named(&spec.name, &mut spec.trace(sim_n))
     });
+    let prepared: Vec<PreparedProfile<'_>> = profiles.iter().map(PreparedProfile::new).collect();
     let mut pairs = Vec::new();
     for (wi, spec) in suite().into_iter().enumerate() {
         for p in &points {
@@ -420,8 +423,8 @@ pub fn fig6_8_space_power(cfg: &HarnessConfig) -> Vec<Figure> {
     let errs = parallel_map(pairs, |(wi, spec, point)| {
         let sim =
             OooSimulator::new(SimConfig::new(point.machine.clone())).run(&mut spec.trace(sim_n));
-        let pred =
-            IntervalModel::with_config(&point.machine, cfg.model.clone()).predict(&profiles[wi]);
+        let pred = IntervalModel::with_config(&point.machine, cfg.model.clone())
+            .predict_summary(&prepared[wi]);
         let pm = PowerModel::new(&point.machine);
         let sp = pm.power(&sim.activity).total();
         let mp = pm.power(&pred.activity).total();

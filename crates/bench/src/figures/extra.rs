@@ -5,13 +5,17 @@ use crate::harness::{
     evaluate_suite, mean_abs_error, shared_sim_cache, sim_instructions, space_stride, HarnessConfig,
 };
 use pmt_core::IntervalModel;
+use pmt_dse::{SpaceEvaluation, SweepConfig};
+use pmt_power::PowerModel;
 use pmt_profiler::Profiler;
 use pmt_report::{fmt, Figure, Table};
 use pmt_sim::{OooSimulator, SimConfig};
 use pmt_uarch::{CpiComponent, DesignSpace, MachineConfig};
 use pmt_validate::{ValidationConfig, Validator};
 use pmt_workloads::{suite, WorkloadSpec};
-use std::time::Instant;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::{Duration, Instant};
 
 /// The differential validation report (the Table 6.1 / Fig 7.10 claim):
 /// model-vs-simulator error distributions plus design-ordering
@@ -61,43 +65,163 @@ pub fn validation_report(cfg: &HarnessConfig) -> Vec<Figure> {
         .note("(thesis: 9.3% mean CPI error across the design space; a few percent for power)")]
 }
 
+/// One measured sweep path in `BENCH_model.json`.
+#[derive(Serialize)]
+struct PathRates {
+    serial_points_per_s: f64,
+    parallel_points_per_s: f64,
+}
+
+/// The machine-readable perf record the `speedup` binary writes (see the
+/// README "Performance trajectory" section for the schema contract).
+#[derive(Serialize)]
+struct BenchModelRecord {
+    schema_version: u32,
+    bench: &'static str,
+    workload: &'static str,
+    instructions: u64,
+    design_points: usize,
+    repetitions: u32,
+    threads: usize,
+    /// Refit-per-point path: `IntervalModel::predict` at every point.
+    legacy: PathRates,
+    /// Fit-once path: `PreparedProfile` + `predict_summary` per point.
+    prepared: PathRates,
+    speedup_serial: f64,
+    speedup_parallel: f64,
+}
+
+/// Where the perf record lands.
+///
+/// `PMT_BENCH_OUT` names the file explicitly; otherwise full-scale runs
+/// write `BENCH_model.json` in the working directory and smoke runs
+/// write nothing — the smoke figure loops (`all_experiments --smoke`,
+/// CI's figure-smoke job) must not clobber the committed full-scale
+/// record with toy-scale rates. CI's perf gate opts in via
+/// `PMT_BENCH_OUT`.
+fn bench_out_path() -> Option<String> {
+    match std::env::var("PMT_BENCH_OUT") {
+        Ok(path) => Some(path),
+        Err(_) if HarnessConfig::smoke_requested() => None,
+        Err(_) => Some("BENCH_model.json".into()),
+    }
+}
+
 /// §6.2 headline: design-space evaluation speedup — profile-once +
-/// model versus per-point cycle-level simulation. Wall-clock timing, so
-/// deliberately excluded from the deterministic report.
+/// model versus per-point cycle-level simulation, plus the prepared
+/// fast path (fit once, predict the whole space) versus the legacy
+/// refit-per-point model path. Wall-clock timing, so deliberately
+/// excluded from the deterministic report; the prepared-vs-legacy rates
+/// are also written to `BENCH_model.json` for the perf trajectory.
 pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
     let n = cfg.instructions.min(300_000);
     let spec = WorkloadSpec::by_name("astar").unwrap();
     let points = DesignSpace::thesis_table_6_3().enumerate();
+    let reps: u32 = if HarnessConfig::smoke_requested() {
+        2
+    } else {
+        3
+    };
+    let sweep_cfg = SweepConfig {
+        model: cfg.model.clone(),
+        ..SweepConfig::default()
+    };
 
     // One-time profiling cost.
     let t0 = Instant::now();
     let profile = Profiler::new(cfg.profiler.clone()).profile_named("astar", &mut spec.trace(n));
     let t_profile = t0.elapsed();
 
-    // Model evaluation across the whole space.
+    // Legacy model path: refit every machine-independent model at every
+    // design point (what `predict` does), including the power model so
+    // both paths do one full sweep-point's work.
+    let legacy_point = |machine: &MachineConfig| {
+        let pred = IntervalModel::with_config(machine, cfg.model.clone()).predict(&profile);
+        PowerModel::new(machine).power(&pred.activity).total() + pred.cpi()
+    };
     let t1 = Instant::now();
     let mut acc = 0.0;
-    for p in &points {
-        acc += IntervalModel::with_config(&p.machine, cfg.model.clone())
-            .predict(&profile)
-            .cpi();
+    for _ in 0..reps {
+        for p in &points {
+            acc += legacy_point(&p.machine);
+        }
     }
-    let t_model = t1.elapsed();
+    let t_legacy_serial = t1.elapsed();
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        acc += points
+            .par_iter()
+            .map(|p| legacy_point(&p.machine))
+            .sum::<f64>();
+    }
+    let t_legacy_parallel = t2.elapsed();
+    let _ = acc;
+
+    // Prepared fast path: `SpaceEvaluation` fits once per run and issues
+    // only machine-dependent queries per point.
+    let t3 = Instant::now();
+    for _ in 0..reps {
+        SpaceEvaluation::run_serial(&points, &profile, None, &sweep_cfg);
+    }
+    let t_prepared_serial = t3.elapsed();
+    let t4 = Instant::now();
+    for _ in 0..reps {
+        SpaceEvaluation::run(&points, &profile, None, &sweep_cfg);
+    }
+    let t_prepared_parallel = t4.elapsed();
 
     // Simulation for a sample of the space, extrapolated.
     let sample = 8.min(points.len());
-    let t2 = Instant::now();
+    let t5 = Instant::now();
+    let mut sim_acc = 0.0;
     for p in points.iter().take(sample) {
         let r = OooSimulator::new(SimConfig::new(p.machine.clone())).run(&mut spec.trace(n));
-        acc += r.cpi();
+        sim_acc += r.cpi();
     }
-    let t_sim_sample = t2.elapsed();
+    let t_sim_sample = t5.elapsed();
     let t_sim_full = t_sim_sample * (points.len() as u32) / (sample as u32);
-    let _ = acc;
+    let _ = sim_acc;
 
-    let secs = |d: std::time::Duration| format!("{} ms", fmt::f64(d.as_secs_f64() * 1e3, 2));
+    let total = (points.len() as u32 * reps) as f64;
+    let rate = |d: Duration| total / d.as_secs_f64().max(1e-12);
+    let record = BenchModelRecord {
+        schema_version: 1,
+        bench: "sweep_points_per_second",
+        workload: "astar",
+        instructions: n,
+        design_points: points.len(),
+        repetitions: reps,
+        threads: rayon::current_num_threads(),
+        legacy: PathRates {
+            serial_points_per_s: rate(t_legacy_serial),
+            parallel_points_per_s: rate(t_legacy_parallel),
+        },
+        prepared: PathRates {
+            serial_points_per_s: rate(t_prepared_serial),
+            parallel_points_per_s: rate(t_prepared_parallel),
+        },
+        speedup_serial: rate(t_prepared_serial) / rate(t_legacy_serial).max(1e-12),
+        speedup_parallel: rate(t_prepared_parallel) / rate(t_legacy_parallel).max(1e-12),
+    };
+    // A requested record that cannot be written is a hard error: CI's
+    // perf gate reads the file this run was supposed to produce, and a
+    // silent fallback would let it assert against a stale record.
+    let record_note = match bench_out_path() {
+        Some(out) => {
+            let json = serde_json::to_string(&record).expect("perf record serializes");
+            if let Err(e) = std::fs::write(&out, json + "\n") {
+                panic!("could not write the perf record {out}: {e}");
+            }
+            eprintln!("perf record -> {out}");
+            format!("machine-readable record in {out}")
+        }
+        None => "record not written at smoke scale (set PMT_BENCH_OUT to force)".into(),
+    };
+
+    let secs = |d: Duration| format!("{} ms", fmt::f64(d.as_secs_f64() * 1e3, 2));
+    let t_model = t_prepared_serial / reps;
     let speedup = t_sim_full.as_secs_f64() / (t_profile + t_model).as_secs_f64();
-    vec![Figure::table(
+    let sim_table = Figure::table(
         "speedup",
         "§6.2",
         format!(
@@ -109,7 +233,7 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
             columns: vec!["step".into(), "wall-clock".into()],
             rows: vec![
                 vec!["profiling (once)".into(), secs(t_profile)],
-                vec!["model × space".into(), secs(t_model)],
+                vec!["model × space (prepared, serial)".into(), secs(t_model)],
                 vec!["model total".into(), secs(t_profile + t_model)],
                 vec![
                     format!("simulation × space (extrapolated from {sample} points)"),
@@ -121,7 +245,36 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
     .note(format!(
         "speedup: {}× (thesis: 315× vs detailed simulation)",
         fmt::f64(speedup, 1)
-    ))]
+    ));
+
+    let pts = |d: Duration| format!("{} pts/s", fmt::f64(rate(d), 0));
+    let prepared_table = Figure::table(
+        "speedup_prepared",
+        "§6.2",
+        "sweep throughput: prepared fast path vs legacy refit-per-point",
+        Table {
+            columns: vec!["path".into(), "serial".into(), "parallel".into()],
+            rows: vec![
+                vec![
+                    "legacy (refit per point)".into(),
+                    pts(t_legacy_serial),
+                    pts(t_legacy_parallel),
+                ],
+                vec![
+                    "prepared (fit once)".into(),
+                    pts(t_prepared_serial),
+                    pts(t_prepared_parallel),
+                ],
+                vec![
+                    "speedup".into(),
+                    format!("{}×", fmt::f64(record.speedup_serial, 1)),
+                    format!("{}×", fmt::f64(record.speedup_parallel, 1)),
+                ],
+            ],
+        },
+    )
+    .note(format!("{} threads; {record_note}", record.threads));
+    vec![sim_table, prepared_table]
 }
 
 /// Development aid: per-workload model-vs-simulator deltas on the

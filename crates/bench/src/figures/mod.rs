@@ -345,9 +345,9 @@ pub const REGISTRY: &[FigureBinary] = &[
     FigureBinary {
         bin: "speedup",
         paper_ref: "§6.2 headline",
-        title: "profile-once + model vs per-point simulation, wall-clock",
+        title: "profile-once + model vs per-point simulation, wall-clock; prepared vs legacy sweep throughput (writes BENCH_model.json)",
         chapter: 6,
-        crates: &["core", "profiler", "sim"],
+        crates: &["core", "dse", "profiler", "sim"],
         trained_entropy: false,
         deterministic: false,
         build: extra::speedup,

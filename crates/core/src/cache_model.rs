@@ -1,10 +1,17 @@
 //! Cache miss-rate derivation from reuse-distance profiles via StatStack
 //! (thesis §4.2): each level of the inclusive hierarchy is modeled
 //! independently as a fully-associative LRU cache of the same capacity.
+//!
+//! Fitting the [`StackDistanceModel`] is machine-*independent* (it only
+//! reads the reuse histogram); evaluating it for a concrete hierarchy is
+//! machine-*dependent* but cheap (a handful of binary searches). The two
+//! steps are split so [`crate::PreparedProfile`] can fit once and every
+//! design point pays only for [`CacheModel::from_fitted`].
 
 use pmt_statstack::{ReuseHistogram, StackDistanceModel};
 use pmt_uarch::CacheHierarchy;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-level miss ratios for one access type.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -33,39 +40,48 @@ impl MissRatios {
 /// The fitted per-level cache model for one access type.
 #[derive(Clone, Debug)]
 pub struct CacheModel {
-    model: StackDistanceModel,
+    model: Arc<StackDistanceModel>,
     /// Critical reuse distances per data level.
     pub critical_rd: [u64; 3],
     /// Miss ratios per level.
     pub ratios: MissRatios,
+    /// Cold-access fraction, cached off the model.
+    cold_fraction: f64,
 }
 
 impl CacheModel {
+    /// Per-level line counts seen by data accesses (L1-D, L2, L3).
+    pub fn data_lines(caches: &CacheHierarchy) -> [u64; 3] {
+        [caches.l1d.lines(), caches.l2.lines(), caches.l3.lines()]
+    }
+
+    /// Per-level line counts seen by instruction fetches (L1-I geometry,
+    /// then the shared L2/L3).
+    pub fn inst_lines(caches: &CacheHierarchy) -> [u64; 3] {
+        [caches.l1i.lines(), caches.l2.lines(), caches.l3.lines()]
+    }
+
     /// Fit StatStack to a reuse histogram and evaluate it for a hierarchy.
     pub fn fit(hist: &ReuseHistogram, caches: &CacheHierarchy) -> CacheModel {
-        let model = StackDistanceModel::from_reuse(hist);
-        let lines = [caches.l1d.lines(), caches.l2.lines(), caches.l3.lines()];
-        let critical_rd = [
-            model.critical_reuse_distance(lines[0]),
-            model.critical_reuse_distance(lines[1]),
-            model.critical_reuse_distance(lines[2]),
-        ];
-        let ratios = MissRatios {
-            l1: model.miss_ratio(lines[0]),
-            l2: model.miss_ratio(lines[1]),
-            l3: model.miss_ratio(lines[2]),
-        };
-        CacheModel {
-            model,
-            critical_rd,
-            ratios,
-        }
+        Self::from_fitted(
+            &Arc::new(StackDistanceModel::from_reuse(hist)),
+            Self::data_lines(caches),
+        )
     }
 
     /// Fit for the instruction path (L1-I geometry, then shared L2/L3).
     pub fn fit_inst(hist: &ReuseHistogram, caches: &CacheHierarchy) -> CacheModel {
-        let model = StackDistanceModel::from_reuse(hist);
-        let lines = [caches.l1i.lines(), caches.l2.lines(), caches.l3.lines()];
+        Self::from_fitted(
+            &Arc::new(StackDistanceModel::from_reuse(hist)),
+            Self::inst_lines(caches),
+        )
+    }
+
+    /// Evaluate an already-fitted StatStack model for a hierarchy given as
+    /// per-level line counts. This is the machine-dependent step only —
+    /// six binary searches, no allocation beyond a refcount bump — and is
+    /// what the prepared-profile fast path calls per design point.
+    pub fn from_fitted(model: &Arc<StackDistanceModel>, lines: [u64; 3]) -> CacheModel {
         let critical_rd = [
             model.critical_reuse_distance(lines[0]),
             model.critical_reuse_distance(lines[1]),
@@ -77,9 +93,10 @@ impl CacheModel {
             l3: model.miss_ratio(lines[2]),
         };
         CacheModel {
-            model,
             critical_rd,
             ratios,
+            cold_fraction: model.cold_fraction(),
+            model: Arc::clone(model),
         }
     }
 
@@ -90,7 +107,7 @@ impl CacheModel {
 
     /// Cold-access fraction of the fitted histogram.
     pub fn cold_fraction(&self) -> f64 {
-        self.model.cold_fraction()
+        self.cold_fraction
     }
 }
 
@@ -153,5 +170,28 @@ mod tests {
         };
         assert!((r.l2_hit() - 0.2).abs() < 1e-12);
         assert!((r.l3_hit() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fitted_matches_fit_for_every_hierarchy() {
+        // The split fit — shared model, per-machine evaluation — must be
+        // indistinguishable from refitting at every machine.
+        let hist = hist_of_cycle(3_000, 150_000);
+        let shared = Arc::new(StackDistanceModel::from_reuse(&hist));
+        let caches = CacheHierarchy::nehalem();
+        for lines in [
+            CacheModel::data_lines(&caches),
+            CacheModel::inst_lines(&caches),
+        ] {
+            let refit =
+                CacheModel::from_fitted(&Arc::new(StackDistanceModel::from_reuse(&hist)), lines);
+            let fast = CacheModel::from_fitted(&shared, lines);
+            assert_eq!(refit.ratios, fast.ratios);
+            assert_eq!(refit.critical_rd, fast.critical_rd);
+            assert_eq!(
+                refit.cold_fraction().to_bits(),
+                fast.cold_fraction().to_bits()
+            );
+        }
     }
 }

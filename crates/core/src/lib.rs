@@ -27,6 +27,14 @@
 //! insight), or on the combined profile (the ISPASS'15 variant) — see
 //! [`EvaluationMode`].
 //!
+//! The machine-independent half of an evaluation — fitting every
+//! StatStack model, class counts, entropy fallbacks, virtual-stream
+//! skeletons — is hoisted into [`PreparedProfile`]: **prepare once,
+//! predict many**. [`IntervalModel::predict_prepared`] and the
+//! sweep-oriented [`IntervalModel::predict_summary`] evaluate any number
+//! of machine configurations against one preparation, bit-identical to
+//! [`IntervalModel::predict`] (which wraps them).
+//!
 //! # Example
 //!
 //! ```
@@ -50,9 +58,11 @@ pub mod llc_chaining;
 pub mod mlp;
 mod model;
 pub mod multicore;
+mod prepared;
 pub mod smt;
 
 pub use config::{EvaluationMode, MlpModelKind, ModelConfig};
-pub use model::{IntervalModel, Prediction, WindowPrediction};
+pub use model::{IntervalModel, Prediction, PredictionSummary, WindowPrediction};
 pub use multicore::{CorePrediction, CorunPrediction, MulticoreModel};
+pub use prepared::PreparedProfile;
 pub use smt::{SmtModel, SmtPrediction, ThreadPrediction};

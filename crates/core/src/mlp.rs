@@ -130,6 +130,82 @@ struct VirtualLoad {
     stall_factor: f64,
 }
 
+/// One occurrence in the machine-independent stream skeleton.
+#[derive(Clone, Copy, Debug)]
+struct SkeletonLoad {
+    position: u64,
+    /// Index of the owning static load.
+    owner: u32,
+    /// Deterministic unit draw deciding whether this occurrence misses.
+    miss_draw: f64,
+    /// Pre-sampled dependence depth ℓ.
+    depth: u8,
+}
+
+/// The micro-architecture independent skeleton of a micro-trace's virtual
+/// instruction stream (§4.5).
+///
+/// Occurrence positions, the deterministic hash draws and the sampled
+/// dependence depths are fixed by the application profile alone, so
+/// [`crate::PreparedProfile`] builds this once per micro-trace; every
+/// design point then only re-classifies each occurrence as hit/miss/cold
+/// against that machine's critical reuse distance
+/// ([`StrideMlpModel::evaluate_stream`]).
+#[derive(Clone, Debug, Default)]
+pub struct VirtualStream {
+    entries: Vec<SkeletonLoad>,
+    /// Length of the `static_loads` slice this skeleton was built from;
+    /// `entries[..].owner` index into exactly that slice.
+    owners: usize,
+}
+
+impl VirtualStream {
+    /// Rebuild the stream skeleton from per-static-load profiles and the
+    /// inter-load dependence distribution `f`, identical (ordering
+    /// included) to the stream [`StrideMlpModel::evaluate`] builds inline.
+    pub fn build(
+        static_loads: &[StaticLoadProfile],
+        f: &LoadDependenceDistribution,
+        stream_uops: u64,
+    ) -> VirtualStream {
+        let mut entries: Vec<SkeletonLoad> = Vec::new();
+        for (owner, load) in static_loads.iter().enumerate() {
+            let spacing = load.mean_spacing.max(1.0);
+            for k in 0..load.count {
+                let position = load.first_pos as u64 + (k as f64 * spacing) as u64;
+                if position >= stream_uops {
+                    break;
+                }
+                let miss_draw = unit_hash(load.pc, k.wrapping_mul(2));
+                let depth_draw = unit_hash(load.pc, k.wrapping_mul(2) + 1);
+                entries.push(SkeletonLoad {
+                    position,
+                    owner: owner as u32,
+                    miss_draw,
+                    depth: sample_depth(f, depth_draw) as u8,
+                });
+            }
+        }
+        // Stable sort: occurrences at equal positions keep their
+        // owner-major construction order, exactly like the inline build.
+        entries.sort_by_key(|v| v.position);
+        VirtualStream {
+            entries,
+            owners: static_loads.len(),
+        }
+    }
+
+    /// Occurrences in the skeleton.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the skeleton is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The stride-MLP model (thesis §4.5): per-micro-trace virtual instruction
 /// stream analysis.
 pub struct StrideMlpModel<'a> {
@@ -165,36 +241,68 @@ impl<'a> StrideMlpModel<'a> {
         store_llc_misses: f64,
         window_cold_misses: f64,
     ) -> MemoryBehavior {
+        self.evaluate_stream(
+            &VirtualStream::build(static_loads, f, stream_uops),
+            static_loads,
+            loads_model,
+            stream_uops,
+            total_window_loads,
+            store_llc_misses,
+            window_cold_misses,
+        )
+    }
+
+    /// Evaluate a micro-trace whose stream skeleton was prebuilt
+    /// ([`VirtualStream::build`]). This is the per-design-point fast path:
+    /// the positions/draws/depths are reused and only the machine-dependent
+    /// classification (miss vs hit against this machine's critical reuse
+    /// distance, prefetch timeliness, ROB-window stepping) is redone.
+    #[allow(clippy::too_many_arguments)] // mirrors the thesis' Eq 4.x parameter list
+    pub fn evaluate_stream(
+        &self,
+        skeleton: &VirtualStream,
+        static_loads: &[StaticLoadProfile],
+        loads_model: &CacheModel,
+        stream_uops: u64,
+        total_window_loads: f64,
+        store_llc_misses: f64,
+        window_cold_misses: f64,
+    ) -> MemoryBehavior {
+        assert_eq!(
+            skeleton.owners,
+            static_loads.len(),
+            "virtual-stream skeleton was built from a different static-load set"
+        );
         let rob = self.machine.core.rob_size as u64;
         let crit_l3 = loads_model.critical_rd[2];
         let use_prefetcher = self.machine.prefetcher.enabled;
 
-        // --- Rebuild the virtual stream ------------------------------------
-        let mut stream: Vec<VirtualLoad> = Vec::new();
-        for (owner, load) in static_loads.iter().enumerate() {
-            let p_miss = load.miss_probability(crit_l3);
-            // Split the miss probability into its cold and reuse parts.
-            let p_cold = load.cold_fraction.min(p_miss);
-            let spacing = load.mean_spacing.max(1.0);
-            for k in 0..load.count {
-                let position = load.first_pos as u64 + (k as f64 * spacing) as u64;
-                if position >= stream_uops {
-                    break;
-                }
-                let miss_draw = unit_hash(load.pc, k.wrapping_mul(2));
-                let depth_draw = unit_hash(load.pc, k.wrapping_mul(2) + 1);
-                let misses = miss_draw < p_miss;
-                stream.push(VirtualLoad {
-                    position,
-                    owner: owner as u32,
+        // --- Classify the prebuilt stream for this machine -----------------
+        // Per-static-load miss probabilities, split into cold and reuse
+        // parts (computed once per owner, as the inline build does).
+        let probs: Vec<(f64, f64)> = static_loads
+            .iter()
+            .map(|load| {
+                let p_miss = load.miss_probability(crit_l3);
+                (p_miss, load.cold_fraction.min(p_miss))
+            })
+            .collect();
+        let mut stream: Vec<VirtualLoad> = skeleton
+            .entries
+            .iter()
+            .map(|s| {
+                let (p_miss, p_cold) = probs[s.owner as usize];
+                let misses = s.miss_draw < p_miss;
+                VirtualLoad {
+                    position: s.position,
+                    owner: s.owner,
                     misses_llc: misses,
-                    cold: misses && miss_draw < p_cold,
-                    depth: sample_depth(f, depth_draw) as u8,
+                    cold: misses && s.miss_draw < p_cold,
+                    depth: s.depth,
                     stall_factor: 1.0,
-                });
-            }
-        }
-        stream.sort_by_key(|v| v.position);
+                }
+            })
+            .collect();
 
         // --- Prefetcher coverage & timeliness (§4.9, Eq 4.13) --------------
         if use_prefetcher && !stream.is_empty() {

@@ -5,7 +5,8 @@ use crate::cache_model::CacheModel;
 use crate::config::{EvaluationMode, MlpModelKind, ModelConfig};
 use crate::dispatch::{effective_dispatch_rate, DispatchBreakdown};
 use crate::llc_chaining::{chain_penalty_total, ChainInputs};
-use crate::mlp::{cold_miss_mlp, MemoryBehavior, StrideMlpModel};
+use crate::mlp::{cold_miss_mlp, MemoryBehavior, StrideMlpModel, VirtualStream};
+use crate::prepared::{PreparedProfile, PreparedWindow};
 use pmt_profiler::{
     ApplicationProfile, DependenceProfile, LoadDependenceDistribution, MicroTraceProfile,
     StaticLoadProfile,
@@ -108,6 +109,70 @@ impl Prediction {
     pub fn cpi_error_vs(&self, reference_cpi: f64) -> f64 {
         (self.cpi() - reference_cpi) / reference_cpi
     }
+
+    /// The aggregate view of this prediction — the fields
+    /// [`IntervalModel::predict_summary`] produces, bit for bit.
+    pub fn summary(&self) -> PredictionSummary {
+        PredictionSummary {
+            instructions: self.instructions,
+            uops: self.uops,
+            cycles: self.cycles,
+            cpi_stack: self.cpi_stack.clone(),
+            activity: self.activity.clone(),
+            mlp: self.mlp,
+            branch_miss_rate: self.branch_miss_rate,
+        }
+    }
+}
+
+/// The aggregate part of a [`Prediction`]: everything a design-space
+/// sweep consumes (CPI, activity factors for power, runtime), without the
+/// per-window breakdown or the workload-name clone.
+///
+/// Produced by [`IntervalModel::predict_summary`] on the prepared fast
+/// path; numerically bit-identical to the corresponding fields of
+/// [`IntervalModel::predict`] / [`Prediction::summary`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictionSummary {
+    /// Instructions modeled.
+    pub instructions: u64,
+    /// μops modeled.
+    pub uops: f64,
+    /// Predicted cycles.
+    pub cycles: f64,
+    /// CPI stack (sums to `cpi()`).
+    pub cpi_stack: CpiStack,
+    /// Predicted activity factors (Eq 3.16) for the power model.
+    pub activity: ActivityVector,
+    /// Miss-weighted average MLP.
+    pub mlp: f64,
+    /// Branch-weighted misprediction rate.
+    pub branch_miss_rate: f64,
+}
+
+impl PredictionSummary {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions > 0 {
+            self.cycles / self.instructions as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions as f64 / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// Execution time in seconds at a clock frequency.
+    pub fn seconds_at(&self, frequency_ghz: f64) -> f64 {
+        self.cycles / (frequency_ghz * 1e9)
+    }
 }
 
 /// The micro-architecture independent interval model.
@@ -128,11 +193,82 @@ struct WindowInputs<'a> {
     loads_model: CacheModel,
     stores_model: CacheModel,
     static_loads: &'a [StaticLoadProfile],
+    /// Prebuilt virtual-stream skeleton for the stride-MLP model.
+    stream: &'a VirtualStream,
     stream_uops: u64,
     /// Exact cold misses in the window (profiler-counted).
     window_cold: f64,
     /// Exact store cold misses in the window.
     window_cold_stores: f64,
+}
+
+/// The machine-dependent load/store scalars [`IntervalModel`] feeds its
+/// memory model, grouped so the call reads like the thesis' Eq 4.x input
+/// list.
+struct MemoryInputs {
+    /// Loads in the window.
+    loads: f64,
+    /// L̄(ROB): loads per ROB window.
+    loads_per_rob: f64,
+    /// LLC store misses (bandwidth/power accounting).
+    store_llc_misses: f64,
+}
+
+/// Streaming accumulator combining per-window predictions exactly like
+/// the original collect-then-fold loop, so summaries stay bit-identical
+/// whether or not the windows themselves are kept.
+#[derive(Default)]
+struct Combiner {
+    cycles: f64,
+    stack_cycles: [f64; CpiComponent::ALL.len()],
+    activity: ActivityVector,
+    mlp_num: f64,
+    mlp_den: f64,
+    br_num: f64,
+    br_den: f64,
+}
+
+impl Combiner {
+    fn add(&mut self, w: &WindowPrediction) {
+        self.cycles += w.cycles;
+        for c in CpiComponent::ALL {
+            self.stack_cycles[c as usize] += w.stack.get(c) * w.instructions;
+        }
+        merge_activity(&mut self.activity, &w.activity);
+        self.mlp_num += w.memory.mlp * w.memory.llc_load_misses.max(1e-9);
+        self.mlp_den += w.memory.llc_load_misses.max(1e-9);
+        self.br_num += w.branch_miss_rate * w.instructions;
+        self.br_den += w.instructions;
+    }
+
+    fn finish(mut self, profile: &ApplicationProfile) -> PredictionSummary {
+        let instructions = profile.total_instructions;
+        let mut cpi_stack = CpiStack::default();
+        if instructions > 0 {
+            for c in CpiComponent::ALL {
+                cpi_stack.add(c, self.stack_cycles[c as usize] / instructions as f64);
+            }
+        }
+        self.activity.cycles = self.cycles;
+        self.activity.instructions = instructions as f64;
+        PredictionSummary {
+            instructions,
+            uops: profile.total_uops,
+            cycles: self.cycles,
+            cpi_stack,
+            activity: self.activity,
+            mlp: if self.mlp_den > 0.0 {
+                self.mlp_num / self.mlp_den
+            } else {
+                1.0
+            },
+            branch_miss_rate: if self.br_den > 0.0 {
+                self.br_num / self.br_den
+            } else {
+                0.0
+            },
+        }
+    }
 }
 
 impl IntervalModel {
@@ -160,100 +296,104 @@ impl IntervalModel {
     }
 
     /// Predict performance for a profiled application.
+    ///
+    /// Thin wrapper over the prepared fast path: it compiles the profile
+    /// with [`PreparedProfile::new`] and immediately evaluates it, so a
+    /// one-off prediction and a prepared sweep run the exact same
+    /// arithmetic (bit-identical results). Callers evaluating the same
+    /// profile for many machines should prepare once themselves and call
+    /// [`predict_prepared`](Self::predict_prepared) /
+    /// [`predict_summary`](Self::predict_summary) per machine.
     pub fn predict(&self, profile: &ApplicationProfile) -> Prediction {
-        let inst_model = CacheModel::fit_inst(&profile.memory.inst, &self.machine.caches);
+        self.predict_prepared(&PreparedProfile::new(profile))
+    }
 
-        let windows: Vec<WindowPrediction> = match self.config.evaluation {
-            EvaluationMode::PerMicroTrace if !profile.micro_traces.is_empty() => profile
-                .micro_traces
-                .iter()
-                .map(|t| self.evaluate_window(&self.trace_inputs(profile, t), profile, &inst_model))
-                .collect(),
-            _ => {
-                let inputs = self.combined_inputs(profile);
-                vec![self.evaluate_window(&inputs, profile, &inst_model)]
-            }
-        };
-
-        // Combine.
-        let mut cycles = 0.0;
-        let mut stack_cycles = [0.0f64; CpiComponent::ALL.len()];
-        let mut activity = ActivityVector::default();
-        let mut mlp_num = 0.0;
-        let mut mlp_den = 0.0;
-        let mut br_num = 0.0;
-        let mut br_den = 0.0;
-        for w in &windows {
-            cycles += w.cycles;
-            for c in CpiComponent::ALL {
-                stack_cycles[c as usize] += w.stack.get(c) * w.instructions;
-            }
-            merge_activity(&mut activity, &w.activity);
-            mlp_num += w.memory.mlp * w.memory.llc_load_misses.max(1e-9);
-            mlp_den += w.memory.llc_load_misses.max(1e-9);
-            br_num += w.branch_miss_rate * w.instructions;
-            br_den += w.instructions;
-        }
-        let instructions = profile.total_instructions;
-        let mut cpi_stack = CpiStack::default();
-        if instructions > 0 {
-            for c in CpiComponent::ALL {
-                cpi_stack.add(c, stack_cycles[c as usize] / instructions as f64);
-            }
-        }
-        activity.cycles = cycles;
-        activity.instructions = instructions as f64;
-
+    /// Predict performance from a prepared profile: only the
+    /// machine-dependent work (StatStack queries + Eq 3.1 arithmetic)
+    /// runs; every machine-independent model was fitted once in
+    /// [`PreparedProfile::new`]. Bit-identical to
+    /// [`predict`](Self::predict).
+    pub fn predict_prepared(&self, prepared: &PreparedProfile<'_>) -> Prediction {
+        let (summary, windows) = self.evaluate_prepared(prepared, true);
         Prediction {
-            name: profile.name.clone(),
-            instructions,
-            uops: profile.total_uops,
-            cycles,
-            cpi_stack,
-            activity,
-            mlp: if mlp_den > 0.0 {
-                mlp_num / mlp_den
-            } else {
-                1.0
-            },
-            branch_miss_rate: if br_den > 0.0 { br_num / br_den } else { 0.0 },
+            name: prepared.profile().name.clone(),
+            instructions: summary.instructions,
+            uops: summary.uops,
+            cycles: summary.cycles,
+            cpi_stack: summary.cpi_stack,
+            activity: summary.activity,
+            mlp: summary.mlp,
+            branch_miss_rate: summary.branch_miss_rate,
             windows,
         }
     }
 
-    /// Per-micro-trace inputs.
+    /// The sweep-oriented variant of
+    /// [`predict_prepared`](Self::predict_prepared): identical arithmetic,
+    /// but the per-window predictions are folded on the fly instead of
+    /// collected and the workload name is not cloned — no per-point heap
+    /// traffic beyond the model's own scratch. Every summary field is
+    /// bit-identical to the corresponding [`Prediction`] field
+    /// ([`Prediction::summary`]).
+    pub fn predict_summary(&self, prepared: &PreparedProfile<'_>) -> PredictionSummary {
+        self.evaluate_prepared(prepared, false).0
+    }
+
+    /// Shared evaluation core: walk the windows once, combining as we go;
+    /// keep the per-window predictions only when `collect_windows` asks.
+    fn evaluate_prepared(
+        &self,
+        prepared: &PreparedProfile<'_>,
+        collect_windows: bool,
+    ) -> (PredictionSummary, Vec<WindowPrediction>) {
+        let profile = prepared.profile();
+        let inst_model = CacheModel::from_fitted(
+            prepared.inst_model(),
+            CacheModel::inst_lines(&self.machine.caches),
+        );
+
+        let mut combiner = Combiner::default();
+        let mut windows = Vec::new();
+        let mut fold = |w: WindowPrediction| {
+            combiner.add(&w);
+            if collect_windows {
+                windows.push(w);
+            }
+        };
+        match self.config.evaluation {
+            EvaluationMode::PerMicroTrace if !profile.micro_traces.is_empty() => {
+                for (t, pw) in profile.micro_traces.iter().zip(prepared.windows()) {
+                    let inputs = self.trace_inputs(t, pw);
+                    fold(self.evaluate_window(&inputs, profile, &inst_model));
+                }
+            }
+            _ => {
+                let inputs = self.combined_inputs(profile, prepared);
+                fold(self.evaluate_window(&inputs, profile, &inst_model));
+            }
+        }
+        (combiner.finish(profile), windows)
+    }
+
+    /// Per-micro-trace inputs: machine-independent parts from the
+    /// preparation, machine-dependent cache queries done here.
     fn trace_inputs<'a>(
         &self,
-        profile: &'a ApplicationProfile,
         t: &'a MicroTraceProfile,
+        pw: &'a PreparedWindow,
     ) -> WindowInputs<'a> {
-        let upi = if t.mix.instructions() > 0 {
-            t.mix.uops_per_instruction()
-        } else {
-            profile.uops_per_instruction().max(1.0)
-        };
-        let n_uops = t.weight_instructions as f64 * upi;
-        let mut class_counts = [0.0; UopClass::COUNT];
-        for c in UopClass::ALL {
-            class_counts[c.index()] = t.mix.fraction(c) * n_uops;
-        }
-        // Fall back to the global entropy when the micro-trace saw too few
-        // branches to estimate its own.
-        let entropy = if t.branches >= 64 {
-            t.branch_entropy
-        } else {
-            profile.branch.entropy
-        };
+        let data_lines = CacheModel::data_lines(&self.machine.caches);
         WindowInputs {
             index: t.index,
             instructions: t.weight_instructions as f64,
-            class_counts,
+            class_counts: pw.class_counts,
             deps: &t.deps,
             load_deps: &t.load_deps,
-            entropy,
-            loads_model: CacheModel::fit(&t.loads, &self.machine.caches),
-            stores_model: CacheModel::fit(&t.stores, &self.machine.caches),
+            entropy: pw.entropy,
+            loads_model: CacheModel::from_fitted(&pw.loads, data_lines),
+            stores_model: CacheModel::from_fitted(&pw.stores, data_lines),
             static_loads: &t.static_loads,
+            stream: &pw.stream,
             stream_uops: t.uops,
             window_cold: t.window_cold_misses as f64,
             window_cold_stores: t.window_cold_store_misses as f64,
@@ -261,31 +401,30 @@ impl IntervalModel {
     }
 
     /// Whole-application inputs (combined mode).
-    fn combined_inputs<'a>(&self, profile: &'a ApplicationProfile) -> WindowInputs<'a> {
-        let n_uops = profile.total_uops.max(1.0);
-        let mut class_counts = [0.0; UopClass::COUNT];
-        for c in UopClass::ALL {
-            class_counts[c.index()] = profile.mix.fraction(c) * n_uops;
-        }
-        // Use the first micro-trace's static loads as the stride sample in
-        // combined mode (the thesis' combined variant pairs with the
-        // cold-miss model, where this input is unused).
-        let static_loads = profile
-            .micro_traces
-            .first()
-            .map(|t| t.static_loads.as_slice())
-            .unwrap_or(&[]);
-        let stream_uops = profile.micro_traces.first().map(|t| t.uops).unwrap_or(0);
+    fn combined_inputs<'a>(
+        &self,
+        profile: &'a ApplicationProfile,
+        prepared: &'a PreparedProfile<'_>,
+    ) -> WindowInputs<'a> {
+        // The stride sample (the first micro-trace's static loads), its
+        // length and its skeleton come from the preparation as one unit so
+        // the skeleton's owner indices always match the slice (the thesis'
+        // combined variant pairs with the cold-miss model, where these
+        // inputs are unused).
+        let (static_loads, stream_uops, stream) = prepared.combined_stride_inputs();
+        let data_lines = CacheModel::data_lines(&self.machine.caches);
+        let (global_loads, global_stores) = prepared.global_models();
         WindowInputs {
             index: 0,
             instructions: profile.total_instructions as f64,
-            class_counts,
+            class_counts: *prepared.combined_class_counts(),
             deps: &profile.deps,
             load_deps: &profile.load_deps,
             entropy: profile.branch.entropy,
-            loads_model: CacheModel::fit(&profile.memory.loads, &self.machine.caches),
-            stores_model: CacheModel::fit(&profile.memory.stores, &self.machine.caches),
+            loads_model: CacheModel::from_fitted(global_loads, data_lines),
+            stores_model: CacheModel::from_fitted(global_stores, data_lines),
             static_loads,
+            stream,
             stream_uops,
             window_cold: profile.memory.cold.total_cold() as f64,
             window_cold_stores: profile.memory.stores.cold() as f64,
@@ -373,12 +512,13 @@ impl IntervalModel {
             + inp.window_cold_stores;
         let memory = self.memory_behavior(
             inp,
-            loads,
-            stores,
-            loads_per_rob,
+            MemoryInputs {
+                loads,
+                loads_per_rob,
+                store_llc_misses,
+            },
             &dispatch,
             profile,
-            store_llc_misses,
         );
 
         let density = memory.miss_window_density.clamp(0.0, 1.0);
@@ -463,27 +603,27 @@ impl IntervalModel {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn memory_behavior(
         &self,
         inp: &WindowInputs<'_>,
-        loads: f64,
-        stores: f64,
-        loads_per_rob: f64,
+        mem: MemoryInputs,
         dispatch: &DispatchBreakdown,
         profile: &ApplicationProfile,
-        store_llc_misses: f64,
     ) -> MemoryBehavior {
         let m = &self.machine;
         let lr = &inp.loads_model.ratios;
-        let _ = stores;
+        let MemoryInputs {
+            loads,
+            loads_per_rob,
+            store_llc_misses,
+        } = mem;
         match self.config.mlp_model {
             MlpModelKind::Stride if !inp.static_loads.is_empty() && inp.stream_uops > 0 => {
                 let model = StrideMlpModel::new(m, dispatch.effective);
-                let mut behavior = model.evaluate(
+                let mut behavior = model.evaluate_stream(
+                    inp.stream,
                     inp.static_loads,
                     &inp.loads_model,
-                    inp.load_deps,
                     inp.stream_uops,
                     loads,
                     store_llc_misses,

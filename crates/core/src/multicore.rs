@@ -18,6 +18,7 @@
 
 use crate::config::ModelConfig;
 use crate::model::{IntervalModel, Prediction};
+use crate::prepared::PreparedProfile;
 use pmt_profiler::ApplicationProfile;
 use pmt_uarch::MachineConfig;
 use rayon::prelude::*;
@@ -98,9 +99,19 @@ impl MulticoreModel {
         assert!(!profiles.is_empty(), "empty co-schedule");
         let n = profiles.len();
         let solo_model = IntervalModel::with_config(&self.machine, self.config.clone());
+        // Prepare once per core (rayon-parallel, order-preserving): every
+        // fixed-point iteration re-predicts with a different effective
+        // machine, but the machine-independent fits never change.
+        let prepared: Vec<PreparedProfile<'_>> = profiles
+            .par_iter()
+            .map(|p| PreparedProfile::new(p))
+            .collect();
         // Each core's solo prediction is independent; fan out with rayon
         // (collect preserves input order, so results stay deterministic).
-        let solos: Vec<Prediction> = profiles.par_iter().map(|p| solo_model.predict(p)).collect();
+        let solos: Vec<Prediction> = prepared
+            .par_iter()
+            .map(|pp| solo_model.predict_prepared(pp))
+            .collect();
         if n == 1 {
             return CorunPrediction {
                 cores: vec![CorePrediction {
@@ -121,11 +132,11 @@ impl MulticoreModel {
             iterations += 1;
             // Within one fixed-point step the cores only read the previous
             // iteration's shares, so the re-predictions are independent too.
-            let jobs: Vec<(&&ApplicationProfile, f64)> =
-                profiles.iter().zip(shares.iter().copied()).collect();
+            let jobs: Vec<(&PreparedProfile<'_>, f64)> =
+                prepared.iter().zip(shares.iter().copied()).collect();
             shared = jobs
                 .par_iter()
-                .map(|&(p, share)| self.predict_with_share(p, share, &solos, n))
+                .map(|&(pp, share)| self.predict_with_share(pp, share, &solos, n))
                 .collect();
             let new_shares = self.shares_from(&shared);
             let delta: f64 = shares
@@ -176,7 +187,7 @@ impl MulticoreModel {
     /// the co-runners.
     fn predict_with_share(
         &self,
-        profile: &ApplicationProfile,
+        prepared: &PreparedProfile<'_>,
         share: f64,
         solos: &[Prediction],
         n_cores: usize,
@@ -200,7 +211,7 @@ impl MulticoreModel {
             (solo_dram_per_cycle * m.mem.bus_transfer_cycles as f64).min(0.95 * n_cores as f64);
         let inflation = (1.0 + util).min(n_cores as f64);
         m.mem.bus_transfer_cycles = ((m.mem.bus_transfer_cycles as f64) * inflation).round() as u32;
-        IntervalModel::with_config(&m, self.config.clone()).predict(profile)
+        IntervalModel::with_config(&m, self.config.clone()).predict_prepared(prepared)
     }
 }
 

@@ -1,0 +1,184 @@
+//! The one-time, machine-independent compilation of an
+//! [`ApplicationProfile`] — fit once, predict the whole design space.
+//!
+//! The paper's headline claim is that design-space exploration is fast
+//! *because* profiling is micro-architecture independent: profile once,
+//! predict many. [`PreparedProfile`] makes the "once" part explicit. It
+//! fits every StatStack model the interval model will ever query (the
+//! per-micro-trace load/store histograms, the global load/store
+//! histograms for combined mode, and the instruction path), precomputes
+//! the per-window μop class counts, entropy fallbacks and the stride-MLP
+//! virtual-stream skeletons — all of which depend only on the profile —
+//! and shares the fitted models read-only (`Arc`) so rayon workers
+//! evaluating different design points never refit or copy them.
+//!
+//! Per design point, [`IntervalModel::predict_prepared`] then performs
+//! only the machine-*dependent* work: binary-searched miss-ratio /
+//! critical-reuse-distance queries against the prefitted models plus the
+//! Eq 3.1 arithmetic.
+//!
+//! ```
+//! use pmt_core::{IntervalModel, PreparedProfile};
+//! use pmt_profiler::{Profiler, ProfilerConfig};
+//! use pmt_uarch::{DesignSpace, MachineConfig};
+//! use pmt_workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::by_name("astar").unwrap();
+//! let profile = Profiler::new(ProfilerConfig::fast_test())
+//!     .profile_named("astar", &mut spec.trace(20_000));
+//! let prepared = PreparedProfile::new(&profile); // fit once...
+//! for point in DesignSpace::small().enumerate() {
+//!     // ...query many: bit-identical to `predict`, far cheaper.
+//!     let summary = IntervalModel::new(&point.machine).predict_summary(&prepared);
+//!     assert!(summary.cpi() > 0.0);
+//! }
+//! ```
+//!
+//! [`IntervalModel::predict_prepared`]: crate::IntervalModel::predict_prepared
+
+use crate::mlp::VirtualStream;
+use pmt_profiler::{ApplicationProfile, StaticLoadProfile};
+use pmt_statstack::StackDistanceModel;
+use pmt_trace::UopClass;
+use std::sync::Arc;
+
+/// Machine-independent precomputation for one micro-trace window.
+pub(crate) struct PreparedWindow {
+    /// μop class counts scaled to the window weight.
+    pub class_counts: [f64; UopClass::COUNT],
+    /// Branch entropy with the too-few-branches fallback applied.
+    pub entropy: f64,
+    /// Fitted StatStack model of the window's load accesses.
+    pub loads: Arc<StackDistanceModel>,
+    /// Fitted StatStack model of the window's store accesses.
+    pub stores: Arc<StackDistanceModel>,
+    /// Prebuilt virtual-stream skeleton for the stride-MLP model.
+    pub stream: VirtualStream,
+}
+
+/// A one-time, machine-independent compilation of an
+/// [`ApplicationProfile`]: every StatStack model prefitted, every
+/// per-window scalar precomputed. Borrow it wherever the profile lives;
+/// it is `Sync`, so one instance serves a whole rayon-parallel sweep.
+pub struct PreparedProfile<'a> {
+    profile: &'a ApplicationProfile,
+    /// Fitted instruction-path model.
+    inst: Arc<StackDistanceModel>,
+    /// Fitted global (combined-mode) load model.
+    global_loads: Arc<StackDistanceModel>,
+    /// Fitted global (combined-mode) store model.
+    global_stores: Arc<StackDistanceModel>,
+    /// Per-micro-trace precomputation, parallel to `profile.micro_traces`.
+    windows: Vec<PreparedWindow>,
+    /// Combined-mode μop class counts.
+    combined_class_counts: [f64; UopClass::COUNT],
+    /// Combined-mode stride sample (the first micro-trace's static loads)
+    /// and its stream length — snapshotted here so the skeleton below and
+    /// the slice its `owner` indices point into can never diverge.
+    combined_static: &'a [StaticLoadProfile],
+    combined_uops: u64,
+    /// Combined-mode virtual-stream skeleton (`combined_static` with the
+    /// *global* dependence distribution).
+    combined_stream: VirtualStream,
+}
+
+impl<'a> PreparedProfile<'a> {
+    /// Fit all machine-independent models of `profile` once.
+    pub fn new(profile: &'a ApplicationProfile) -> PreparedProfile<'a> {
+        let windows = profile
+            .micro_traces
+            .iter()
+            .map(|t| {
+                let upi = if t.mix.instructions() > 0 {
+                    t.mix.uops_per_instruction()
+                } else {
+                    profile.uops_per_instruction().max(1.0)
+                };
+                let n_uops = t.weight_instructions as f64 * upi;
+                let mut class_counts = [0.0; UopClass::COUNT];
+                for c in UopClass::ALL {
+                    class_counts[c.index()] = t.mix.fraction(c) * n_uops;
+                }
+                // Fall back to the global entropy when the micro-trace saw
+                // too few branches to estimate its own.
+                let entropy = if t.branches >= 64 {
+                    t.branch_entropy
+                } else {
+                    profile.branch.entropy
+                };
+                PreparedWindow {
+                    class_counts,
+                    entropy,
+                    loads: Arc::new(StackDistanceModel::from_reuse(&t.loads)),
+                    stores: Arc::new(StackDistanceModel::from_reuse(&t.stores)),
+                    stream: VirtualStream::build(&t.static_loads, &t.load_deps, t.uops),
+                }
+            })
+            .collect();
+
+        let n_uops = profile.total_uops.max(1.0);
+        let mut combined_class_counts = [0.0; UopClass::COUNT];
+        for c in UopClass::ALL {
+            combined_class_counts[c.index()] = profile.mix.fraction(c) * n_uops;
+        }
+        // Combined mode samples strides from the first micro-trace but
+        // draws dependence depths from the global distribution.
+        let (combined_static, combined_uops) = profile
+            .micro_traces
+            .first()
+            .map(|t| (t.static_loads.as_slice(), t.uops))
+            .unwrap_or((&[], 0));
+        PreparedProfile {
+            inst: Arc::new(StackDistanceModel::from_reuse(&profile.memory.inst)),
+            global_loads: Arc::new(StackDistanceModel::from_reuse(&profile.memory.loads)),
+            global_stores: Arc::new(StackDistanceModel::from_reuse(&profile.memory.stores)),
+            windows,
+            combined_class_counts,
+            combined_static,
+            combined_uops,
+            combined_stream: VirtualStream::build(
+                combined_static,
+                &profile.load_deps,
+                combined_uops,
+            ),
+            profile,
+        }
+    }
+
+    /// The profile this preparation was compiled from.
+    pub fn profile(&self) -> &'a ApplicationProfile {
+        self.profile
+    }
+
+    /// Fitted instruction-path StatStack model.
+    pub(crate) fn inst_model(&self) -> &Arc<StackDistanceModel> {
+        &self.inst
+    }
+
+    /// Fitted global load/store models (combined mode).
+    pub(crate) fn global_models(&self) -> (&Arc<StackDistanceModel>, &Arc<StackDistanceModel>) {
+        (&self.global_loads, &self.global_stores)
+    }
+
+    /// Per-micro-trace precomputations, parallel to
+    /// `profile().micro_traces`.
+    pub(crate) fn windows(&self) -> &[PreparedWindow] {
+        &self.windows
+    }
+
+    /// Combined-mode class counts.
+    pub(crate) fn combined_class_counts(&self) -> &[f64; UopClass::COUNT] {
+        &self.combined_class_counts
+    }
+
+    /// Combined-mode stride sample, stream length and skeleton, as one
+    /// unit: `combined_stream`'s `owner` indices index into exactly this
+    /// slice.
+    pub(crate) fn combined_stride_inputs(&self) -> (&'a [StaticLoadProfile], u64, &VirtualStream) {
+        (
+            self.combined_static,
+            self.combined_uops,
+            &self.combined_stream,
+        )
+    }
+}

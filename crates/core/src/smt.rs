@@ -20,6 +20,7 @@
 
 use crate::config::ModelConfig;
 use crate::model::{IntervalModel, Prediction};
+use crate::prepared::PreparedProfile;
 use pmt_profiler::ApplicationProfile;
 use pmt_uarch::{CacheConfig, MachineConfig};
 use serde::{Deserialize, Serialize};
@@ -97,7 +98,14 @@ impl SmtModel {
         let n = profiles.len() as u32;
         assert!((1..=8).contains(&n), "1..=8 hardware threads");
         let solo_model = IntervalModel::with_config(&self.machine, self.config.clone());
-        let solos: Vec<Prediction> = profiles.iter().map(|p| solo_model.predict(p)).collect();
+        // Prepare once per thread: the solo and SMT evaluations differ
+        // only in the machine, so they share one fitted profile each.
+        let prepared: Vec<PreparedProfile<'_>> =
+            profiles.iter().map(|p| PreparedProfile::new(p)).collect();
+        let solos: Vec<Prediction> = prepared
+            .iter()
+            .map(|pp| solo_model.predict_prepared(pp))
+            .collect();
         if n == 1 {
             return SmtPrediction {
                 threads: vec![ThreadPrediction {
@@ -115,16 +123,16 @@ impl SmtModel {
             .collect();
         let total_intensity: f64 = intensity.iter().sum();
 
-        let threads = profiles
+        let threads = prepared
             .iter()
             .zip(&solos)
             .zip(&intensity)
-            .map(|((p, solo), &i)| {
+            .map(|((pp, solo), &i)| {
                 let share = (i / total_intensity).clamp(0.1, 0.9);
                 let m = self.thread_machine(n, share);
-                let smt = IntervalModel::with_config(&m, self.config.clone()).predict(p);
+                let smt = IntervalModel::with_config(&m, self.config.clone()).predict_prepared(pp);
                 ThreadPrediction {
-                    workload: p.name.clone(),
+                    workload: pp.profile().name.clone(),
                     smt,
                     solo: solo.clone(),
                 }

@@ -1,0 +1,158 @@
+//! The tentpole guarantee of the prepared-profile fast path: for every
+//! machine configuration, `predict_prepared` and `predict_summary` return
+//! exactly the bytes `predict` does — the preparation moves work, never
+//! arithmetic.
+
+use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_uarch::{CacheConfig, DesignSpace, MachineConfig};
+use pmt_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn profile_of(name: &str, n: u64) -> ApplicationProfile {
+    let spec = WorkloadSpec::by_name(name).expect("suite member");
+    Profiler::new(ProfilerConfig::fast_test()).profile_named(name, &mut spec.trace(n))
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serializes")
+}
+
+/// Assert the three prediction paths agree byte for byte on one machine.
+fn assert_identical(model: &IntervalModel, profile: &ApplicationProfile, ctx: &str) {
+    let prepared = PreparedProfile::new(profile);
+    let legacy = model.predict(profile);
+    let fast = model.predict_prepared(&prepared);
+    assert_eq!(
+        json(&legacy),
+        json(&fast),
+        "predict_prepared drifted: {ctx}"
+    );
+    let summary = model.predict_summary(&prepared);
+    assert_eq!(
+        json(&legacy.summary()),
+        json(&summary),
+        "predict_summary drifted: {ctx}"
+    );
+}
+
+/// Three workloads × the 27-point validation subspace, bytes compared via
+/// serde_json (shortest-round-trip floats: equal strings ⇔ equal bits).
+#[test]
+fn prepared_is_bit_identical_across_validation_subspace() {
+    for name in ["astar", "mcf", "gcc"] {
+        let profile = profile_of(name, 30_000);
+        let prepared = PreparedProfile::new(&profile);
+        for point in DesignSpace::validation_subspace().enumerate() {
+            let model = IntervalModel::new(&point.machine);
+            let legacy = model.predict(&profile);
+            assert_eq!(
+                json(&legacy),
+                json(&model.predict_prepared(&prepared)),
+                "{name} @ {}",
+                point.machine.name
+            );
+            assert_eq!(
+                json(&legacy.summary()),
+                json(&model.predict_summary(&prepared)),
+                "{name} summary @ {}",
+                point.machine.name
+            );
+        }
+    }
+}
+
+/// The golden acceptance check: the full 243-point Table 6.3 space, one
+/// preparation, every point bit-identical to the legacy path.
+#[test]
+fn prepared_is_bit_identical_across_the_full_243_point_space() {
+    let profile = profile_of("astar", 30_000);
+    let prepared = PreparedProfile::new(&profile);
+    let points = DesignSpace::thesis_table_6_3().enumerate();
+    assert_eq!(points.len(), 243);
+    for point in points {
+        let model = IntervalModel::new(&point.machine);
+        assert_eq!(
+            json(&model.predict(&profile)),
+            json(&model.predict_prepared(&prepared)),
+            "astar @ {}",
+            point.machine.name
+        );
+    }
+}
+
+/// Combined (ISPASS'15) mode exercises the global-histogram fits and the
+/// combined stream skeleton — a different prepared code path.
+#[test]
+fn prepared_is_bit_identical_in_combined_mode() {
+    let profile = profile_of("mcf", 30_000);
+    for point in DesignSpace::small().enumerate() {
+        let model = IntervalModel::with_config(&point.machine, ModelConfig::ispass_2015());
+        assert_identical(
+            &model,
+            &profile,
+            &format!("combined @ {}", point.machine.name),
+        );
+    }
+}
+
+/// A profile with no micro-traces must fall back to combined mode
+/// identically on both paths.
+#[test]
+fn prepared_handles_empty_micro_traces() {
+    let mut profile = profile_of("gcc", 20_000);
+    profile.micro_traces.clear();
+    let model = IntervalModel::new(&MachineConfig::nehalem());
+    assert_identical(&model, &profile, "no micro-traces");
+}
+
+fn shared_profile() -> &'static ApplicationProfile {
+    static PROFILE: OnceLock<ApplicationProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| profile_of("milc", 30_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random machine configurations far outside the thesis grid: the
+    /// prepared path may never depend on the machine resembling the
+    /// design space.
+    #[test]
+    fn prepared_matches_legacy_on_random_machines(
+        width in 1u32..=8,
+        rob in 32u32..=512,
+        l1_exp in 3u32..=7,   // 8–128 KB
+        l2_exp in 7u32..=11,  // 128–2048 KB
+        l3_exp in 11u32..=14, // 2–16 MB
+        dram in 100u32..=400,
+        mshr in 4u32..=64,
+        prefetcher in any::<bool>(),
+    ) {
+        let base = MachineConfig::nehalem();
+        let mut m = if prefetcher {
+            MachineConfig::nehalem_with_prefetcher()
+        } else {
+            base.clone()
+        };
+        m.core = m.core.with_dispatch_width(width).with_rob(rob);
+        m.caches.l1i = CacheConfig::new(1 << l1_exp, 4, 64, 1);
+        m.caches.l1d = CacheConfig::new(1 << l1_exp, 8, 64, base.caches.l1d.latency);
+        m.caches.l2 = CacheConfig::new(1 << l2_exp, 8, 64, base.caches.l2.latency);
+        m.caches.l3 = CacheConfig::new(1 << l3_exp, 16, 64, 28);
+        m.mem.dram_latency = dram;
+        m.mem.mshr_entries = mshr;
+
+        let profile = shared_profile();
+        let model = IntervalModel::new(&m);
+        let prepared = PreparedProfile::new(profile);
+        prop_assert_eq!(
+            json(&model.predict(profile)),
+            json(&model.predict_prepared(&prepared))
+        );
+        prop_assert_eq!(
+            json(&model.predict(profile).summary()),
+            json(&model.predict_summary(&prepared))
+        );
+    }
+}

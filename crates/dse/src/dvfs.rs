@@ -4,7 +4,7 @@
 //! nanoseconds are fixed), so every operating point gets a rescaled
 //! machine description before the model runs.
 
-use pmt_core::{IntervalModel, ModelConfig, Prediction};
+use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
 use pmt_uarch::{MachineConfig, OperatingPoint};
@@ -44,19 +44,21 @@ pub fn machine_at(base: &MachineConfig, point: OperatingPoint) -> MachineConfig 
     m
 }
 
-/// Evaluate a profile across operating points.
+/// Evaluate a profile across operating points (prepared once; every
+/// operating point reuses the same machine-independent fits).
 pub fn explore(
     base: &MachineConfig,
     points: &[OperatingPoint],
     profile: &ApplicationProfile,
     model_cfg: &ModelConfig,
 ) -> Vec<DvfsOutcome> {
+    let prepared = PreparedProfile::new(profile);
     points
         .iter()
         .map(|&point| {
             let machine = machine_at(base, point);
-            let prediction: Prediction =
-                IntervalModel::with_config(&machine, model_cfg.clone()).predict(profile);
+            let prediction =
+                IntervalModel::with_config(&machine, model_cfg.clone()).predict_summary(&prepared);
             let seconds = prediction.seconds_at(point.frequency_ghz);
             let power = PowerModel::new(&machine).power(&prediction.activity);
             DvfsOutcome {

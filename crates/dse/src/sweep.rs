@@ -1,6 +1,6 @@
 //! Parallel design-space sweeps (thesis §6.2.4, §7.4).
 
-use pmt_core::{IntervalModel, ModelConfig};
+use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
 use pmt_sim::{CacheKey, OooSimulator, SimCache, SimConfig, SimResult};
@@ -144,26 +144,21 @@ impl SpaceEvaluation {
     /// Evaluate the model for one profiled workload over all design
     /// points; optionally simulate for truth.
     ///
-    /// Profile once, predict many: the profile is shared read-only and the
-    /// design points are evaluated in parallel with rayon. Results come
-    /// back in design-point order, so a parallel sweep is **bit-identical**
-    /// to [`run_serial`](Self::run_serial) — the evaluation of one point
-    /// never depends on any other point.
+    /// Profile once, **prepare once**, predict many: the machine-independent
+    /// StatStack fits are compiled once ([`PreparedProfile`]), shared
+    /// read-only across the rayon workers, and every design point pays only
+    /// for the machine-dependent queries
+    /// ([`IntervalModel::predict_summary`]). Results come back in
+    /// design-point order, so a parallel sweep is **bit-identical** to
+    /// [`run_serial`](Self::run_serial) — the evaluation of one point never
+    /// depends on any other point.
     pub fn run(
         points: &[DesignPoint],
         profile: &ApplicationProfile,
         spec: Option<&WorkloadSpec>,
         cfg: &SweepConfig,
     ) -> SpaceEvaluation {
-        assert!(
-            !cfg.with_simulation || spec.is_some(),
-            "simulation needs the workload spec"
-        );
-        let outcomes = points
-            .par_iter()
-            .map(|point| Self::evaluate_point(point, profile, spec, cfg))
-            .collect();
-        SpaceEvaluation { outcomes }
+        Self::evaluate(points, profile, spec, cfg, true)
     }
 
     /// The sequential reference path: identical arithmetic to
@@ -176,26 +171,47 @@ impl SpaceEvaluation {
         spec: Option<&WorkloadSpec>,
         cfg: &SweepConfig,
     ) -> SpaceEvaluation {
+        Self::evaluate(points, profile, spec, cfg, false)
+    }
+
+    /// The single evaluation core behind [`run`](Self::run) and
+    /// [`run_serial`](Self::run_serial): one prepared profile, one
+    /// per-point closure — the serial and parallel paths differ *only* in
+    /// the iterator driving it, so their equivalence is structural rather
+    /// than maintained by hand.
+    fn evaluate(
+        points: &[DesignPoint],
+        profile: &ApplicationProfile,
+        spec: Option<&WorkloadSpec>,
+        cfg: &SweepConfig,
+        parallel: bool,
+    ) -> SpaceEvaluation {
         assert!(
             !cfg.with_simulation || spec.is_some(),
             "simulation needs the workload spec"
         );
-        let outcomes = points
-            .iter()
-            .map(|point| Self::evaluate_point(point, profile, spec, cfg))
-            .collect();
+        let prepared = PreparedProfile::new(profile);
+        let eval = |point: &DesignPoint| Self::evaluate_point(point, &prepared, spec, cfg);
+        let outcomes = if parallel {
+            points.par_iter().map(eval).collect()
+        } else {
+            points.iter().map(eval).collect()
+        };
         SpaceEvaluation { outcomes }
     }
 
+    /// Evaluate one design point against a prepared workload: the
+    /// machine-dependent model queries, the power model, and (optionally)
+    /// the memoized reference simulation.
     fn evaluate_point(
         point: &DesignPoint,
-        profile: &ApplicationProfile,
+        prepared: &PreparedProfile<'_>,
         spec: Option<&WorkloadSpec>,
         cfg: &SweepConfig,
     ) -> PointOutcome {
         let machine = &point.machine;
         let model = IntervalModel::with_config(machine, cfg.model.clone());
-        let prediction = model.predict(profile);
+        let prediction = model.predict_summary(prepared);
         let power_model = PowerModel::new(machine);
         let model_power = power_model.power(&prediction.activity).total();
         let model_seconds = prediction.seconds_at(machine.core.frequency_ghz);
@@ -225,7 +241,7 @@ impl SpaceEvaluation {
 
         PointOutcome {
             design_id: point.id,
-            workload: profile.name.clone(),
+            workload: prepared.profile().name.clone(),
             model_cpi: prediction.cpi(),
             model_power,
             model_seconds,
@@ -343,46 +359,50 @@ impl<'a> SweepBuilder<'a> {
 
     /// Evaluate all (workload × design point) pairs.
     ///
-    /// The parallel path flattens the full job grid so rayon load-balances
-    /// across workloads *and* points; outcomes are regrouped per workload
-    /// in input order, bit-identical to the serial path.
+    /// Each workload is **prepared once** ([`PreparedProfile`]) and shared
+    /// read-only across the whole grid. The serial and parallel paths run
+    /// the identical flat (job, point) grid through the identical per-pair
+    /// closure — only the driving iterator differs — so a parallel batch
+    /// is structurally bit-identical to a serial one. The parallel path
+    /// lets rayon load-balance across workloads *and* points; outcomes are
+    /// regrouped per workload in input order.
     pub fn run(&self) -> BatchEvaluation {
         assert!(
             !self.config.with_simulation || self.jobs.iter().all(|(_, s)| s.is_some()),
             "simulation sweeps need every workload added via profile_with_spec"
         );
         let n_points = self.points.len();
-        let evaluations: Vec<SpaceEvaluation> = if self.serial {
-            self.jobs
-                .iter()
-                .map(|(profile, spec)| {
-                    SpaceEvaluation::run_serial(&self.points, profile, *spec, &self.config)
-                })
-                .collect()
-        } else {
-            // One flat (job, point) grid: a single rayon pass, then
-            // deterministic regrouping into per-workload evaluations.
-            let grid: Vec<(usize, usize)> = (0..self.jobs.len())
-                .flat_map(|j| (0..n_points).map(move |p| (j, p)))
-                .collect();
-            let mut outcomes: Vec<PointOutcome> = grid
-                .par_iter()
-                .map(|&(j, p)| {
-                    let (profile, spec) = self.jobs[j];
-                    SpaceEvaluation::evaluate_point(&self.points[p], profile, spec, &self.config)
-                })
-                .collect();
-            let mut evals = Vec::with_capacity(self.jobs.len());
-            for _ in 0..self.jobs.len() {
-                let rest = outcomes.split_off(n_points.min(outcomes.len()));
-                evals.push(SpaceEvaluation { outcomes });
-                outcomes = rest;
-            }
-            evals
+        // The machine-independent compilation, hoisted out of the grid:
+        // one preparation per workload, not one per (workload, point) —
+        // rayon-parallel (order-preserving collect) since each workload's
+        // fits are independent; the `serial` flag only pins the point
+        // evaluation order, which preparation does not touch.
+        let prepared: Vec<PreparedProfile<'_>> = self
+            .jobs
+            .par_iter()
+            .map(|(profile, _)| PreparedProfile::new(profile))
+            .collect();
+        let grid: Vec<(usize, usize)> = (0..self.jobs.len())
+            .flat_map(|j| (0..n_points).map(move |p| (j, p)))
+            .collect();
+        let eval = |&(j, p): &(usize, usize)| {
+            let (_, spec) = self.jobs[j];
+            SpaceEvaluation::evaluate_point(&self.points[p], &prepared[j], spec, &self.config)
         };
+        let mut outcomes: Vec<PointOutcome> = if self.serial {
+            grid.iter().map(eval).collect()
+        } else {
+            grid.par_iter().map(eval).collect()
+        };
+        let mut evals = Vec::with_capacity(self.jobs.len());
+        for _ in 0..self.jobs.len() {
+            let rest = outcomes.split_off(n_points.min(outcomes.len()));
+            evals.push(SpaceEvaluation { outcomes });
+            outcomes = rest;
+        }
         BatchEvaluation {
             workloads: self.jobs.iter().map(|(p, _)| p.name.clone()).collect(),
-            evaluations,
+            evaluations: evals,
         }
     }
 }

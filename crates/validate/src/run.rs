@@ -156,7 +156,9 @@ impl Validator {
         let before = self.cache.stats();
 
         // The micro-architecture independent step: one profile per
-        // workload, reused for every design point.
+        // workload, reused for every design point. (The sweep below also
+        // *prepares* each profile once — fitting all StatStack models up
+        // front — so the per-point model cost is queries only.)
         let profiles: Vec<ApplicationProfile> = self
             .specs
             .par_iter()

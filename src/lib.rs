@@ -23,7 +23,7 @@
 //!   memoized reference runs and serializable accuracy reports,
 //! * [`report`] — deterministic figure rendering (typed figures to
 //!   text, Markdown and hand-rolled SVG) behind `docs/REPRODUCTION.md`,
-//! * [`bench`] — the experiment harness, the figure registry behind
+//! * [`mod@bench`] — the experiment harness, the figure registry behind
 //!   every `fig*`/`tbl*` binary, and the `pmt report` generator.
 //!
 //! # Quickstart
@@ -67,7 +67,9 @@ pub use pmt_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
-    pub use pmt_core::{IntervalModel, ModelConfig, Prediction};
+    pub use pmt_core::{
+        IntervalModel, ModelConfig, Prediction, PredictionSummary, PreparedProfile,
+    };
     pub use pmt_dse::{BatchEvaluation, ParetoFront, SpaceEvaluation, SweepBuilder, SweepConfig};
     pub use pmt_power::{PowerBreakdown, PowerModel};
     pub use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};

@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmt_core::{IntervalModel, ModelConfig};
-use pmt_dse::{SpaceEvaluation, SweepConfig};
+use pmt_dse::{SpaceEvaluation, StreamingSweep, SweepConfig};
 use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_uarch::{DesignPoint, DesignSpace};
 use pmt_workloads::WorkloadSpec;
@@ -60,6 +60,13 @@ fn bench_sweep(c: &mut Criterion) {
                 .outcomes
                 .len()
         })
+    });
+    // The streaming engine over the same space: identical per-point
+    // arithmetic, but folded into online accumulators instead of a
+    // collected Vec — the overhead of streaming should be noise.
+    group.bench_function(BenchmarkId::new("streaming", n), |b| {
+        let space = DesignSpace::thesis_table_6_3();
+        b.iter(|| StreamingSweep::new(&profile).run(&space).frontier.len())
     });
     group.finish();
 

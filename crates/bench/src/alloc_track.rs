@@ -1,0 +1,82 @@
+//! Opt-in heap tracking for the perf binaries.
+//!
+//! [`CountingAlloc`] wraps the system allocator with relaxed atomic
+//! live/peak counters. It only takes effect in a binary that installs it
+//! as its `#[global_allocator]` **and** declares so via
+//! [`set_installed`] — the `speedup` binary does both, which is how
+//! `BENCH_model.json` gets its peak-allocation comparison between the
+//! streaming and materializing sweep paths. Everywhere else (e.g. the
+//! same figure builder running inside `all_experiments`) the counters
+//! read as untracked and the record says so instead of lying with zeros.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// System-allocator wrapper counting live bytes and the high-water mark.
+pub struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn on_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(p, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = unsafe { System.realloc(p, layout, new_size) };
+        if !q.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        q
+    }
+}
+
+/// Declare that the current binary installed [`CountingAlloc`] as its
+/// global allocator (call once at the top of `main`).
+pub fn set_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether heap tracking is live in this process.
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Reset the high-water mark to the current live level and return that
+/// baseline. Pair with [`peak_since`].
+pub fn mark() -> usize {
+    let now = LIVE.load(Ordering::Relaxed);
+    PEAK.store(now, Ordering::Relaxed);
+    now
+}
+
+/// Peak heap growth (bytes) since `baseline` was [`mark`]ed, or `None`
+/// when tracking is not installed in this process.
+pub fn peak_since(baseline: usize) -> Option<usize> {
+    installed().then(|| PEAK.load(Ordering::Relaxed).saturating_sub(baseline))
+}

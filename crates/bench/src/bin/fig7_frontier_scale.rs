@@ -1,0 +1,6 @@
+//! §7.4 at scale: streamed Pareto frontier + top-K over the
+//! 103,680-point lazy demo space — online accumulators, bounded memory.
+
+fn main() {
+    pmt_bench::run_binary("fig7_frontier_scale");
+}

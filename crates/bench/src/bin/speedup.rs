@@ -1,10 +1,18 @@
 //! §6.2 headline: design-space evaluation speedup — profile-once + model
 //! versus per-point cycle-level simulation (wall-clock, so excluded from
-//! the deterministic report).
+//! the deterministic report), plus the streaming-vs-collected sweep
+//! comparison over a ≥100k-point lazy space.
 //!
 //! Thin front-end over the shared figure registry: builds the typed
-//! figures and renders them through `pmt_bench::emit`.
+//! figures and renders them through `pmt_bench::emit`. This binary
+//! additionally installs the counting allocator, so the perf record it
+//! writes carries real peak-allocation numbers for the streaming and
+//! materializing paths.
+
+#[global_allocator]
+static ALLOC: pmt_bench::alloc_track::CountingAlloc = pmt_bench::alloc_track::CountingAlloc;
 
 fn main() {
+    pmt_bench::alloc_track::set_installed();
     pmt_bench::run_binary("speedup");
 }

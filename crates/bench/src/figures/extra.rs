@@ -1,11 +1,12 @@
 //! Non-figure experiments: the differential validation report, the
 //! wall-clock speedup headline and the development accuracy probe.
 
+use crate::alloc_track;
 use crate::harness::{
     evaluate_suite, mean_abs_error, shared_sim_cache, sim_instructions, space_stride, HarnessConfig,
 };
 use pmt_core::IntervalModel;
-use pmt_dse::{SpaceEvaluation, SweepConfig};
+use pmt_dse::{LazyDesignSpace, ProductSpace, SpaceEvaluation, StreamingSweep, SweepConfig};
 use pmt_power::PowerModel;
 use pmt_profiler::Profiler;
 use pmt_report::{fmt, Figure, Table};
@@ -72,6 +73,30 @@ struct PathRates {
     parallel_points_per_s: f64,
 }
 
+/// The streaming engine measured over the ≥100k-point lazy demo space.
+#[derive(Serialize)]
+struct StreamingRates {
+    /// Size of the lazily decoded space (≥ 100k by construction).
+    space_points: usize,
+    serial_points_per_s: f64,
+    parallel_points_per_s: f64,
+    /// Frontier survivors (what the engine actually keeps).
+    frontier_points: usize,
+    /// Peak heap growth during the parallel streaming sweep; `None` when
+    /// the counting allocator is not installed (any process but the
+    /// `speedup` binary itself).
+    peak_alloc_bytes: Option<usize>,
+}
+
+/// The materializing path over the same space, for the memory
+/// comparison: every `DesignPoint` and `PointOutcome` in `Vec`s.
+#[derive(Serialize)]
+struct CollectedRates {
+    space_points: usize,
+    serial_points_per_s: f64,
+    peak_alloc_bytes: Option<usize>,
+}
+
 /// The machine-readable perf record the `speedup` binary writes (see the
 /// README "Performance trajectory" section for the schema contract).
 #[derive(Serialize)]
@@ -89,6 +114,12 @@ struct BenchModelRecord {
     prepared: PathRates,
     speedup_serial: f64,
     speedup_parallel: f64,
+    /// Fold-online path: `StreamingSweep` over the lazy ≥100k-point
+    /// demo space — bounded memory regardless of space size.
+    streaming: StreamingRates,
+    /// The same space materialized (`Vec<DesignPoint>` +
+    /// `Vec<PointOutcome>`), the memory baseline streaming removes.
+    collected: CollectedRates,
 }
 
 /// Where the perf record lands.
@@ -170,6 +201,51 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
     }
     let t_prepared_parallel = t4.elapsed();
 
+    // Streaming vs collected over the ≥100k-point lazy demo space: the
+    // rate and — when this process installed the counting allocator —
+    // the peak-allocation comparison proving the engine's memory stays
+    // bounded by the answer, not the space.
+    let big = ProductSpace::frontier_demo();
+    let streaming_sweep = StreamingSweep::new(&profile).model(cfg.model.clone());
+    let t_s0 = Instant::now();
+    let stream_serial = streaming_sweep.serial().run(&big);
+    let t_stream_serial = t_s0.elapsed();
+    let streaming_sweep = StreamingSweep::new(&profile).model(cfg.model.clone());
+    let stream_base = alloc_track::mark();
+    let t_s1 = Instant::now();
+    let stream_parallel = streaming_sweep.run(&big);
+    let t_stream_parallel = t_s1.elapsed();
+    let stream_peak = alloc_track::peak_since(stream_base);
+    assert_eq!(
+        stream_serial.frontier.len(),
+        stream_parallel.frontier.len(),
+        "serial and parallel streaming folds disagree"
+    );
+
+    let collect_base = alloc_track::mark();
+    let t_c0 = Instant::now();
+    let big_points: Vec<pmt_uarch::DesignPoint> = big.iter_points().collect();
+    let collected_eval = SpaceEvaluation::run_serial(&big_points, &profile, None, &sweep_cfg);
+    let t_collected = t_c0.elapsed();
+    let collected_peak = alloc_track::peak_since(collect_base);
+    let collected_n = collected_eval.outcomes.len();
+    drop(collected_eval);
+    drop(big_points);
+
+    let big_rate = |d: Duration| big.len() as f64 / d.as_secs_f64().max(1e-12);
+    let streaming = StreamingRates {
+        space_points: big.len(),
+        serial_points_per_s: big_rate(t_stream_serial),
+        parallel_points_per_s: big_rate(t_stream_parallel),
+        frontier_points: stream_parallel.frontier.len(),
+        peak_alloc_bytes: stream_peak,
+    };
+    let collected = CollectedRates {
+        space_points: collected_n,
+        serial_points_per_s: big_rate(t_collected),
+        peak_alloc_bytes: collected_peak,
+    };
+
     // Simulation for a sample of the space, extrapolated.
     let sample = 8.min(points.len());
     let t5 = Instant::now();
@@ -185,7 +261,7 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
     let total = (points.len() as u32 * reps) as f64;
     let rate = |d: Duration| total / d.as_secs_f64().max(1e-12);
     let record = BenchModelRecord {
-        schema_version: 1,
+        schema_version: 2,
         bench: "sweep_points_per_second",
         workload: "astar",
         instructions: n,
@@ -202,6 +278,8 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
         },
         speedup_serial: rate(t_prepared_serial) / rate(t_legacy_serial).max(1e-12),
         speedup_parallel: rate(t_prepared_parallel) / rate(t_legacy_parallel).max(1e-12),
+        streaming,
+        collected,
     };
     // A requested record that cannot be written is a hard error: CI's
     // perf gate reads the file this run was supposed to produce, and a
@@ -274,7 +352,55 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
         },
     )
     .note(format!("{} threads; {record_note}", record.threads));
-    vec![sim_table, prepared_table]
+
+    let mb = |b: Option<usize>| match b {
+        Some(bytes) => format!("{} MiB", fmt::f64(bytes as f64 / (1 << 20) as f64, 1)),
+        None => "untracked".into(),
+    };
+    let streaming_table = Figure::table(
+        "speedup_streaming",
+        "§7.4 at scale",
+        format!(
+            "streaming vs collected sweep over the {}-point lazy space",
+            record.streaming.space_points
+        )
+        .as_str(),
+        Table {
+            columns: vec!["path".into(), "points/s".into(), "peak alloc".into()],
+            rows: vec![
+                vec![
+                    "streaming (fold online, serial)".into(),
+                    format!(
+                        "{} pts/s",
+                        fmt::f64(record.streaming.serial_points_per_s, 0)
+                    ),
+                    "—".into(),
+                ],
+                vec![
+                    "streaming (fold online, parallel)".into(),
+                    format!(
+                        "{} pts/s",
+                        fmt::f64(record.streaming.parallel_points_per_s, 0)
+                    ),
+                    mb(record.streaming.peak_alloc_bytes),
+                ],
+                vec![
+                    "collected (materialize every point)".into(),
+                    format!(
+                        "{} pts/s",
+                        fmt::f64(record.collected.serial_points_per_s, 0)
+                    ),
+                    mb(record.collected.peak_alloc_bytes),
+                ],
+            ],
+        },
+    )
+    .note(format!(
+        "{} frontier survivors kept out of {} points; peak alloc is live-heap \
+         growth during the sweep (counting allocator, speedup binary only)",
+        record.streaming.frontier_points, record.streaming.space_points
+    ));
+    vec![sim_table, prepared_table, streaming_table]
 }
 
 /// Development aid: per-workload model-vs-simulator deltas on the

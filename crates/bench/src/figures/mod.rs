@@ -333,6 +333,16 @@ pub const REGISTRY: &[FigureBinary] = &[
         build: ch7::fig7_7_pareto_metrics,
     },
     FigureBinary {
+        bin: "fig7_frontier_scale",
+        paper_ref: "§7.4 at scale",
+        title: "streamed Pareto frontier over a 103,680-point lazy design space",
+        chapter: 7,
+        crates: &["core", "dse", "power", "profiler", "uarch"],
+        trained_entropy: true,
+        deterministic: true,
+        build: ch7::fig7_frontier_scale,
+    },
+    FigureBinary {
         bin: "fig7_10_empirical",
         paper_ref: "Figs 7.10–7.13",
         title: "mechanistic vs empirical (ridge regression) Pareto pruning",

@@ -57,12 +57,14 @@ pub mod dispatch;
 pub mod llc_chaining;
 pub mod mlp;
 mod model;
+mod moments;
 pub mod multicore;
 mod prepared;
 pub mod smt;
 
 pub use config::{EvaluationMode, MlpModelKind, ModelConfig};
 pub use model::{IntervalModel, Prediction, PredictionSummary, WindowPrediction};
+pub use moments::Moments;
 pub use multicore::{CorePrediction, CorunPrediction, MulticoreModel};
 pub use prepared::PreparedProfile;
 pub use smt::{SmtModel, SmtPrediction, ThreadPrediction};

@@ -9,12 +9,20 @@
 //!   bit-identical results,
 //! * [`SweepBuilder`] — the batch front-end: several profiled workloads ×
 //!   one design space as a single load-balanced parallel job,
+//! * [`StreamingSweep`] — the large-scale path: points come lazily from
+//!   any [`LazyDesignSpace`] (the thesis grid, or a [`ProductSpace`] of
+//!   user-defined axes, easily 10⁶+ points) and fold into **online
+//!   accumulators** — an incremental Pareto frontier
+//!   ([`ParetoAccumulator`]), a bounded top-K ([`TopK`]) and streaming
+//!   moments — so memory stays bounded by the *answer*, not the space,
 //! * [`ParetoFront`] — non-dominated (delay, power) extraction plus the
 //!   pruning-quality metrics of §7.4: sensitivity, specificity, accuracy
 //!   and the hypervolume ratio (HVR, Fig 7.8),
 //! * [`dvfs`] — voltage/frequency sweeps and ED²P optimization (§7.3),
-//! * [`constrain`] — optimal-design selection under power or performance
-//!   budgets (§7.2, Table 7.1),
+//!   including the lazy [`dvfs::explore_iter`] path,
+//! * [`constrain`] — cheap pre-prediction machine filters
+//!   ([`constrain::DesignConstraints`]) and optimal-design selection
+//!   under power or performance budgets (§7.2, Table 7.1),
 //! * [`EmpiricalModel`] — the ridge-regression comparator of §7.5.
 //!
 //! # Example
@@ -27,15 +35,44 @@
 //! let front = ParetoFront::of(&pts);
 //! assert!(front.is_optimal(0) && front.is_optimal(1) && !front.is_optimal(2));
 //! ```
+//!
+//! Sweeping a space too large to materialize:
+//!
+//! ```
+//! use pmt_dse::{LazyDesignSpace, Objective, ProductSpace, StreamingSweep};
+//! use pmt_profiler::{Profiler, ProfilerConfig};
+//! use pmt_uarch::MachineConfig;
+//! use pmt_workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::by_name("gcc").unwrap();
+//! let profile =
+//!     Profiler::new(ProfilerConfig::fast_test()).profile_named("gcc", &mut spec.trace(20_000));
+//! // Declare the space lazily; only visited points ever exist.
+//! let space = ProductSpace::new(MachineConfig::nehalem())
+//!     .dispatch_widths(&[2, 4, 6])
+//!     .rob_sizes(&[64, 128, 256])
+//!     .mshr_entries(&[8, 16]);
+//! let summary = StreamingSweep::new(&profile)
+//!     .objective(Objective::Energy)
+//!     .top_k(3)
+//!     .run(&space);
+//! assert_eq!(summary.evaluated, space.len());
+//! assert!(summary.frontier.len() < space.len());
+//! ```
 
 pub mod constrain;
 pub mod dvfs;
 mod empirical;
 mod pareto;
+mod space;
+mod streaming;
 mod sweep;
 
+pub use constrain::DesignConstraints;
 pub use empirical::EmpiricalModel;
-pub use pareto::{ParetoFront, PruningQuality};
+pub use pareto::{FrontEntry, ParetoAccumulator, ParetoFront, PruningQuality};
+pub use space::{Axis, LazyDesignSpace, LazyPoints, ProductSpace};
+pub use streaming::{Objective, RankedEntry, StreamPoint, StreamingSummary, StreamingSweep, TopK};
 pub use sweep::{
     sim_cache_key, BatchEvaluation, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig,
 };

@@ -1,6 +1,158 @@
 //! Pareto frontiers and pruning-quality metrics (thesis §7.4).
+//!
+//! Two representations share one dominance rule:
+//!
+//! * [`ParetoFront`] classifies a *materialized* point set (which designs
+//!   are optimal, by index) — the §7.4 pruning-metric workhorse,
+//! * [`ParetoAccumulator`] maintains the non-dominated subset *online*,
+//!   one push at a time in bounded memory — what the streaming sweeps
+//!   fold millions of points through. Strict dominance is transitive, so
+//!   the surviving set is exactly the global non-dominated subset no
+//!   matter the push or [`merge`](ParetoAccumulator::merge) order;
+//!   [`into_sorted`](ParetoAccumulator::into_sorted) then fixes the
+//!   output order by id, making sharded and serial folds bit-identical.
+//!
+//! [`ParetoFront::of`] is itself built on the accumulator, so the two can
+//! never disagree.
 
 use serde::{Deserialize, Serialize};
+
+/// Whether `a` strictly dominates `b` (≤ on both axes, < on at least
+/// one; both axes minimized).
+#[inline]
+fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// One surviving frontier member of a [`ParetoAccumulator`]: the dense
+/// id it was pushed under, its (delay, power) coordinates, and the
+/// caller's payload (e.g. a full streamed outcome).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrontEntry<T> {
+    /// Dense design id (also the deterministic output sort key).
+    pub id: usize,
+    /// (delay, power) coordinates, both minimized.
+    pub coords: (f64, f64),
+    /// Caller payload carried along with the point.
+    pub item: T,
+}
+
+// The vendored serde derive does not handle generics; these mirror what
+// it would generate for the concrete fields.
+impl<T: Serialize> Serialize for FrontEntry<T> {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"id\":");
+        self.id.to_json(out);
+        out.push_str(",\"coords\":");
+        self.coords.to_json(out);
+        out.push_str(",\"item\":");
+        self.item.to_json(out);
+        out.push('}');
+    }
+}
+
+impl<T: Deserialize> Deserialize for FrontEntry<T> {
+    fn from_json(p: &mut serde::json::Parser<'_>) -> Result<Self, serde::json::Error> {
+        let mut id = None;
+        let mut coords = None;
+        let mut item = None;
+        p.object_start()?;
+        while let Some(key) = p.next_key()? {
+            match key.as_str() {
+                "id" => id = Some(Deserialize::from_json(p)?),
+                "coords" => coords = Some(Deserialize::from_json(p)?),
+                "item" => item = Some(Deserialize::from_json(p)?),
+                _ => p.skip_value()?,
+            }
+        }
+        Ok(FrontEntry {
+            id: id.ok_or_else(|| serde::json::Error::missing("id"))?,
+            coords: coords.ok_or_else(|| serde::json::Error::missing("coords"))?,
+            item: item.ok_or_else(|| serde::json::Error::missing("item"))?,
+        })
+    }
+}
+
+/// An online Pareto frontier over (delay, power) points, both minimized:
+/// push one point at a time, merge shards, read the surviving
+/// non-dominated subset. Memory is bounded by the frontier size, not the
+/// stream length.
+///
+/// ```
+/// use pmt_dse::ParetoAccumulator;
+///
+/// let mut front = ParetoAccumulator::new();
+/// assert!(front.push(0, (1.0, 10.0), ()));
+/// assert!(front.push(1, (2.0, 5.0), ()));
+/// assert!(!front.push(2, (2.5, 11.0), ())); // dominated by point 0
+/// assert!(front.push(3, (0.5, 20.0), ()));
+/// assert_eq!(front.ids(), vec![0, 1, 3]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParetoAccumulator<T = ()> {
+    entries: Vec<FrontEntry<T>>,
+}
+
+impl<T> ParetoAccumulator<T> {
+    /// An empty frontier.
+    pub fn new() -> ParetoAccumulator<T> {
+        ParetoAccumulator {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Offer one point. Returns whether it joined the frontier (it may
+    /// evict previously accepted points it dominates). Duplicate
+    /// coordinates are all kept, matching [`ParetoFront::of`].
+    pub fn push(&mut self, id: usize, coords: (f64, f64), item: T) -> bool {
+        if self.entries.iter().any(|e| dominates(e.coords, coords)) {
+            return false;
+        }
+        self.entries.retain(|e| !dominates(coords, e.coords));
+        self.entries.push(FrontEntry { id, coords, item });
+        true
+    }
+
+    /// Merge another frontier in (set-union semantics: dominance is
+    /// re-checked both ways, so shard-local survivors that a sibling
+    /// shard dominates are evicted here).
+    pub fn merge(&mut self, other: ParetoAccumulator<T>) {
+        for e in other.entries {
+            self.push(e.id, e.coords, e.item);
+        }
+    }
+
+    /// Current number of frontier members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no point has survived (or none was pushed).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Surviving members in insertion order (use
+    /// [`into_sorted`](Self::into_sorted) for the deterministic order).
+    pub fn entries(&self) -> &[FrontEntry<T>] {
+        &self.entries
+    }
+
+    /// Surviving ids, sorted ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Consume into the frontier sorted by id — a pure function of the
+    /// pushed *set*, independent of push and merge order.
+    pub fn into_sorted(mut self) -> Vec<FrontEntry<T>> {
+        self.entries.sort_by_key(|e| e.id);
+        self.entries
+    }
+}
 
 /// The Pareto-optimal subset of a set of (delay, power) points, both
 /// minimized.
@@ -13,21 +165,13 @@ impl ParetoFront {
     /// Classify every point. `points` are (delay, power) pairs; smaller is
     /// better on both axes. Duplicate coordinates are all kept optimal.
     pub fn of(points: &[(f64, f64)]) -> ParetoFront {
-        let n = points.len();
-        let mut optimal = vec![true; n];
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let dominates = points[j].0 <= points[i].0
-                    && points[j].1 <= points[i].1
-                    && (points[j].0 < points[i].0 || points[j].1 < points[i].1);
-                if dominates {
-                    optimal[i] = false;
-                    break;
-                }
-            }
+        let mut acc: ParetoAccumulator = ParetoAccumulator::new();
+        for (i, &p) in points.iter().enumerate() {
+            acc.push(i, p, ());
+        }
+        let mut optimal = vec![false; points.len()];
+        for e in acc.entries() {
+            optimal[e.id] = true;
         }
         ParetoFront { optimal }
     }
@@ -188,6 +332,62 @@ mod tests {
     fn identical_points_stay_optimal() {
         let f = ParetoFront::of(&[(1.0, 1.0), (1.0, 1.0)]);
         assert!(f.is_optimal(0) && f.is_optimal(1));
+    }
+
+    #[test]
+    fn accumulator_evicts_newly_dominated_members() {
+        let mut acc = ParetoAccumulator::new();
+        assert!(acc.push(0, (3.0, 3.0), "a"));
+        assert!(acc.push(1, (2.0, 5.0), "b"));
+        // Dominates point 0 but not point 1.
+        assert!(acc.push(2, (2.5, 2.5), "c"));
+        assert_eq!(acc.ids(), vec![1, 2]);
+        let sorted = acc.into_sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!((sorted[0].id, sorted[0].item), (1, "b"));
+        assert_eq!((sorted[1].id, sorted[1].item), (2, "c"));
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_stream() {
+        let pts = [
+            (1.0, 10.0),
+            (2.0, 5.0),
+            (3.0, 3.0),
+            (2.5, 11.0),
+            (3.5, 4.0),
+            (1.0, 10.0), // duplicate of 0: both survive
+        ];
+        let mut whole = ParetoAccumulator::new();
+        for (i, &p) in pts.iter().enumerate() {
+            whole.push(i, p, ());
+        }
+        // Shard in two, fold independently, merge in either order.
+        for (a_range, b_range) in [((0..3), (3..6)), ((3..6), (0..3))] {
+            let mut a = ParetoAccumulator::new();
+            for i in a_range {
+                a.push(i, pts[i], ());
+            }
+            let mut b = ParetoAccumulator::new();
+            for i in b_range {
+                b.push(i, pts[i], ());
+            }
+            a.merge(b);
+            assert_eq!(a.ids(), whole.ids());
+        }
+        assert_eq!(whole.ids(), vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn accumulator_agrees_with_front_classification() {
+        let pts = vec![(1.0, 10.0), (2.0, 5.0), (3.0, 3.0), (2.5, 11.0), (3.5, 4.0)];
+        let mut acc = ParetoAccumulator::new();
+        for (i, &p) in pts.iter().enumerate() {
+            acc.push(i, p, ());
+        }
+        assert_eq!(acc.ids(), ParetoFront::of(&pts).indices());
+        assert!(!acc.is_empty());
+        assert_eq!(acc.len(), 3);
     }
 
     #[test]

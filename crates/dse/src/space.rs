@@ -1,0 +1,519 @@
+//! Lazy design spaces: points materialized by index, never all at once.
+//!
+//! The thesis evaluates 243 configurations, but a one-second analytical
+//! model exists to sweep *huge* spaces. Materializing a `Vec<DesignPoint>`
+//! caps the space at what fits in memory; [`LazyDesignSpace`] removes the
+//! cap by describing a space as `len` + `point_at(index)` — a mixed-radix
+//! decode — so a streaming sweep touches one point at a time and a shard
+//! is just an index range.
+//!
+//! Two implementations ship:
+//!
+//! * [`pmt_uarch::DesignSpace`] — the thesis grid (Table 6.3 and its
+//!   subsets),
+//! * [`ProductSpace`] — a `product`-style builder for user-defined axes,
+//!   so spaces far beyond the thesis grid (wider ROB/MSHR/frequency/cache
+//!   sweeps, easily 10⁶+ points) are declared in a few lines.
+//!
+//! ```
+//! use pmt_dse::{LazyDesignSpace, ProductSpace};
+//! use pmt_uarch::MachineConfig;
+//!
+//! // 4 widths × 6 ROBs × 4 MSHR depths × 3 clocks = 288 points, declared
+//! // lazily: nothing is materialized until a point is asked for.
+//! let space = ProductSpace::new(MachineConfig::nehalem())
+//!     .dispatch_widths(&[2, 4, 6, 8])
+//!     .rob_sizes(&[32, 64, 128, 192, 256, 384])
+//!     .mshr_entries(&[4, 8, 16, 32])
+//!     .frequency_ghz(&[2.0, 2.66, 3.2]);
+//! assert_eq!(space.len(), 288);
+//! let p = space.point_at(287); // the largest configuration
+//! assert_eq!(p.machine.core.dispatch_width, 8);
+//! assert_eq!(p.machine.mem.mshr_entries, 32);
+//! assert_eq!(space.iter_points().nth(287).unwrap().id, 287);
+//! ```
+
+use pmt_uarch::{
+    l3_latency_for_kb, CacheConfig, DesignPoint, DesignSpace, MachineConfig, OperatingPoint,
+};
+use std::sync::Arc;
+
+/// How an [`Axis`] edits the machine description for one swept value.
+type AxisApply = Arc<dyn Fn(&mut MachineConfig, f64) + Send + Sync>;
+
+/// A design space whose points are materialized on demand by dense
+/// index. `len`/`point_at` are the whole contract: iteration, sharding
+/// and chunking all derive from them.
+///
+/// Implementations must make `point_at` a pure function of `index` so a
+/// sharded or parallel sweep sees exactly the points a serial sweep
+/// does.
+pub trait LazyDesignSpace: Sync {
+    /// Number of points in the space.
+    fn len(&self) -> usize;
+
+    /// Materialize the point at `index` (`0..len()`), with `id == index`.
+    fn point_at(&self, index: usize) -> DesignPoint;
+
+    /// Whether the space has no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lazily iterate every point in index order; `nth` is O(1), so
+    /// `skip`/`take`/`step_by` shard without materializing.
+    ///
+    /// (Named `iter_points` rather than `iter` so bringing the trait
+    /// into scope never changes what `Vec<DesignPoint>::iter()` means.)
+    fn iter_points(&self) -> LazyPoints<'_, Self>
+    where
+        Self: Sized,
+    {
+        LazyPoints {
+            space: self,
+            next: 0,
+            end: self.len(),
+        }
+    }
+}
+
+/// The thesis grid is a lazy space (mixed-radix decode via
+/// [`DesignSpace::point_at`]).
+impl LazyDesignSpace for DesignSpace {
+    fn len(&self) -> usize {
+        DesignSpace::len(self)
+    }
+
+    fn point_at(&self, index: usize) -> DesignPoint {
+        DesignSpace::point_at(self, index)
+    }
+}
+
+/// An explicit point list is the degenerate lazy space (points are
+/// cloned out on demand). The clone's `id` is reassigned to the **list
+/// position** to honor the trait's `id == index` contract — so frontier
+/// and top-K ids from a streamed subset always index back into the list
+/// that produced them, even when the points carry ids from some larger
+/// original space.
+impl LazyDesignSpace for [DesignPoint] {
+    fn len(&self) -> usize {
+        <[DesignPoint]>::len(self)
+    }
+
+    fn point_at(&self, index: usize) -> DesignPoint {
+        let mut p = self[index].clone();
+        p.id = index;
+        p
+    }
+}
+
+impl LazyDesignSpace for Vec<DesignPoint> {
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn point_at(&self, index: usize) -> DesignPoint {
+        self.as_slice().point_at(index)
+    }
+}
+
+/// Lazy iterator over any [`LazyDesignSpace`] (index order, O(1) `nth`,
+/// double-ended, exact-size).
+#[derive(Clone, Debug)]
+pub struct LazyPoints<'a, S: LazyDesignSpace> {
+    space: &'a S,
+    next: usize,
+    end: usize,
+}
+
+impl<S: LazyDesignSpace> Iterator for LazyPoints<'_, S> {
+    type Item = DesignPoint;
+
+    fn next(&mut self) -> Option<DesignPoint> {
+        if self.next >= self.end {
+            return None;
+        }
+        let p = self.space.point_at(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn nth(&mut self, n: usize) -> Option<DesignPoint> {
+        // Clamp to `end` so an overshooting nth/skip can never leave
+        // `next > end` (which would make size_hint subtract with
+        // overflow).
+        self.next = self.next.saturating_add(n).min(self.end);
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.end - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl<S: LazyDesignSpace> ExactSizeIterator for LazyPoints<'_, S> {}
+
+impl<S: LazyDesignSpace> DoubleEndedIterator for LazyPoints<'_, S> {
+    fn next_back(&mut self) -> Option<DesignPoint> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        Some(self.space.point_at(self.end))
+    }
+}
+
+/// One swept parameter of a [`ProductSpace`]: a name, the values it
+/// takes, and how a value edits the machine description.
+#[derive(Clone)]
+pub struct Axis {
+    /// Axis name, used in generated machine names (`name=value`).
+    pub name: String,
+    /// The values this axis sweeps.
+    pub values: Vec<f64>,
+    apply: AxisApply,
+}
+
+impl std::fmt::Debug for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Axis")
+            .field("name", &self.name)
+            .field("values", &self.values)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A full-factorial product of user-defined axes over a base machine —
+/// the lazy builder for spaces beyond the thesis grid.
+///
+/// Points are decoded by mixed-radix index: the first axis added is the
+/// most significant digit, the last the least (matching the nesting
+/// order of [`DesignSpace::enumerate`]). Each materialized point starts
+/// from the base machine and applies the axes **in insertion order**, so
+/// an axis may read what earlier axes wrote (the canned
+/// [`frequency_ghz`](Self::frequency_ghz) axis relies on this to rescale
+/// memory latencies against the clock the base machine had).
+#[derive(Clone, Debug)]
+pub struct ProductSpace {
+    base: MachineConfig,
+    axes: Vec<Axis>,
+}
+
+impl ProductSpace {
+    /// A space over `base` with no axes yet (a single point: the base
+    /// machine itself).
+    pub fn new(base: MachineConfig) -> ProductSpace {
+        ProductSpace {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Add a user-defined axis: `apply` edits the machine for one swept
+    /// value. Values are `f64` so one axis type covers integer knobs
+    /// (sizes, depths) and continuous ones (clocks, voltages) alike.
+    pub fn axis(
+        mut self,
+        name: &str,
+        values: impl IntoIterator<Item = f64>,
+        apply: impl Fn(&mut MachineConfig, f64) + Send + Sync + 'static,
+    ) -> ProductSpace {
+        let values: Vec<f64> = values.into_iter().collect();
+        assert!(!values.is_empty(), "axis `{name}` has no values");
+        self.axes.push(Axis {
+            name: name.to_string(),
+            values,
+            apply: Arc::new(apply),
+        });
+        self
+    }
+
+    /// Canned axis: dispatch/commit width.
+    pub fn dispatch_widths(self, widths: &[u32]) -> ProductSpace {
+        self.axis("w", widths.iter().map(|&w| w as f64), |m, w| {
+            m.core = m.core.with_dispatch_width(w as u32);
+        })
+    }
+
+    /// Canned axis: ROB size, with IQ/LSQ scaled along (thesis Table 6.3
+    /// convention).
+    pub fn rob_sizes(self, sizes: &[u32]) -> ProductSpace {
+        self.axis("rob", sizes.iter().map(|&s| s as f64), |m, s| {
+            m.core = m.core.with_rob(s as u32);
+        })
+    }
+
+    /// Canned axis: L1-I/L1-D capacity in KiB (associativity and
+    /// latencies kept from the base machine).
+    pub fn l1_kb(self, sizes: &[u32]) -> ProductSpace {
+        self.axis("l1", sizes.iter().map(|&s| s as f64), |m, s| {
+            m.caches.l1i = CacheConfig::new(s as u32, m.caches.l1i.associativity, 64, 1);
+            m.caches.l1d = CacheConfig::new(
+                s as u32,
+                m.caches.l1d.associativity,
+                64,
+                m.caches.l1d.latency,
+            );
+        })
+    }
+
+    /// Canned axis: L2 capacity in KiB.
+    pub fn l2_kb(self, sizes: &[u32]) -> ProductSpace {
+        self.axis("l2", sizes.iter().map(|&s| s as f64), |m, s| {
+            m.caches.l2 =
+                CacheConfig::new(s as u32, m.caches.l2.associativity, 64, m.caches.l2.latency);
+        })
+    }
+
+    /// Canned axis: L3 capacity in KiB, with the weak latency-capacity
+    /// scaling of the thesis space ([`pmt_uarch::l3_latency_for_kb`] —
+    /// shared with [`DesignSpace::point_at`], so the two derivations
+    /// cannot drift).
+    pub fn l3_kb(self, sizes: &[u32]) -> ProductSpace {
+        self.axis("l3", sizes.iter().map(|&s| s as f64), |m, s| {
+            let kb = s as u32;
+            m.caches.l3 =
+                CacheConfig::new(kb, m.caches.l3.associativity, 64, l3_latency_for_kb(kb));
+        })
+    }
+
+    /// Canned axis: L1-D MSHR depth (bounds memory-level parallelism,
+    /// thesis §4.6).
+    pub fn mshr_entries(self, entries: &[u32]) -> ProductSpace {
+        self.axis("mshr", entries.iter().map(|&e| e as f64), |m, e| {
+            m.mem.mshr_entries = e as u32;
+        })
+    }
+
+    /// Canned axis: core clock in GHz **at the base machine's voltage**.
+    /// DRAM nanoseconds are physical, so the memory latencies *in
+    /// cycles* rescale with the clock; `vdd` is deliberately left
+    /// untouched (an iso-voltage what-if). For a physical
+    /// voltage/frequency sweep use
+    /// [`operating_points`](Self::operating_points), which moves both
+    /// like a real DVFS table.
+    pub fn frequency_ghz(self, ghz: &[f64]) -> ProductSpace {
+        self.axis("f", ghz.iter().copied(), |m, f| {
+            let scale = f / m.core.frequency_ghz;
+            m.core.frequency_ghz = f;
+            m.mem.dram_latency = ((m.mem.dram_latency as f64) * scale).round().max(1.0) as u32;
+            m.mem.bus_transfer_cycles = ((m.mem.bus_transfer_cycles as f64) * scale)
+                .round()
+                .max(1.0) as u32;
+        })
+    }
+
+    /// Canned axis: voltage/frequency operating points. Clock, supply
+    /// voltage and the memory latencies in cycles all move together,
+    /// exactly as [`crate::dvfs::machine_at`] rescales a machine for a
+    /// DVFS setting — so high-clock points pay their real
+    /// (vdd/V_nom)²-scaled power.
+    pub fn operating_points(self, points: &[OperatingPoint]) -> ProductSpace {
+        let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.frequency_ghz, p.vdd)).collect();
+        self.axis("f", points.iter().map(|p| p.frequency_ghz), move |m, f| {
+            let vdd = pairs
+                .iter()
+                .find(|(freq, _)| *freq == f)
+                .expect("axis value comes from the pair list")
+                .1;
+            let scale = f / m.core.frequency_ghz;
+            m.core.frequency_ghz = f;
+            m.core.vdd = vdd;
+            m.mem.dram_latency = ((m.mem.dram_latency as f64) * scale).round().max(1.0) as u32;
+            m.mem.bus_transfer_cycles = ((m.mem.bus_transfer_cycles as f64) * scale)
+                .round()
+                .max(1.0) as u32;
+        })
+    }
+
+    /// The swept axes, in application order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// A 103,680-point demonstration space: the thesis axes widened and
+    /// crossed with MSHR depth and a voltage/frequency axis (the Table
+    /// 7.2 DVFS points plus a 3.6 GHz / 1.275 V extension of the same
+    /// linear V-f curve). This is the space the `pmt explore` examples,
+    /// the frontier-at-scale figure and the streaming perf record sweep
+    /// — large enough that materializing it would dominate memory, cheap
+    /// enough to stream in seconds.
+    pub fn frontier_demo() -> ProductSpace {
+        let mut vf = pmt_uarch::nehalem_dvfs_points();
+        vf.push(OperatingPoint::new(3.6, 1.275));
+        ProductSpace::new(MachineConfig::nehalem())
+            .dispatch_widths(&[2, 3, 4, 5, 6, 8])
+            .rob_sizes(&[32, 48, 64, 96, 128, 192, 256, 384, 512])
+            .l1_kb(&[16, 32, 64, 128])
+            .l2_kb(&[128, 256, 512, 1024])
+            .l3_kb(&[1024, 2048, 4096, 8192, 16384])
+            .mshr_entries(&[4, 8, 16, 32])
+            .operating_points(&vf)
+    }
+}
+
+impl LazyDesignSpace for ProductSpace {
+    fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    fn point_at(&self, index: usize) -> DesignPoint {
+        assert!(
+            index < self.len(),
+            "design-point index {index} out of bounds for a {}-point space",
+            self.len()
+        );
+        // Mixed-radix decode: last axis is the least significant digit.
+        let mut digits = vec![0usize; self.axes.len()];
+        let mut rest = index;
+        for (i, axis) in self.axes.iter().enumerate().rev() {
+            digits[i] = rest % axis.values.len();
+            rest /= axis.values.len();
+        }
+        let mut machine = self.base.clone();
+        let mut name = self.base.name.clone();
+        for (axis, &d) in self.axes.iter().zip(&digits) {
+            let value = axis.values[d];
+            (axis.apply)(&mut machine, value);
+            // Integer-valued knobs print without a trailing ".0".
+            if value.fract() == 0.0 {
+                name.push_str(&format!("-{}{}", axis.name, value as i64));
+            } else {
+                name.push_str(&format!("-{}{}", axis.name, value));
+            }
+        }
+        machine.name = name;
+        let coords = (
+            machine.core.dispatch_width,
+            machine.core.rob_size,
+            machine.caches.l1d.size_kb,
+            machine.caches.l2.size_kb,
+            machine.caches.l3.size_kb,
+        );
+        DesignPoint {
+            id: index,
+            machine,
+            coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thesis_space_is_lazy_and_matches_enumerate() {
+        let space = DesignSpace::small();
+        let eager = space.enumerate();
+        let lazy: Vec<DesignPoint> = LazyDesignSpace::iter_points(&space).collect();
+        assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn slice_of_points_is_a_lazy_space() {
+        let points = DesignSpace::small().enumerate();
+        let slice: &[DesignPoint] = &points;
+        assert_eq!(LazyDesignSpace::len(slice), 32);
+        assert_eq!(slice.point_at(7), points[7]);
+        assert_eq!(LazyDesignSpace::len(&points), 32);
+
+        // A *non-dense* list (ids from the original space) still honors
+        // the `id == index` contract: ids are reassigned to the list
+        // position, so streamed frontier/top-K ids index this list.
+        let subset: Vec<DesignPoint> = points.iter().step_by(5).cloned().collect();
+        assert_eq!(subset[1].id, 5); // original id survives in the list...
+        let p = subset.point_at(1);
+        assert_eq!(p.id, 1); // ...but point_at re-bases it
+        assert_eq!(p.machine, subset[1].machine);
+    }
+
+    #[test]
+    fn product_space_decodes_mixed_radix_in_insertion_order() {
+        let space = ProductSpace::new(MachineConfig::nehalem())
+            .dispatch_widths(&[2, 4])
+            .rob_sizes(&[64, 128, 256]);
+        assert_eq!(space.len(), 6);
+        assert_eq!(space.axes().len(), 2);
+        // First axis most significant: ids 0..3 are width 2.
+        let p0 = space.point_at(0);
+        assert_eq!(p0.machine.core.dispatch_width, 2);
+        assert_eq!(p0.machine.core.rob_size, 64);
+        let p5 = space.point_at(5);
+        assert_eq!(p5.machine.core.dispatch_width, 4);
+        assert_eq!(p5.machine.core.rob_size, 256);
+        assert_eq!(p5.id, 5);
+        // Names are distinct and readable.
+        assert_ne!(p0.machine.name, p5.machine.name);
+        assert!(p5.machine.name.contains("w4"));
+        assert!(p5.machine.name.contains("rob256"));
+    }
+
+    #[test]
+    fn overshooting_nth_clamps_and_keeps_the_iterator_usable() {
+        let space = DesignSpace::small();
+        let mut it = space.iter_points();
+        assert!(it.nth(1_000).is_none());
+        assert_eq!(it.len(), 0);
+        assert!(it.next().is_none());
+        // A ProductSpace and a thesis L3 axis derive the same machine.
+        let product = ProductSpace::new(MachineConfig::nehalem()).l3_kb(&[2048, 4096, 8192]);
+        for (i, kb) in [2048u32, 4096, 8192].iter().enumerate() {
+            let lat = product.point_at(i).machine.caches.l3.latency;
+            assert_eq!(lat, l3_latency_for_kb(*kb));
+        }
+    }
+
+    #[test]
+    fn frequency_axis_rescales_memory_latency() {
+        let space = ProductSpace::new(MachineConfig::nehalem()).frequency_ghz(&[1.33, 2.66, 5.32]);
+        let slow = space.point_at(0);
+        let base = space.point_at(1);
+        let fast = space.point_at(2);
+        assert_eq!(base.machine.mem.dram_latency, 200);
+        assert_eq!(slow.machine.mem.dram_latency, 100);
+        assert_eq!(fast.machine.mem.dram_latency, 400);
+        assert!(fast.machine.name.contains("f5.32"));
+        // The plain frequency axis is iso-voltage by contract.
+        assert_eq!(fast.machine.core.vdd, MachineConfig::nehalem().core.vdd);
+    }
+
+    #[test]
+    fn operating_point_axis_moves_voltage_with_frequency() {
+        let space = ProductSpace::new(MachineConfig::nehalem())
+            .operating_points(&pmt_uarch::nehalem_dvfs_points());
+        assert_eq!(space.len(), 5);
+        let slow = space.point_at(0);
+        let fast = space.point_at(4);
+        assert!((slow.machine.core.vdd - 0.90).abs() < 1e-12);
+        assert!((fast.machine.core.vdd - 1.20).abs() < 1e-12);
+        // Memory latency rescales exactly like dvfs::machine_at.
+        let expect = crate::dvfs::machine_at(
+            &MachineConfig::nehalem(),
+            pmt_uarch::nehalem_dvfs_points()[4],
+        );
+        assert_eq!(fast.machine.mem.dram_latency, expect.mem.dram_latency);
+        assert_eq!(
+            fast.machine.mem.bus_transfer_cycles,
+            expect.mem.bus_transfer_cycles
+        );
+    }
+
+    #[test]
+    fn frontier_demo_is_at_least_100k_points() {
+        let space = ProductSpace::frontier_demo();
+        assert!(space.len() >= 100_000, "demo space {} points", space.len());
+        // Spot-check both ends decode.
+        assert_eq!(space.point_at(0).id, 0);
+        assert_eq!(space.point_at(space.len() - 1).id, space.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn product_point_past_the_end_panics() {
+        ProductSpace::new(MachineConfig::nehalem())
+            .dispatch_widths(&[2])
+            .point_at(1);
+    }
+}

@@ -1,6 +1,6 @@
 //! Parallel design-space sweeps (thesis §6.2.4, §7.4).
 
-use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
+use pmt_core::{ModelConfig, PreparedProfile};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
 use pmt_sim::{CacheKey, OooSimulator, SimCache, SimConfig, SimResult};
@@ -148,7 +148,7 @@ impl SpaceEvaluation {
     /// StatStack fits are compiled once ([`PreparedProfile`]), shared
     /// read-only across the rayon workers, and every design point pays only
     /// for the machine-dependent queries
-    /// ([`IntervalModel::predict_summary`]). Results come back in
+    /// ([`pmt_core::IntervalModel::predict_summary`]). Results come back in
     /// design-point order, so a parallel sweep is **bit-identical** to
     /// [`run_serial`](Self::run_serial) — the evaluation of one point never
     /// depends on any other point.
@@ -202,7 +202,10 @@ impl SpaceEvaluation {
 
     /// Evaluate one design point against a prepared workload: the
     /// machine-dependent model queries, the power model, and (optionally)
-    /// the memoized reference simulation.
+    /// the memoized reference simulation. The model half is
+    /// [`crate::streaming::evaluate_stream_point`] — the *same function*
+    /// the streaming engine folds — so a streamed sweep is bit-identical
+    /// to a materialized one by construction.
     fn evaluate_point(
         point: &DesignPoint,
         prepared: &PreparedProfile<'_>,
@@ -210,11 +213,7 @@ impl SpaceEvaluation {
         cfg: &SweepConfig,
     ) -> PointOutcome {
         let machine = &point.machine;
-        let model = IntervalModel::with_config(machine, cfg.model.clone());
-        let prediction = model.predict_summary(prepared);
-        let power_model = PowerModel::new(machine);
-        let model_power = power_model.power(&prediction.activity).total();
-        let model_seconds = prediction.seconds_at(machine.core.frequency_ghz);
+        let p = crate::streaming::evaluate_stream_point(point, prepared, &cfg.model);
 
         let (sim_cpi, sim_power, sim_seconds) = if cfg.with_simulation {
             let spec = spec.expect("checked in run()");
@@ -229,10 +228,10 @@ impl SpaceEvaluation {
                 }
                 None => Arc::new(simulate()),
             };
-            let p = power_model.power(&r.activity).total();
+            let sim_power = PowerModel::new(machine).power(&r.activity).total();
             (
                 Some(r.cpi()),
-                Some(p),
+                Some(sim_power),
                 Some(r.seconds_at(machine.core.frequency_ghz)),
             )
         } else {
@@ -242,9 +241,9 @@ impl SpaceEvaluation {
         PointOutcome {
             design_id: point.id,
             workload: prepared.profile().name.clone(),
-            model_cpi: prediction.cpi(),
-            model_power,
-            model_seconds,
+            model_cpi: p.cpi,
+            model_power: p.power,
+            model_seconds: p.seconds,
             sim_cpi,
             sim_power,
             sim_seconds,
@@ -290,6 +289,10 @@ impl SpaceEvaluation {
 #[derive(Default)]
 pub struct SweepBuilder<'a> {
     points: Vec<DesignPoint>,
+    /// Which setter provided `points` — [`space`](Self::space) and
+    /// [`points`](Self::points) are mutually exclusive, and mixing them
+    /// is a hard error rather than a silent last-call-wins.
+    points_source: Option<&'static str>,
     jobs: Vec<(&'a ApplicationProfile, Option<&'a WorkloadSpec>)>,
     config: SweepConfig,
     serial: bool,
@@ -301,15 +304,36 @@ impl<'a> SweepBuilder<'a> {
         SweepBuilder::default()
     }
 
+    fn set_points(&mut self, source: &'static str, points: Vec<DesignPoint>) {
+        if let Some(prev) = self.points_source {
+            if prev != source {
+                panic!(
+                    "SweepBuilder::{source}(...) conflicts with the earlier \
+                     ::{prev}(...) call: a sweep takes its points from either \
+                     a DesignSpace or an explicit list, never both"
+                );
+            }
+        }
+        self.points_source = Some(source);
+        self.points = points;
+    }
+
     /// Sweep every point of `space`.
+    ///
+    /// Mutually exclusive with [`points`](Self::points): calling both on
+    /// one builder panics (repeating the *same* setter replaces the
+    /// previous value). A silent last-call-wins here used to discard a
+    /// carefully constructed point list without a trace.
     pub fn space(mut self, space: DesignSpace) -> Self {
-        self.points = space.enumerate();
+        self.set_points("space", space.enumerate());
         self
     }
 
     /// Sweep an explicit list of design points.
+    ///
+    /// Mutually exclusive with [`space`](Self::space) — see there.
     pub fn points(mut self, points: Vec<DesignPoint>) -> Self {
-        self.points = points;
+        self.set_points("points", points);
         self
     }
 
@@ -647,5 +671,37 @@ mod tests {
         for (a, b) in batch.evaluations[1].outcomes.iter().zip(&lone.outcomes) {
             assert_eq!(a.model_cpi.to_bits(), b.model_cpi.to_bits());
         }
+    }
+
+    /// `.space(...)` and `.points(...)` used to overwrite each other
+    /// silently (last-call-wins); the combination is now a hard error in
+    /// both orders, while repeating one setter still replaces.
+    #[test]
+    #[should_panic(expected = "conflicts with the earlier")]
+    fn points_then_space_is_an_error() {
+        let _ = SweepBuilder::new()
+            .points(DesignSpace::small().enumerate()[..2].to_vec())
+            .space(DesignSpace::small());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicts with the earlier")]
+    fn space_then_points_is_an_error() {
+        let _ = SweepBuilder::new()
+            .space(DesignSpace::small())
+            .points(Vec::new());
+    }
+
+    #[test]
+    fn repeating_the_same_points_setter_replaces() {
+        let points = DesignSpace::small().enumerate();
+        let b = SweepBuilder::new()
+            .points(points[..4].to_vec())
+            .points(points[..2].to_vec());
+        assert_eq!(b.points.len(), 2);
+        let b = SweepBuilder::new()
+            .space(DesignSpace::small())
+            .space(DesignSpace::validation_subspace());
+        assert_eq!(b.points.len(), 27);
     }
 }

@@ -89,41 +89,128 @@ impl DesignSpace {
         self.len() == 0
     }
 
-    /// Enumerate every design point, derived from the reference machine.
-    pub fn enumerate(&self) -> Vec<DesignPoint> {
-        let base = MachineConfig::nehalem();
-        let mut out = Vec::with_capacity(self.len());
-        let mut id = 0;
-        for &w in &self.dispatch_widths {
-            for &rob in &self.rob_sizes {
-                for &l1 in &self.l1_kb {
-                    for &l2 in &self.l2_kb {
-                        for &l3 in &self.l3_kb {
-                            let mut m = base.clone();
-                            m.name = format!("w{w}-rob{rob}-l1_{l1}k-l2_{l2}k-l3_{l3}k");
-                            m.core = m.core.with_dispatch_width(w).with_rob(rob);
-                            m.caches.l1i = CacheConfig::new(l1, 4, 64, 1);
-                            m.caches.l1d = CacheConfig::new(l1, 8, 64, base.caches.l1d.latency);
-                            m.caches.l2 = CacheConfig::new(l2, 8, 64, base.caches.l2.latency);
-                            // LLC latency scales weakly with capacity.
-                            let l3_lat = match l3 {
-                                0..=2048 => 26,
-                                2049..=4096 => 28,
-                                _ => 30,
-                            };
-                            m.caches.l3 = CacheConfig::new(l3, 16, 64, l3_lat);
-                            out.push(DesignPoint {
-                                id,
-                                machine: m,
-                                coords: (w, rob, l1, l2, l3),
-                            });
-                            id += 1;
-                        }
-                    }
-                }
-            }
+    /// Materialize the design point at dense `index` (the enumeration
+    /// order of [`enumerate`](Self::enumerate): dispatch width is the
+    /// most significant axis, L3 capacity the least) without touching
+    /// any other point. This is the mixed-radix decode streaming sweeps
+    /// are built on: a million-point space costs one machine build per
+    /// *visited* point and nothing up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn point_at(&self, index: usize) -> DesignPoint {
+        assert!(
+            index < self.len(),
+            "design-point index {index} out of bounds for a {}-point space",
+            self.len()
+        );
+        // Mixed-radix decode, least significant (innermost) axis first.
+        let mut rest = index;
+        let l3 = self.l3_kb[rest % self.l3_kb.len()];
+        rest /= self.l3_kb.len();
+        let l2 = self.l2_kb[rest % self.l2_kb.len()];
+        rest /= self.l2_kb.len();
+        let l1 = self.l1_kb[rest % self.l1_kb.len()];
+        rest /= self.l1_kb.len();
+        let rob = self.rob_sizes[rest % self.rob_sizes.len()];
+        rest /= self.rob_sizes.len();
+        let w = self.dispatch_widths[rest];
+
+        let mut m = MachineConfig::nehalem();
+        let (l1d_latency, l2_latency) = (m.caches.l1d.latency, m.caches.l2.latency);
+        m.name = format!("w{w}-rob{rob}-l1_{l1}k-l2_{l2}k-l3_{l3}k");
+        m.core = m.core.with_dispatch_width(w).with_rob(rob);
+        m.caches.l1i = CacheConfig::new(l1, 4, 64, 1);
+        m.caches.l1d = CacheConfig::new(l1, 8, 64, l1d_latency);
+        m.caches.l2 = CacheConfig::new(l2, 8, 64, l2_latency);
+        m.caches.l3 = CacheConfig::new(l3, 16, 64, l3_latency_for_kb(l3));
+        DesignPoint {
+            id: index,
+            machine: m,
+            coords: (w, rob, l1, l2, l3),
         }
-        out
+    }
+
+    /// Lazily iterate every design point in enumeration order. Unlike
+    /// [`enumerate`](Self::enumerate) nothing is materialized up front,
+    /// and `nth`/`skip`/`step_by` jump by index arithmetic instead of
+    /// building the skipped points — sharding a space across workers is
+    /// `space.iter().skip(a).take(b - a)`.
+    pub fn iter(&self) -> DesignSpaceIter<'_> {
+        DesignSpaceIter {
+            space: self,
+            next: 0,
+            end: self.len(),
+        }
+    }
+
+    /// Enumerate every design point, derived from the reference machine.
+    ///
+    /// This materializes the whole space; prefer [`iter`](Self::iter)
+    /// (or the streaming sweeps built on it) when the space is large.
+    pub fn enumerate(&self) -> Vec<DesignPoint> {
+        self.iter().collect()
+    }
+}
+
+/// LLC latency for a given capacity: the thesis space's weak
+/// latency-vs-capacity scaling, shared by [`DesignSpace::point_at`] and
+/// the user-defined cache axes of `pmt_dse`'s lazy space builder so the
+/// two machine derivations can never drift apart.
+pub fn l3_latency_for_kb(kb: u32) -> u32 {
+    match kb {
+        0..=2048 => 26,
+        2049..=4096 => 28,
+        _ => 30,
+    }
+}
+
+/// Lazy iterator over a [`DesignSpace`], yielding points by mixed-radix
+/// index ([`DesignSpace::point_at`]). Double-ended and exact-size, with
+/// an O(1) `nth` so `skip`/`step_by` shard without materializing.
+#[derive(Clone, Debug)]
+pub struct DesignSpaceIter<'a> {
+    space: &'a DesignSpace,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for DesignSpaceIter<'_> {
+    type Item = DesignPoint;
+
+    fn next(&mut self) -> Option<DesignPoint> {
+        if self.next >= self.end {
+            return None;
+        }
+        let p = self.space.point_at(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn nth(&mut self, n: usize) -> Option<DesignPoint> {
+        // Clamp to `end` so an overshooting nth/skip can never leave
+        // `next > end` (which would make size_hint subtract with
+        // overflow).
+        self.next = self.next.saturating_add(n).min(self.end);
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.end - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for DesignSpaceIter<'_> {}
+
+impl DoubleEndedIterator for DesignSpaceIter<'_> {
+    fn next_back(&mut self) -> Option<DesignPoint> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        Some(self.space.point_at(self.end))
     }
 }
 
@@ -169,6 +256,49 @@ mod tests {
                 p.machine.name
             );
         }
+    }
+
+    #[test]
+    fn point_at_matches_enumerate_exactly() {
+        for space in [
+            DesignSpace::thesis_table_6_3(),
+            DesignSpace::validation_subspace(),
+            DesignSpace::small(),
+        ] {
+            let eager = space.enumerate();
+            for (i, p) in eager.iter().enumerate() {
+                assert_eq!(&space.point_at(i), p, "index {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_shards_by_index_arithmetic() {
+        let space = DesignSpace::thesis_table_6_3();
+        assert_eq!(space.iter().len(), 243);
+        // nth jumps straight to the target index.
+        assert_eq!(space.iter().nth(200).unwrap().id, 200);
+        // A skip/take shard equals the same slice of the eager list.
+        let eager = space.enumerate();
+        let shard: Vec<_> = space.iter().skip(100).take(17).collect();
+        assert_eq!(shard.as_slice(), &eager[100..117]);
+        // Strided subsampling visits the same ids as step_by over the list.
+        let strided: Vec<usize> = space.iter().step_by(31).map(|p| p.id).collect();
+        assert_eq!(strided, vec![0, 31, 62, 93, 124, 155, 186, 217]);
+        // Double-ended: the back is the last point.
+        assert_eq!(space.iter().next_back().unwrap().id, 242);
+        // Overshooting nth clamps: the iterator stays usable (and its
+        // size_hint must not underflow).
+        let mut it = space.iter();
+        assert!(it.nth(10_000).is_none());
+        assert_eq!(it.len(), 0);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn point_at_past_the_end_panics() {
+        DesignSpace::small().point_at(32);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::report::{CacheActivity, ValidationReport, WorkloadValidation, SCHEMA_VERSION};
 use crate::stats::{spearman, ErrorStats};
 use pmt_core::ModelConfig;
-use pmt_dse::{PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig};
+use pmt_dse::{LazyDesignSpace, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig};
 use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_sim::SimCache;
 use pmt_trace::SamplingConfig;
@@ -113,6 +113,35 @@ impl Validator {
     /// Validate over every point of `space` instead.
     pub fn space(mut self, space: &DesignSpace) -> Validator {
         self.points = space.enumerate();
+        self
+    }
+
+    /// Validate over every `stride`-th point of a *lazy* space — the
+    /// tractable slice of a space too large to enumerate. Points decode
+    /// on demand ([`LazyDesignSpace::point_at`]); only the subsample is
+    /// ever materialized (validation simulates each kept point, so the
+    /// kept set is small by construction).
+    ///
+    /// ```
+    /// use pmt_dse::ProductSpace;
+    /// use pmt_uarch::DesignSpace;
+    /// use pmt_validate::{ValidationConfig, Validator};
+    ///
+    /// // Every 12960th point of the 103,680-point demo space: 8 points.
+    /// let report = Validator::new(ValidationConfig::smoke())
+    ///     .sampled_space(&ProductSpace::frontier_demo(), 12_960)
+    ///     .workload_named("astar")
+    ///     .unwrap()
+    ///     .run();
+    /// assert_eq!(report.design_points, 8);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stride of zero.
+    pub fn sampled_space<S: LazyDesignSpace>(mut self, space: &S, stride: usize) -> Validator {
+        assert!(stride > 0, "stride must be positive");
+        self.points = space.iter_points().step_by(stride).collect();
         self
     }
 
@@ -266,5 +295,18 @@ mod tests {
     fn unknown_workload_is_an_error() {
         let err = Validator::new(ValidationConfig::smoke()).workload_named("nope");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn sampled_space_keeps_every_strided_point() {
+        let space = DesignSpace::small();
+        let report = Validator::new(ValidationConfig::smoke())
+            .sampled_space(&space, 11)
+            .workload_named("astar")
+            .unwrap()
+            .run();
+        // Points 0, 11, 22 of the 32-point grid.
+        assert_eq!(report.design_points, 3);
+        assert_eq!(report.cache.misses, 3);
     }
 }

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Check that Markdown links in the given files resolve.
+
+Verifies every inline link target:
+  * relative file links (``[x](../README.md)``, ``[x](figures/a.svg)``)
+    must exist on disk relative to the linking file,
+  * fragment links (``[x](#section)`` or ``file.md#section``) must match
+    a heading anchor in the target file,
+  * absolute URLs are skipped (this repo builds offline).
+
+Usage: scripts/check_doc_links.py FILE.md [FILE.md ...]
+Exits non-zero listing every broken link. CI runs it over
+docs/ARCHITECTURE.md and README.md so the architecture guide can never
+silently rot.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+IMAGE = re.compile(r"!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def anchors(md_text: str) -> set[str]:
+    """GitHub-style anchors for every heading in the document."""
+    out = set()
+    for heading in HEADING.findall(md_text):
+        text = re.sub(r"[`*_]", "", heading).strip().lower()
+        text = re.sub(r"[^\w\- ]", "", text)
+        out.add(text.replace(" ", "-"))
+    return out
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    targets = LINK.findall(text) + IMAGE.findall(text)
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment.lower() not in anchors(dest.read_text(encoding="utf-8")):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for name in sys.argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"all links resolve in {len(sys.argv) - 1} file(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

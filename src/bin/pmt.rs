@@ -11,7 +11,10 @@
 //! $ pmt validate --workloads astar,mcf --smoke
 //! ```
 
-use pmt::dse::{ParetoFront, SpaceEvaluation, SweepConfig};
+use pmt::dse::{
+    DesignConstraints, LazyDesignSpace, Objective, ParetoFront, ProductSpace, SpaceEvaluation,
+    StreamingSweep, SweepConfig,
+};
 use pmt::model::{MulticoreModel, SmtModel};
 use pmt::prelude::*;
 use pmt::profiler::ApplicationProfile;
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
+        "explore" => cmd_explore(&args[1..]),
         "validate" => cmd_validate(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "corun" => cmd_corun(&args[1..]),
@@ -59,6 +63,15 @@ USAGE:
   pmt simulate <workload> [--instructions N] [--machine M]
                                                  cycle-level ground truth
   pmt sweep --profile FILE                       243-point Pareto sweep
+  pmt explore --profile FILE [--space thesis|validation|small|big]
+              [--top K] [--objective seconds|cpi|power|energy|edp|ed2p]
+              [--max-power W] [--max-seconds S] [--max-width N]
+              [--max-rob N] [--max-l3-kb N] [--serial] [--out FILE]
+                                                 streaming sweep of a large
+                                                 (lazy) design space: online
+                                                 Pareto frontier + top-K in
+                                                 bounded memory (`big` is the
+                                                 103,680-point demo space)
   pmt validate [--workloads a,b|all] [--space full|validation|small]
                [--instructions N] [--sim-instructions N] [--out FILE]
                [--cache FILE] [--max-mean-cpi-error F] [--smoke]
@@ -225,6 +238,150 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "{:>26} {:>9.3} {:>9.2}",
             points[i].machine.name, o.model_cpi, o.model_power
         );
+    }
+    Ok(())
+}
+
+/// `pmt explore`: stream a (possibly huge) design space through the
+/// online accumulators — Pareto frontier, top-K, moments — in bounded
+/// memory. The model-only, scale-out counterpart of `pmt sweep`.
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    let profile = load_profile(args)?;
+    let space_name = flag(args, "--space").unwrap_or_else(|| "big".into());
+    let space: Box<dyn LazyDesignSpace> = match space_name.as_str() {
+        "thesis" | "full" => Box::new(DesignSpace::thesis_table_6_3()),
+        "validation" => Box::new(DesignSpace::validation_subspace()),
+        "small" => Box::new(DesignSpace::small()),
+        "big" | "demo" => Box::new(ProductSpace::frontier_demo()),
+        other => {
+            return Err(format!(
+                "unknown space `{other}` (thesis|validation|small|big)"
+            ))
+        }
+    };
+
+    let top_k = match flag(args, "--top") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid --top `{raw}` (want a count)"))?,
+        None => 10,
+    };
+    let objective_name = flag(args, "--objective").unwrap_or_else(|| "seconds".into());
+    let objective = Objective::from_name(&objective_name)
+        .ok_or_else(|| format!("unknown objective `{objective_name}`"))?;
+
+    let mut sweep = StreamingSweep::new(&profile)
+        .top_k(top_k)
+        .objective(objective);
+    let bound = |name: &str| -> Result<Option<f64>, String> {
+        match flag(args, name) {
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid {name} `{raw}` (want a number)")),
+            None => Ok(None),
+        }
+    };
+    let mut constraints = DesignConstraints::new();
+    if let Some(w) = bound("--max-width")? {
+        constraints = constraints.max_dispatch_width(w as u32);
+    }
+    if let Some(r) = bound("--max-rob")? {
+        constraints = constraints.max_rob(r as u32);
+    }
+    if let Some(kb) = bound("--max-l3-kb")? {
+        constraints = constraints.max_l3_kb(kb as u32);
+    }
+    if !constraints.is_unconstrained() {
+        sweep = sweep.constraints(constraints);
+    }
+    if let Some(w) = bound("--max-power")? {
+        sweep = sweep.max_power_w(w);
+    }
+    if let Some(s) = bound("--max-seconds")? {
+        sweep = sweep.max_seconds(s);
+    }
+    if args.iter().any(|a| a == "--serial") {
+        sweep = sweep.serial();
+    }
+
+    eprintln!(
+        "streaming {} design points for {}...",
+        space.len(),
+        profile.name
+    );
+    let summary = sweep.run(space.as_ref());
+
+    println!("workload    : {}", profile.name);
+    println!(
+        "space       : {space_name} ({} points)",
+        summary.space_points
+    );
+    println!(
+        "evaluated   : {}  (pre-filtered {}, over budget {})",
+        summary.evaluated, summary.rejected, summary.over_budget
+    );
+    let stat = |name: &str, m: &pmt::model::Moments| {
+        println!(
+            "{name:<12}: mean {:.3}  min {:.3}  max {:.3}",
+            m.mean(),
+            m.min,
+            m.max
+        );
+    };
+    stat("CPI", &summary.cpi);
+    stat("power (W)", &summary.power);
+    stat("time (ms)", &{
+        let mut ms = summary.seconds;
+        ms.sum *= 1e3;
+        ms.min *= 1e3;
+        ms.max *= 1e3;
+        ms
+    });
+
+    println!(
+        "frontier    : {} non-dominated designs",
+        summary.frontier.len()
+    );
+    const SHOWN: usize = 20;
+    println!(
+        "{:>8} {:>34} {:>10} {:>9} {:>9}",
+        "id", "design", "ms", "watts", "CPI"
+    );
+    for e in summary.frontier.iter().take(SHOWN) {
+        let machine = space.point_at(e.id).machine;
+        println!(
+            "{:>8} {:>34} {:>10.3} {:>9.2} {:>9.3}",
+            e.id,
+            machine.name,
+            e.item.seconds * 1e3,
+            e.item.power,
+            e.item.cpi
+        );
+    }
+    if summary.frontier.len() > SHOWN {
+        println!(
+            "  ... {} more (write --out FILE for all)",
+            summary.frontier.len() - SHOWN
+        );
+    }
+
+    println!("top {} by {}:", summary.top.len(), objective.label());
+    for e in &summary.top {
+        let machine = space.point_at(e.id).machine;
+        println!(
+            "{:>8} {:>34}  {} = {:.4}",
+            e.id,
+            machine.name,
+            objective.label(),
+            e.key
+        );
+    }
+
+    if let Some(path) = flag(args, "--out") {
+        let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("streaming summary -> {path}");
     }
     Ok(())
 }

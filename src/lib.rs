@@ -18,7 +18,8 @@
 //! * [`model`] — the micro-architecture independent interval model (the
 //!   paper's contribution),
 //! * [`power`] — the McPAT-style power model,
-//! * [`dse`] — design-space exploration, Pareto pruning and DVFS,
+//! * [`dse`] — design-space exploration: materializing and streaming
+//!   sweeps, lazy spaces, Pareto pruning and DVFS,
 //! * [`validate`] — differential model-vs-simulator validation with
 //!   memoized reference runs and serializable accuracy reports,
 //! * [`report`] — deterministic figure rendering (typed figures to
@@ -49,6 +50,39 @@
 //! let front = ParetoFront::of(&batch.evaluations[0].model_points());
 //! assert!(!front.indices().is_empty());
 //! ```
+//!
+//! # Exploring large design spaces
+//!
+//! Spaces far beyond the thesis grid are declared lazily and **streamed**
+//! — points decode on demand, predictions fold into online accumulators
+//! (Pareto frontier, top-K, moments), and memory stays bounded by the
+//! answer rather than the space
+//! (see [`dse`] and `docs/ARCHITECTURE.md`):
+//!
+//! ```
+//! use pmt::prelude::*;
+//!
+//! let workload = WorkloadSpec::by_name("mcf").unwrap();
+//! let profile = Profiler::new(ProfilerConfig::fast_test())
+//!     .profile(&mut workload.trace(50_000));
+//!
+//! // Five axes in five lines; nothing materialized up front.
+//! let space = ProductSpace::new(MachineConfig::nehalem())
+//!     .dispatch_widths(&[2, 4, 6, 8])
+//!     .rob_sizes(&[64, 128, 256, 512])
+//!     .l3_kb(&[2048, 8192])
+//!     .mshr_entries(&[8, 16, 32])
+//!     .frequency_ghz(&[2.0, 2.66, 3.2]);
+//! assert_eq!(space.len(), 288);
+//!
+//! let summary = StreamingSweep::new(&profile)
+//!     .objective(Objective::Energy)
+//!     .top_k(5)
+//!     .run(&space);
+//! assert_eq!(summary.evaluated, 288);
+//! assert!(!summary.frontier.is_empty()); // non-dominated designs only
+//! assert_eq!(summary.top.len(), 5); // 5 lowest-energy designs
+//! ```
 
 pub use pmt_bench as bench;
 pub use pmt_branch as branch;
@@ -68,9 +102,13 @@ pub use pmt_workloads as workloads;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use pmt_core::{
-        IntervalModel, ModelConfig, Prediction, PredictionSummary, PreparedProfile,
+        IntervalModel, ModelConfig, Moments, Prediction, PredictionSummary, PreparedProfile,
     };
-    pub use pmt_dse::{BatchEvaluation, ParetoFront, SpaceEvaluation, SweepBuilder, SweepConfig};
+    pub use pmt_dse::{
+        BatchEvaluation, DesignConstraints, LazyDesignSpace, Objective, ParetoAccumulator,
+        ParetoFront, ProductSpace, SpaceEvaluation, StreamingSummary, StreamingSweep, SweepBuilder,
+        SweepConfig, TopK,
+    };
     pub use pmt_power::{PowerBreakdown, PowerModel};
     pub use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
     pub use pmt_report::{Figure, FigureKind, Report};

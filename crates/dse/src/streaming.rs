@@ -305,7 +305,7 @@ impl<T> TopK<T> {
 
 /// The bounded result of a [`StreamingSweep`]: frontier, top-K and
 /// moments — never the per-point outcomes.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StreamingSummary {
     /// Size of the swept space (admitted + rejected).
     pub space_points: usize,
@@ -476,6 +476,18 @@ impl<'a> StreamingSweep<'a> {
     /// the accumulators, and return the bounded summary.
     pub fn run<S: LazyDesignSpace + ?Sized>(&self, space: &S) -> StreamingSummary {
         let prepared = PreparedProfile::new(self.profile);
+        self.run_prepared(&prepared, space)
+    }
+
+    /// [`run`](Self::run) with an already-prepared profile — the hot path
+    /// for callers (like a long-running service) that hold a
+    /// [`PreparedProfile`] across many sweeps. `prepared` must derive
+    /// from the same profile this sweep was built over.
+    pub fn run_prepared<S: LazyDesignSpace + ?Sized>(
+        &self,
+        prepared: &PreparedProfile<'_>,
+        space: &S,
+    ) -> StreamingSummary {
         let n = space.len();
         let starts: Vec<usize> = (0..n).step_by(self.chunk).collect();
         let fold_chunk = |&start: &usize| {
@@ -489,7 +501,7 @@ impl<'a> StreamingSweep<'a> {
                         continue;
                     }
                 }
-                let p = evaluate_stream_point(&point, &prepared, &self.model);
+                let p = evaluate_stream_point(&point, prepared, &self.model);
                 acc.evaluated += 1;
                 acc.cpi.push(p.cpi);
                 acc.power.push(p.power);

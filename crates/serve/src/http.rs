@@ -1,0 +1,278 @@
+//! A minimal HTTP/1.1 layer over `std::net`: exactly the subset the
+//! service needs (JSON in, JSON out, one request per connection,
+//! `Connection: close`), hand-rolled because the build environment is
+//! offline and the protocol surface is tiny.
+
+use pmt_api::{ApiError, ErrorBody};
+use std::io::{Read, Write};
+
+/// Largest accepted header block.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, target path, lower-cased headers, raw body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// HTTP method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path only; any query string is kept verbatim).
+    pub target: String,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or a structured 400.
+    pub fn body_utf8(&self) -> Result<&str, ApiError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ApiError::bad_request("bad_body", "request body is not valid UTF-8"))
+    }
+}
+
+/// Read one request off the stream. `max_body` bounds the accepted
+/// `Content-Length`; bodies beyond it are refused with 413 before any
+/// byte of them is read.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, ApiError> {
+    // Read byte-wise until the blank line; requests are small (bodies are
+    // bounded and read in one gulp below).
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEADER_BYTES {
+            return Err(ApiError::too_large(
+                "headers_too_large",
+                format!("request headers exceed {MAX_HEADER_BYTES} bytes"),
+            ));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(ApiError::bad_request(
+                    "truncated_request",
+                    "connection closed before the request headers ended",
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => {
+                return Err(ApiError::bad_request(
+                    "read_error",
+                    format!("reading request: {e}"),
+                ))
+            }
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| ApiError::bad_request("bad_request_line", "headers are not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => {
+            return Err(ApiError::bad_request(
+                "bad_request_line",
+                format!("malformed request line `{request_line}`"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ApiError::bad_request(
+            "bad_http_version",
+            format!("unsupported protocol `{version}`"),
+        ));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ApiError::bad_request(
+                "bad_header",
+                format!("malformed header line `{line}`"),
+            ));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v.parse::<usize>().map_err(|_| {
+            ApiError::bad_request("bad_header", format!("unparsable Content-Length `{v}`"))
+        })?,
+    };
+    if content_length > max_body {
+        return Err(ApiError::too_large(
+            "body_too_large",
+            format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| {
+        ApiError::bad_request("truncated_request", format!("reading request body: {e}"))
+    })?;
+    Ok(Request { body, ..request })
+}
+
+/// A response ready to write: status, JSON body, optional `Retry-After`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// `Retry-After` seconds (429 responses).
+    pub retry_after_s: Option<u32>,
+}
+
+impl Response {
+    /// A 200 carrying `body`.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            body,
+            retry_after_s: None,
+        }
+    }
+
+    /// The response form of an [`ApiError`] (its [`ErrorBody`] as JSON,
+    /// plus `Retry-After` when the body carries one).
+    pub fn error(err: &ApiError) -> Response {
+        Response {
+            status: err.status,
+            body: err.body_json(),
+            retry_after_s: err.body.retry_after_s,
+        }
+    }
+
+    /// Whether this response is an error (and its body an [`ErrorBody`]).
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+
+    /// Serialize onto the wire. Always `Connection: close`: one request
+    /// per connection keeps the protocol state machine trivial.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        if let Some(s) = self.retry_after_s {
+            out.push_str(&format!("retry-after: {s}\r\n"));
+        }
+        out.push_str("connection: close\r\n\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the statuses the service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Parse an error body back out of a response (client-side helper for
+/// tests and the smoke script's Rust twin).
+pub fn parse_error_body(body: &str) -> Option<ErrorBody> {
+    serde_json::from_str(body).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body_and_case_insensitive_headers() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let req = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/predict");
+        assert_eq!(req.header("CONTENT-length"), Some("4"));
+        assert_eq!(req.body_utf8().unwrap(), "{\"a\"");
+    }
+
+    #[test]
+    fn get_without_content_length_has_an_empty_body() {
+        let raw = b"GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_truncated_and_malformed_requests_are_structured_errors() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10000\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert_eq!(err.body.code, "body_too_large");
+
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nab";
+        let err = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap_err();
+        assert_eq!(err.body.code, "truncated_request");
+
+        let raw = b"nonsense\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap_err();
+        assert_eq!(err.body.code, "bad_request_line");
+
+        let raw = b"GET /x SPDY/9\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap_err();
+        assert_eq!(err.body.code, "bad_http_version");
+
+        let raw = b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.to_vec()), 1024).unwrap_err();
+        assert_eq!(err.body.code, "bad_header");
+    }
+
+    #[test]
+    fn responses_carry_status_length_and_retry_after() {
+        let mut out = Vec::new();
+        Response::json("{\"ok\":true}".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        assert!(!text.contains("retry-after"));
+
+        let mut out = Vec::new();
+        let busy = ApiError::busy("at capacity", 2);
+        let resp = Response::error(&busy);
+        assert!(resp.is_error());
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = parse_error_body(body).unwrap();
+        assert_eq!(parsed.code, "busy");
+        assert_eq!(parsed.retry_after_s, Some(2));
+    }
+}

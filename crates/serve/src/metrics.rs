@@ -1,0 +1,116 @@
+//! Service counters: lock-free atomics, snapshotted into a
+//! [`MetricsResponse`] on `GET /metrics`.
+
+use pmt_api::{MetricsResponse, WIRE_SCHEMA_VERSION};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters since daemon start. All counters are relaxed —
+/// they are monotone telemetry, not synchronization; the coalescing and
+/// backpressure decisions use their own synchronized state.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total HTTP requests handled.
+    pub requests: AtomicU64,
+    /// `POST /v1/predict` requests handled.
+    pub predict_requests: AtomicU64,
+    /// `POST /v1/explore` requests handled.
+    pub explore_requests: AtomicU64,
+    /// Requests answered with any error status.
+    pub errors: AtomicU64,
+    /// Requests rejected with 429.
+    pub rejected_busy: AtomicU64,
+    /// Explore requests that joined an identical in-flight computation.
+    pub coalesced_requests: AtomicU64,
+    /// Requests answered from the response cache.
+    pub response_cache_hits: AtomicU64,
+    /// Responses currently held by the cache.
+    pub response_cache_entries: AtomicU64,
+    /// Design points actually predicted.
+    pub points_predicted: AtomicU64,
+    /// Nanoseconds spent inside sweep/predict computation.
+    pub predict_nanos: AtomicU64,
+    /// Sweeps executing right now.
+    pub inflight_sweeps: AtomicU64,
+    /// Connections accepted but not yet picked up by a worker.
+    pub queue_depth: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed counter set.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot into the wire type. `profiles`, `max_inflight_sweeps`
+    /// and `worker_threads` are configuration the counters don't know.
+    pub fn snapshot(
+        &self,
+        profiles: usize,
+        max_inflight_sweeps: u64,
+        worker_threads: u64,
+    ) -> MetricsResponse {
+        let points = self.points_predicted.load(Ordering::Relaxed);
+        let secs = self.predict_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        MetricsResponse {
+            schema_version: WIRE_SCHEMA_VERSION,
+            profiles,
+            requests: self.requests.load(Ordering::Relaxed),
+            predict_requests: self.predict_requests.load(Ordering::Relaxed),
+            explore_requests: self.explore_requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            response_cache_hits: self.response_cache_hits.load(Ordering::Relaxed),
+            response_cache_entries: self.response_cache_entries.load(Ordering::Relaxed),
+            points_predicted: points,
+            predict_seconds: secs,
+            points_per_s: if secs > 0.0 {
+                points as f64 / secs
+            } else {
+                0.0
+            },
+            inflight_sweeps: self.inflight_sweeps.load(Ordering::Relaxed),
+            max_inflight_sweeps,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            worker_threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_counters_and_derived_rate() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.requests);
+        Metrics::add(&m.points_predicted, 1000);
+        Metrics::add(&m.predict_nanos, 500_000_000); // 0.5 s
+        let snap = m.snapshot(3, 2, 4);
+        assert_eq!(snap.schema_version, WIRE_SCHEMA_VERSION);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.profiles, 3);
+        assert_eq!(snap.max_inflight_sweeps, 2);
+        assert_eq!(snap.worker_threads, 4);
+        assert!((snap.points_per_s - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_means_zero_rate_not_nan() {
+        let snap = Metrics::new().snapshot(0, 1, 1);
+        assert_eq!(snap.points_per_s, 0.0);
+        assert_eq!(snap.predict_seconds, 0.0);
+    }
+}

@@ -1,0 +1,541 @@
+//! The daemon: accept loop, worker pool, routing, coalescing,
+//! backpressure.
+//!
+//! # Concurrency shape
+//!
+//! One acceptor thread pushes connections onto an mpsc channel; `threads`
+//! workers pull and serve them (one request per connection). Heavy work
+//! — an explore sweep — passes three gates, in order:
+//!
+//! 1. **Response cache**: a bounded FIFO of completed responses keyed by
+//!    (profile content, canonical request JSON). A warm repeat performs
+//!    zero new predictions.
+//! 2. **Coalescing**: concurrent identical requests share one
+//!    computation. The first becomes the *leader*; the rest block on the
+//!    flight's condvar and receive a clone of the leader's response.
+//! 3. **Backpressure**: leaders take an in-flight sweep slot
+//!    (compare-and-swap on an atomic); at capacity the request is
+//!    rejected with 429 + `Retry-After` rather than queued without
+//!    bound.
+//!
+//! So for N concurrent identical explore requests:
+//! `cache_hits + coalesced + computed + rejected_busy == N`, and the
+//! space is swept at most once — the invariant the serve-smoke CI job
+//! asserts via `/metrics`.
+
+use crate::engine;
+use crate::http::{read_request, Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use pmt_api::{
+    fnv1a, ApiError, ExploreRequest, HealthResponse, PredictRequest, ProfilesResponse,
+    RegisterProfileRequest, WIRE_SCHEMA_VERSION,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Daemon configuration. The defaults serve a workstation: a handful of
+/// workers, two concurrent sweeps, space sizes up to a few million
+/// points.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:7071`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub threads: usize,
+    /// Concurrent explore sweeps admitted before 429.
+    pub max_inflight_sweeps: usize,
+    /// Largest admitted design space (points); larger requests get 413.
+    pub max_space_points: usize,
+    /// `Retry-After` seconds on 429.
+    pub retry_after_s: u32,
+    /// Largest accepted request body (registered profiles dominate).
+    pub max_body_bytes: usize,
+    /// Completed responses kept for the warm-repeat fast path.
+    pub response_cache_entries: usize,
+    /// Most profiles the registry admits (bounds the deliberate leak).
+    pub max_profiles: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7071".to_string(),
+            threads: 4,
+            max_inflight_sweeps: 2,
+            max_space_points: 4_000_000,
+            retry_after_s: 2,
+            max_body_bytes: 64 * 1024 * 1024,
+            response_cache_entries: 64,
+            max_profiles: 64,
+        }
+    }
+}
+
+/// One in-flight explore computation that identical concurrent requests
+/// coalesce onto.
+struct Flight {
+    done: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, response: Response) {
+        *self.done.lock().expect("flight lock") = Some(response);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut done = self.done.lock().expect("flight lock");
+        loop {
+            if let Some(r) = done.as_ref() {
+                return r.clone();
+            }
+            done = self.cv.wait(done).expect("flight lock");
+        }
+    }
+}
+
+/// Bounded FIFO of completed responses.
+struct ResponseCache {
+    capacity: usize,
+    order: VecDeque<u64>,
+    by_key: HashMap<u64, Response>,
+}
+
+impl ResponseCache {
+    fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            order: VecDeque::new(),
+            by_key: HashMap::new(),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Response> {
+        self.by_key.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: u64, response: Response) {
+        if self.capacity == 0 || self.by_key.contains_key(&key) {
+            return;
+        }
+        if self.order.len() >= self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.by_key.remove(&evicted);
+            }
+        }
+        self.order.push_back(key);
+        self.by_key.insert(key, response);
+    }
+
+    fn len(&self) -> usize {
+        self.by_key.len()
+    }
+}
+
+/// State shared by every worker.
+struct Shared {
+    config: ServeConfig,
+    registry: Arc<Registry>,
+    metrics: Metrics,
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    cache: Mutex<ResponseCache>,
+}
+
+/// A running daemon. Dropping it stops and joins the threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn start(config: ServeConfig, registry: Arc<Registry>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ResponseCache::new(config.response_cache_entries)),
+            config,
+            registry,
+            metrics: Metrics::new(),
+            flights: Mutex::new(HashMap::new()),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut handles = Vec::new();
+        for _ in 0..shared.config.threads.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        Metrics::bump(&shared.metrics.queue_depth);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+                // Dropping `tx` here shuts the workers down.
+            }));
+        }
+        Ok(Server {
+            addr,
+            shared,
+            stop,
+            handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters (for in-process callers; HTTP clients use `/metrics`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Ask the daemon to stop and join every thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Block until the daemon is stopped from another thread.
+    pub fn join(mut self) {
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Serve connections until the channel closes.
+fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    loop {
+        let stream = match rx.lock().expect("worker queue lock").recv() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        serve_connection(shared, stream);
+    }
+}
+
+/// One request, one response, close.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    Metrics::bump(&shared.metrics.requests);
+    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(request) => handle(shared, &request),
+        Err(e) => Response::error(&e),
+    };
+    if response.is_error() {
+        Metrics::bump(&shared.metrics.errors);
+    }
+    let _ = response.write_to(&mut stream);
+}
+
+/// Route one parsed request.
+fn handle(shared: &Shared, request: &Request) -> Response {
+    let method = request.method.as_str();
+    let target = request.target.split('?').next().unwrap_or("");
+    match (method, target) {
+        ("GET", "/healthz") => json_200(&HealthResponse {
+            schema_version: WIRE_SCHEMA_VERSION,
+            status: "ok".to_string(),
+            profiles: shared.registry.len(),
+        }),
+        ("GET", "/metrics") => {
+            let snap = shared.metrics.snapshot(
+                shared.registry.len(),
+                shared.config.max_inflight_sweeps as u64,
+                shared.config.threads as u64,
+            );
+            json_200(&snap)
+        }
+        ("GET", "/v1/profiles") => json_200(&ProfilesResponse {
+            schema_version: WIRE_SCHEMA_VERSION,
+            profiles: shared.registry.list(),
+        }),
+        ("POST", "/v1/profiles") => or_error(handle_register(shared, request)),
+        ("POST", "/v1/predict") => {
+            Metrics::bump(&shared.metrics.predict_requests);
+            or_error(handle_predict(shared, request))
+        }
+        ("POST", "/v1/explore") => {
+            Metrics::bump(&shared.metrics.explore_requests);
+            or_error(handle_explore(shared, request))
+        }
+        (_, "/healthz" | "/metrics" | "/v1/profiles" | "/v1/predict" | "/v1/explore") => {
+            Response::error(&ApiError::new(
+                405,
+                "method_not_allowed",
+                format!("{method} is not supported on {target}"),
+            ))
+        }
+        _ => Response::error(&ApiError::not_found(
+            "unknown_endpoint",
+            format!("no endpoint at {target}"),
+        )),
+    }
+}
+
+fn json_200<T: serde::Serialize>(value: &T) -> Response {
+    Response::json(serde_json::to_string(value).expect("wire types serialize"))
+}
+
+fn or_error(result: Result<Response, ApiError>) -> Response {
+    result.unwrap_or_else(|e| Response::error(&e))
+}
+
+fn parse_body<T: serde::Deserialize>(request: &Request) -> Result<T, ApiError> {
+    let body = request.body_utf8()?;
+    serde_json::from_str(body)
+        .map_err(|e| ApiError::bad_request("bad_json", format!("parsing request body: {e}")))
+}
+
+fn handle_register(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    let req: RegisterProfileRequest = parse_body(request)?;
+    req.check_version()?;
+    let response = shared.registry.register(req.profile)?;
+    Ok(json_200(&response))
+}
+
+fn handle_predict(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    let req: PredictRequest = parse_body(request)?;
+    req.check_version()?;
+    let profile = shared.registry.get(&req.profile)?;
+    let key = request_key(profile.content_hash, &req);
+    if let Some(hit) = shared.cache.lock().expect("cache lock").get(key) {
+        Metrics::bump(&shared.metrics.response_cache_hits);
+        return Ok(hit);
+    }
+    let started = Instant::now();
+    let response = json_200(&engine::predict_response(&profile.prepared, &req)?);
+    Metrics::add(&shared.metrics.points_predicted, 1);
+    Metrics::add(
+        &shared.metrics.predict_nanos,
+        started.elapsed().as_nanos() as u64,
+    );
+    cache_insert(shared, key, &response);
+    Ok(response)
+}
+
+fn handle_explore(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    let req: ExploreRequest = parse_body(request)?;
+    req.check_version()?;
+    let profile = shared.registry.get(&req.profile)?;
+    let key = request_key(profile.content_hash, &req);
+
+    // Gate 1: the response cache.
+    if let Some(hit) = shared.cache.lock().expect("cache lock").get(key) {
+        Metrics::bump(&shared.metrics.response_cache_hits);
+        return Ok(hit);
+    }
+
+    // Gate 2: coalesce onto an identical in-flight computation.
+    let (flight, leader) = {
+        let mut flights = shared.flights.lock().expect("flights lock");
+        match flights.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(Flight::new());
+                flights.insert(key, Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+    if !leader {
+        Metrics::bump(&shared.metrics.coalesced_requests);
+        return Ok(flight.wait());
+    }
+
+    // Leader: compute (or reject), publish to followers, uncache the
+    // flight.
+    let response = leader_compute(shared, &req, &profile.prepared, key);
+    flight.complete(response.clone());
+    shared.flights.lock().expect("flights lock").remove(&key);
+    Ok(response)
+}
+
+/// The leader's path: backpressure gate, space-size cap, sweep.
+fn leader_compute(
+    shared: &Shared,
+    req: &ExploreRequest,
+    prepared: &pmt_core::PreparedProfile<'static>,
+    key: u64,
+) -> Response {
+    // Gate 3: an in-flight sweep slot, or 429.
+    if !acquire_sweep_slot(shared) {
+        Metrics::bump(&shared.metrics.rejected_busy);
+        return Response::error(&ApiError::busy(
+            format!(
+                "{} sweeps already in flight; retry shortly",
+                shared.config.max_inflight_sweeps
+            ),
+            shared.config.retry_after_s,
+        ));
+    }
+    let response = match sized_ok(shared, req) {
+        Err(e) => Response::error(&e),
+        Ok(()) => {
+            let started = Instant::now();
+            let result = engine::explore_response(prepared, req);
+            match result {
+                Ok(resp) => {
+                    Metrics::add(
+                        &shared.metrics.points_predicted,
+                        resp.summary.evaluated as u64,
+                    );
+                    Metrics::add(
+                        &shared.metrics.predict_nanos,
+                        started.elapsed().as_nanos() as u64,
+                    );
+                    json_200(&resp)
+                }
+                Err(e) => Response::error(&e),
+            }
+        }
+    };
+    shared
+        .metrics
+        .inflight_sweeps
+        .fetch_sub(1, Ordering::AcqRel);
+    if !response.is_error() {
+        cache_insert(shared, key, &response);
+    }
+    response
+}
+
+/// Refuse spaces past the configured point cap (413) before sweeping.
+fn sized_ok(shared: &Shared, req: &ExploreRequest) -> Result<(), ApiError> {
+    let space = req.space.resolve()?;
+    let len = space.len();
+    if len > shared.config.max_space_points {
+        return Err(ApiError::too_large(
+            "space_too_large",
+            format!(
+                "space has {len} points; this server admits at most {}",
+                shared.config.max_space_points
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Take an in-flight sweep slot if one is free (CAS loop).
+fn acquire_sweep_slot(shared: &Shared) -> bool {
+    let max = shared.config.max_inflight_sweeps as u64;
+    let counter = &shared.metrics.inflight_sweeps;
+    let mut current = counter.load(Ordering::Relaxed);
+    loop {
+        if current >= max {
+            return false;
+        }
+        match counter.compare_exchange(current, current + 1, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// The cache/coalescing key: profile content plus the canonical
+/// re-serialization of the request (so client-side formatting or field
+/// order differences cannot split the key).
+fn request_key<T: serde::Serialize>(content_hash: u64, req: &T) -> u64 {
+    let mut canonical = String::new();
+    serde::Serialize::to_json(req, &mut canonical);
+    fnv1a(&[&format!("{content_hash:016x}"), &canonical])
+}
+
+fn cache_insert(shared: &Shared, key: u64, response: &Response) {
+    let mut cache = shared.cache.lock().expect("cache lock");
+    cache.insert(key, response.clone());
+    shared
+        .metrics
+        .response_cache_entries
+        .store(cache.len() as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_cache_is_bounded_fifo() {
+        let mut cache = ResponseCache::new(2);
+        cache.insert(1, Response::json("a".into()));
+        cache.insert(2, Response::json("b".into()));
+        cache.insert(3, Response::json("c".into()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest evicted");
+        assert_eq!(cache.get(2).unwrap().body, "b");
+        assert_eq!(cache.get(3).unwrap().body, "c");
+        // Zero capacity caches nothing.
+        let mut none = ResponseCache::new(0);
+        none.insert(1, Response::json("a".into()));
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn flight_delivers_to_waiters() {
+        let flight = Arc::new(Flight::new());
+        let f2 = Arc::clone(&flight);
+        let waiter = std::thread::spawn(move || f2.wait());
+        flight.complete(Response::json("done".into()));
+        assert_eq!(waiter.join().unwrap().body, "done");
+        // Late waiters get the completed response immediately.
+        assert_eq!(flight.wait().body, "done");
+    }
+
+    #[test]
+    fn request_key_separates_profiles_and_requests() {
+        use pmt_api::{MachineSpec, PredictRequest};
+        let a = PredictRequest::new("astar", MachineSpec::named("nehalem"));
+        let b = PredictRequest::new("astar", MachineSpec::named("low-power"));
+        assert_ne!(request_key(1, &a), request_key(1, &b));
+        assert_ne!(request_key(1, &a), request_key(2, &a));
+        assert_eq!(request_key(1, &a), request_key(1, &a.clone()));
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end daemon tests over real sockets: an in-process [`Server`]
+//! on an OS-assigned port, exercised by a minimal raw-`TcpStream` HTTP
+//! client (one request per connection, exactly like the wire contract).
+//!
+//! The load-bearing assertions mirror CI's serve-smoke job:
+//!
+//! * a served `/v1/explore` body is **byte-identical** to the engine's
+//!   (and therefore to `pmt explore --out`),
+//! * a warm repeat of the same request does **zero** new predictions,
+//! * N concurrent identical requests partition exactly into
+//!   `cache hits + coalesced followers + leaders + busy rejections`,
+//! * backpressure is a structured 429 carrying `Retry-After`.
+
+use pmt_api::{
+    ExploreRequest, MachineSpec, PredictRequest, RegisterProfileRequest, SpaceSpec,
+    WIRE_SCHEMA_VERSION,
+};
+use pmt_core::PreparedProfile;
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_serve::{engine, Registry, ServeConfig, Server};
+use pmt_workloads::WorkloadSpec;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn profile(name: &str) -> ApplicationProfile {
+    let spec = WorkloadSpec::by_name(name).unwrap();
+    Profiler::new(ProfilerConfig::fast_test()).profile_named(name, &mut spec.trace(20_000))
+}
+
+/// Start a daemon on a free port with `astar` pre-registered.
+fn serve(config: ServeConfig) -> Server {
+    let registry = Arc::new(Registry::new(8));
+    registry.register(profile("astar")).unwrap();
+    let mut config = config;
+    config.addr = "127.0.0.1:0".to_string();
+    Server::start(config, registry).unwrap()
+}
+
+/// One HTTP exchange: status, lower-cased headers, body.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').unwrap();
+            (k.trim().to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    exchange(addr, "GET", path, None)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    exchange(addr, "POST", path, Some(body))
+}
+
+fn explore_request() -> ExploreRequest {
+    let mut req = ExploreRequest::new("astar", SpaceSpec::named("small"));
+    req.top_k = 3;
+    req.objective = "energy".to_string();
+    req
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let m: pmt_api::MetricsResponse = serde_json::from_str(&get(addr, "/metrics").body).unwrap();
+    match name {
+        "points_predicted" => m.points_predicted,
+        "response_cache_hits" => m.response_cache_hits,
+        "coalesced_requests" => m.coalesced_requests,
+        "rejected_busy" => m.rejected_busy,
+        "explore_requests" => m.explore_requests,
+        other => panic!("unknown metric {other}"),
+    }
+}
+
+#[test]
+fn serves_health_profiles_predict_and_explore() {
+    let server = serve(ServeConfig::default());
+    let addr = server.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let h: pmt_api::HealthResponse = serde_json::from_str(&health.body).unwrap();
+    assert_eq!((h.status.as_str(), h.profiles), ("ok", 1));
+
+    let profiles = get(addr, "/v1/profiles");
+    let p: pmt_api::ProfilesResponse = serde_json::from_str(&profiles.body).unwrap();
+    assert_eq!(p.profiles[0].name, "astar");
+
+    // Register a second profile over the wire, then predict against it.
+    let req = RegisterProfileRequest::new(profile("mcf"));
+    let reply = post(addr, "/v1/profiles", &serde_json::to_string(&req).unwrap());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let ack: pmt_api::RegisterProfileResponse = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!((ack.name.as_str(), ack.replaced), ("mcf", false));
+
+    let req = PredictRequest::new("mcf", MachineSpec::named("low-power"));
+    let reply = post(addr, "/v1/predict", &serde_json::to_string(&req).unwrap());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let resp: pmt_api::PredictResponse = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(resp.machine, "low-power");
+    assert!(resp.cpi > 0.0);
+
+    server.stop();
+}
+
+#[test]
+fn served_explore_is_byte_identical_to_the_engine() {
+    let server = serve(ServeConfig::default());
+    let addr = server.addr();
+    let req = explore_request();
+
+    let reply = post(addr, "/v1/explore", &serde_json::to_string(&req).unwrap());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("content-type"), Some("application/json"));
+
+    // The same function the CLI's `pmt explore --out` writes through.
+    let p = profile("astar");
+    let prepared = PreparedProfile::new(&p);
+    let direct = engine::explore_response(&prepared, &req).unwrap();
+    assert_eq!(
+        reply.body,
+        serde_json::to_string(&direct).unwrap(),
+        "served bytes must equal the engine's"
+    );
+    server.stop();
+}
+
+#[test]
+fn warm_repeat_hits_the_cache_and_predicts_nothing() {
+    let server = serve(ServeConfig::default());
+    let addr = server.addr();
+    let body = serde_json::to_string(&explore_request()).unwrap();
+
+    let cold = post(addr, "/v1/explore", &body);
+    assert_eq!(cold.status, 200);
+    let after_cold = metric(addr, "points_predicted");
+    assert_eq!(after_cold, 32);
+
+    let warm = post(addr, "/v1/explore", &body);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, cold.body, "cache must replay identical bytes");
+    assert_eq!(
+        metric(addr, "points_predicted"),
+        after_cold,
+        "a warm repeat does zero new predictions"
+    );
+    assert_eq!(metric(addr, "response_cache_hits"), 1);
+    server.stop();
+}
+
+#[test]
+fn concurrent_identical_requests_partition_exactly() {
+    let server = serve(ServeConfig {
+        max_inflight_sweeps: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = serde_json::to_string(&explore_request()).unwrap();
+
+    const N: usize = 12;
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| scope.spawn(|| post(addr, "/v1/explore", &body)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut ok = 0;
+    let mut busy = 0;
+    for r in &replies {
+        match r.status {
+            200 => ok += 1,
+            429 => busy += 1,
+            other => panic!("unexpected status {other}: {}", r.body),
+        }
+    }
+    assert!(ok >= 1, "someone must have been served");
+
+    // Identical work never runs twice: exactly one leader predicted the
+    // 32-point space, everyone else was a cache hit, a coalesced
+    // follower, or a busy rejection.
+    assert_eq!(metric(addr, "points_predicted"), 32);
+    let leaders = 1;
+    assert_eq!(
+        metric(addr, "response_cache_hits")
+            + metric(addr, "coalesced_requests")
+            + metric(addr, "rejected_busy")
+            + leaders,
+        N as u64,
+        "every request is accounted for"
+    );
+    assert_eq!(metric(addr, "rejected_busy"), busy as u64);
+
+    // And every 200 carried the same bytes.
+    let first = replies.iter().find(|r| r.status == 200).unwrap();
+    for r in replies.iter().filter(|r| r.status == 200) {
+        assert_eq!(r.body, first.body);
+    }
+    server.stop();
+}
+
+#[test]
+fn backpressure_is_a_structured_429_with_retry_after() {
+    let server = serve(ServeConfig {
+        max_inflight_sweeps: 0, // no sweep may ever be admitted
+        retry_after_s: 7,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let reply = post(
+        addr,
+        "/v1/explore",
+        &serde_json::to_string(&explore_request()).unwrap(),
+    );
+    assert_eq!(reply.status, 429);
+    assert_eq!(reply.header("retry-after"), Some("7"));
+    let err: pmt_api::ErrorBody = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(err.code, "busy");
+    assert_eq!(err.retry_after_s, Some(7));
+    assert_eq!(metric(addr, "rejected_busy"), 1);
+    server.stop();
+}
+
+#[test]
+fn oversized_spaces_are_refused_with_413() {
+    let server = serve(ServeConfig {
+        max_space_points: 100,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let req = ExploreRequest::new("astar", SpaceSpec::named("big"));
+    let reply = post(addr, "/v1/explore", &serde_json::to_string(&req).unwrap());
+    assert_eq!(reply.status, 413);
+    let err: pmt_api::ErrorBody = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(err.code, "space_too_large");
+    assert!(err.message.contains("103680"), "{}", err.message);
+    server.stop();
+}
+
+#[test]
+fn errors_are_structured_and_versioned() {
+    let server = serve(ServeConfig::default());
+    let addr = server.addr();
+
+    let missing = get(addr, "/nope");
+    assert_eq!(missing.status, 404);
+    let err: pmt_api::ErrorBody = serde_json::from_str(&missing.body).unwrap();
+    assert_eq!(err.code, "unknown_endpoint");
+    assert_eq!(err.schema_version, WIRE_SCHEMA_VERSION);
+
+    let wrong_method = get(addr, "/v1/predict");
+    assert_eq!(wrong_method.status, 405);
+
+    let garbage = post(addr, "/v1/predict", "{not json");
+    assert_eq!(garbage.status, 400);
+
+    let unknown = PredictRequest::new("ghost", MachineSpec::named("nehalem"));
+    let reply = post(
+        addr,
+        "/v1/predict",
+        &serde_json::to_string(&unknown).unwrap(),
+    );
+    assert_eq!(reply.status, 404);
+    let err: pmt_api::ErrorBody = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(err.code, "unknown_profile");
+    assert!(err.message.contains("astar"), "lists what is registered");
+
+    let mut stale = PredictRequest::new("astar", MachineSpec::named("nehalem"));
+    stale.schema_version = 99;
+    let reply = post(addr, "/v1/predict", &serde_json::to_string(&stale).unwrap());
+    assert_eq!(reply.status, 400);
+    let err: pmt_api::ErrorBody = serde_json::from_str(&reply.body).unwrap();
+    assert_eq!(err.code, "bad_schema_version");
+
+    server.stop();
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Smoke-drive a running `pmt serve` daemon (CI's serve-smoke job).
+
+Asserts the service's three headline contracts, using only the public
+wire API and `/metrics`:
+
+1. **CLI/daemon byte-identity** — POSTing the request that
+   `pmt explore --emit-request` captured returns *exactly* the bytes
+   `pmt explore --out` wrote (``--expect``).
+2. **Warm-repeat caching** — repeating the identical request N ways
+   concurrently performs **zero** new predictions: every repeat is a
+   response-cache hit.
+3. **Coalescing** — N concurrent *cold* identical requests (a variant
+   the cache has never seen) are computed **once**: exactly one leader
+   predicts the space, everyone else is a coalesced follower, a cache
+   hit (if they arrived after completion), or a structured 429.
+   `cache_hits + coalesced + busy + 1 == N` must hold exactly.
+
+Usage:
+  serve_smoke.py --url http://127.0.0.1:7071 \
+      --request explore-request.json --expect cli-explore.json
+"""
+
+import argparse
+import concurrent.futures
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def http(url, body=None):
+    """One exchange → (status, bytes, headers)."""
+    req = urllib.request.Request(url, data=body, method="POST" if body else "GET")
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as e:
+        return e.code, e.read(), dict(e.headers)
+
+
+def metrics(base):
+    status, body, _ = http(base + "/metrics")
+    assert status == 200, f"/metrics: {status} {body!r}"
+    return json.loads(body)
+
+
+def wait_healthy(base, seconds=60):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        try:
+            status, body, _ = http(base + "/healthz")
+            if status == 200 and json.loads(body)["status"] == "ok":
+                return
+        except OSError:
+            pass
+        time.sleep(0.2)
+    sys.exit(f"daemon at {base} never became healthy")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--url", required=True, help="daemon base URL")
+    ap.add_argument("--request", required=True, help="ExploreRequest JSON (from --emit-request)")
+    ap.add_argument("--expect", required=True, help="ExploreResponse the CLI wrote (from --out)")
+    ap.add_argument("--concurrency", type=int, default=8)
+    args = ap.parse_args()
+    base = args.url.rstrip("/")
+    n = args.concurrency
+
+    wait_healthy(base)
+    with open(args.request, "rb") as f:
+        request = f.read()
+    with open(args.expect, "rb") as f:
+        expected = f.read()
+
+    # 1. Byte-identity with the CLI.
+    status, body, headers = http(base + "/v1/explore", request)
+    assert status == 200, f"explore: {status} {body!r}"
+    assert body == expected, (
+        "served ExploreResponse differs from the CLI's --out bytes "
+        f"(served {len(body)}B vs CLI {len(expected)}B)"
+    )
+    evaluated = json.loads(body)["summary"]["evaluated"]
+    print(f"byte-identity: served /v1/explore == CLI --out ({len(body)} bytes, "
+          f"{evaluated} points evaluated)")
+
+    # 2. Warm repeats predict nothing.
+    before = metrics(base)
+    with concurrent.futures.ThreadPoolExecutor(n) as pool:
+        replies = list(pool.map(lambda _: http(base + "/v1/explore", request), range(n)))
+    after = metrics(base)
+    for status, body, _ in replies:
+        assert status == 200, f"warm repeat: {status} {body!r}"
+        assert body == expected, "warm repeat returned different bytes"
+    new_points = after["points_predicted"] - before["points_predicted"]
+    new_hits = after["response_cache_hits"] - before["response_cache_hits"]
+    assert new_points == 0, f"warm repeats predicted {new_points} new points"
+    assert new_hits == n, f"expected {n} cache hits, saw {new_hits}"
+    print(f"warm cache: {n} concurrent repeats → 0 new predictions, {new_hits} cache hits")
+
+    # 3. Cold identical requests are computed exactly once.
+    variant = json.loads(request)
+    variant["objective"] = "edp" if variant.get("objective") != "edp" else "cpi"
+    cold = json.dumps(variant, separators=(",", ":")).encode()
+    before = metrics(base)
+    with concurrent.futures.ThreadPoolExecutor(n) as pool:
+        replies = list(pool.map(lambda _: http(base + "/v1/explore", cold), range(n)))
+    after = metrics(base)
+
+    ok = [r for r in replies if r[0] == 200]
+    busy = [r for r in replies if r[0] == 429]
+    assert len(ok) + len(busy) == n, f"unexpected statuses: {[r[0] for r in replies]}"
+    for status, _, headers in busy:
+        assert "Retry-After" in headers, "429 without a Retry-After header"
+    bodies = {body for _, body, _ in ok}
+    assert len(bodies) == 1, "coalesced requests returned differing bytes"
+
+    new_points = after["points_predicted"] - before["points_predicted"]
+    assert new_points == evaluated, (
+        f"identical concurrent requests were computed more than once "
+        f"({new_points} new points for a {evaluated}-point job)"
+    )
+    hits = after["response_cache_hits"] - before["response_cache_hits"]
+    coalesced = after["coalesced_requests"] - before["coalesced_requests"]
+    rejected = after["rejected_busy"] - before["rejected_busy"]
+    assert hits + coalesced + rejected + 1 == n, (
+        f"request accounting broke: {hits} hits + {coalesced} coalesced + "
+        f"{rejected} busy + 1 leader != {n}"
+    )
+    assert rejected == len(busy)
+    print(f"coalescing: {n} cold identical requests → 1 leader, "
+          f"{coalesced} coalesced, {hits} cache hits, {rejected} busy")
+
+    print("serve smoke OK:", json.dumps(after))
+
+
+if __name__ == "__main__":
+    main()

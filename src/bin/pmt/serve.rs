@@ -1,0 +1,124 @@
+//! `pmt serve` — run the prediction daemon.
+//!
+//! Profiles come from two places, both loaded before the socket opens:
+//! `--profile-file FILE` (repeatable; a profile written by
+//! `pmt profile --out`) and `--workloads a,b,c` (profiled in-process at
+//! `--instructions` scale). Each is registered under the profile's own
+//! name, prepared once, and shared read-only by every worker thread.
+//! Everything after that is HTTP: see `docs/API.md` for the endpoints.
+
+use crate::args::{CliError, Command, Flag};
+use crate::commands::api_err;
+use pmt::serve::{Registry, ServeConfig, Server};
+use std::sync::Arc;
+
+pub const SERVE: Command = Command {
+    name: "serve",
+    about: "serve predictions over HTTP (versioned wire API)",
+    positionals: "",
+    flags: &[
+        Flag::value(
+            "--addr",
+            "HOST:PORT",
+            "listen address (default 127.0.0.1:7071, port 0 = any)",
+        ),
+        Flag::value(
+            "--profile-file",
+            "FILE",
+            "register a profile JSON at startup (repeatable)",
+        ),
+        Flag::value(
+            "--workloads",
+            "A,B,C",
+            "profile + register these workloads at startup",
+        ),
+        Flag::value(
+            "--instructions",
+            "N",
+            "instructions per --workloads profile (default 1000000)",
+        ),
+        Flag::value("--threads", "N", "worker threads (default 4)"),
+        Flag::value(
+            "--max-inflight",
+            "N",
+            "concurrent explore sweeps before 429 (default 2)",
+        ),
+        Flag::value(
+            "--max-points",
+            "N",
+            "largest admitted space, in points (default 4000000)",
+        ),
+        Flag::value(
+            "--retry-after",
+            "S",
+            "Retry-After seconds on 429 (default 2)",
+        ),
+        Flag::value(
+            "--cache-entries",
+            "N",
+            "response cache capacity (default 64)",
+        ),
+        Flag::value("--max-profiles", "N", "registry capacity (default 64)"),
+    ],
+};
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = match SERVE.parse(args)? {
+        Some(parsed) => parsed,
+        None => return Ok(()),
+    };
+
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: parsed.value("--addr").unwrap_or(&defaults.addr).to_string(),
+        threads: parsed.parsed_or("--threads", "a thread count", defaults.threads)?,
+        max_inflight_sweeps: parsed.parsed_or(
+            "--max-inflight",
+            "a sweep count",
+            defaults.max_inflight_sweeps,
+        )?,
+        max_space_points: parsed.parsed_or(
+            "--max-points",
+            "a point count",
+            defaults.max_space_points,
+        )?,
+        retry_after_s: parsed.parsed_or("--retry-after", "seconds", defaults.retry_after_s)?,
+        response_cache_entries: parsed.parsed_or(
+            "--cache-entries",
+            "an entry count",
+            defaults.response_cache_entries,
+        )?,
+        max_profiles: parsed.parsed_or(
+            "--max-profiles",
+            "a profile count",
+            defaults.max_profiles,
+        )?,
+        ..defaults
+    };
+
+    let registry = Arc::new(Registry::new(config.max_profiles));
+    for path in parsed.values("--profile-file") {
+        let profile = crate::read_profile(path)?;
+        let ack = registry.register(profile).map_err(api_err)?;
+        eprintln!(
+            "registered `{}` from {path} ({} instructions, {} micro-traces)",
+            ack.name, ack.total_instructions, ack.micro_traces
+        );
+    }
+    if let Some(list) = parsed.value("--workloads") {
+        let n = parsed.parsed_or("--instructions", "an instruction count", 1_000_000)?;
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let profile = crate::profile_workload(name, n)?;
+            let ack = registry.register(profile).map_err(api_err)?;
+            eprintln!("registered `{}` ({n} instructions profiled)", ack.name);
+        }
+    }
+
+    let server = Server::start(config, registry)
+        .map_err(|e| CliError::Runtime(format!("starting server: {e}")))?;
+    // The smoke script scrapes this line for the picked port.
+    println!("pmt serve listening on http://{}", server.addr());
+    eprintln!("endpoints: /healthz /metrics /v1/profiles /v1/predict /v1/explore");
+    server.join();
+    Ok(())
+}

@@ -25,7 +25,12 @@
 //! * [`report`] — deterministic figure rendering (typed figures to
 //!   text, Markdown and hand-rolled SVG) behind `docs/REPRODUCTION.md`,
 //! * [`mod@bench`] — the experiment harness, the figure registry behind
-//!   every `fig*`/`tbl*` binary, and the `pmt report` generator.
+//!   every `fig*`/`tbl*` binary, and the `pmt report` generator,
+//! * [`api`] — the versioned wire schema (requests, responses,
+//!   structured errors) spoken by both the CLI's JSON outputs and the
+//!   daemon,
+//! * [`serve`] — the `pmt serve` prediction service: prepared-profile
+//!   registry, hand-rolled HTTP, request coalescing and backpressure.
 //!
 //! # Quickstart
 //!
@@ -84,6 +89,7 @@
 //! assert_eq!(summary.top.len(), 5); // 5 lowest-energy designs
 //! ```
 
+pub use pmt_api as api;
 pub use pmt_bench as bench;
 pub use pmt_branch as branch;
 pub use pmt_cachesim as cachesim;
@@ -92,6 +98,7 @@ pub use pmt_dse as dse;
 pub use pmt_power as power;
 pub use pmt_profiler as profiler;
 pub use pmt_report as report;
+pub use pmt_serve as serve;
 pub use pmt_sim as sim;
 pub use pmt_statstack as statstack;
 pub use pmt_trace as trace;
@@ -101,6 +108,10 @@ pub use pmt_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use pmt_api::{
+        ApiError, ErrorBody, ExploreRequest, ExploreResponse, MachineSpec, PredictRequest,
+        PredictResponse, SpaceSpec, WIRE_SCHEMA_VERSION,
+    };
     pub use pmt_core::{
         IntervalModel, ModelConfig, Moments, Prediction, PredictionSummary, PreparedProfile,
     };

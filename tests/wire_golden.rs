@@ -1,0 +1,94 @@
+//! Golden-snapshot tests for the wire schema: the concrete bytes of a
+//! fixed-scenario [`PredictResponse`] and [`ExploreResponse`] are pinned
+//! under `tests/golden/`. Any change to the wire format — a renamed
+//! field, a reordered key, a float formatting change — or any numeric
+//! drift in the model behind it fails here, which is the point: servers
+//! and clients can only stay compatible if these bytes are boring.
+//!
+//! After an *intentional* schema or model change, regenerate with
+//!
+//! ```console
+//! $ PMT_UPDATE_GOLDEN=1 cargo test --test wire_golden
+//! ```
+//!
+//! and commit the new snapshots alongside the change that explains them.
+
+use pmt::prelude::*;
+
+fn golden_path(file: &str) -> String {
+    format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Compare `json` against the pinned snapshot (or rewrite it under
+/// `PMT_UPDATE_GOLDEN=1`).
+fn assert_golden(file: &str, json: &str) {
+    let path = golden_path(file);
+    if std::env::var("PMT_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, json).expect("writing golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("{file} missing — regenerate with PMT_UPDATE_GOLDEN=1 cargo test --test wire_golden")
+    });
+    assert_eq!(
+        json, expected,
+        "{file} drifted from the golden snapshot. If the wire-schema or \
+         model change was intentional, regenerate with \
+         PMT_UPDATE_GOLDEN=1 cargo test --test wire_golden"
+    );
+}
+
+/// The pinned scenario: one deterministic seed-42 workload at toy scale.
+fn golden_profile() -> pmt::profiler::ApplicationProfile {
+    Profiler::new(ProfilerConfig::fast_test()).profile_named(
+        "golden",
+        &mut WorkloadSpec::baseline("golden", 42).trace(20_000),
+    )
+}
+
+#[test]
+fn predict_response_matches_golden_snapshot() {
+    let profile = golden_profile();
+    let prepared = PreparedProfile::new(&profile);
+    let req = PredictRequest::new("golden", MachineSpec::named("nehalem"));
+    let resp = pmt::serve::engine::predict_response(&prepared, &req).unwrap();
+    assert_golden(
+        "predict_response.json",
+        &serde_json::to_string(&resp).unwrap(),
+    );
+}
+
+#[test]
+fn explore_response_matches_golden_snapshot() {
+    let profile = golden_profile();
+    let prepared = PreparedProfile::new(&profile);
+    let mut req = ExploreRequest::new("golden", SpaceSpec::named("validation"));
+    req.top_k = 3;
+    req.objective = "edp".to_string();
+    let resp = pmt::serve::engine::explore_response(&prepared, &req).unwrap();
+    assert_golden(
+        "explore_response.json",
+        &serde_json::to_string(&resp).unwrap(),
+    );
+}
+
+/// Requests are small enough to pin inline: this is the exact byte
+/// sequence a v1 client must send (and what `pmt explore
+/// --emit-request` writes).
+#[test]
+fn request_and_error_bytes_are_pinned_inline() {
+    let mut req = ExploreRequest::new("mcf", SpaceSpec::named("big"));
+    req.top_k = 5;
+    req.objective = "energy".to_string();
+    req.max_power_w = Some(35.0);
+    assert_eq!(
+        serde_json::to_string(&req).unwrap(),
+        r#"{"schema_version":1,"profile":"mcf","space":{"name":"big","base":null,"axes":null},"objective":"energy","top_k":5,"constraints":null,"max_power_w":35.0,"max_seconds":null}"#
+    );
+
+    let err = pmt::api::ApiError::busy("2 sweeps already in flight; retry shortly", 2);
+    assert_eq!(
+        serde_json::to_string(&err.body).unwrap(),
+        r#"{"schema_version":1,"code":"busy","message":"2 sweeps already in flight; retry shortly","retry_after_s":2}"#
+    );
+}

@@ -1,0 +1,144 @@
+//! The shard-snapshot wire type: one shard's accumulator state plus
+//! everything needed to prove N snapshots belong to the *same* sweep
+//! before folding them back together.
+//!
+//! A sharded `pmt explore --shard i/n` run writes an
+//! [`AccumulatorSnapshot`]; `pmt merge` refuses to combine snapshots
+//! unless their requests, profile fingerprints and shard geometry agree
+//! — silently merging shards of different sweeps would produce a
+//! plausible-looking but meaningless frontier. Checkpoints written by
+//! `--checkpoint` are the same type with an incomplete
+//! [`ShardAccumulators`] inside.
+//!
+//! The snapshot schema is versioned independently of the request/response
+//! wire ([`SNAPSHOT_SCHEMA_VERSION`]): snapshots are transient artifacts
+//! of one fleet run, so their format can evolve without breaking
+//! long-lived clients.
+
+use crate::{fnv1a, ApiError, ExploreRequest};
+use pmt_dse::ShardAccumulators;
+use pmt_profiler::ApplicationProfile;
+use serde::{Deserialize, Serialize};
+
+/// Version of the shard-snapshot format. Bumped on any change to
+/// [`AccumulatorSnapshot`] or the embedded
+/// [`ShardAccumulators`] layout; `pmt merge` and `--resume`
+/// refuse other versions.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// One shard's serialized accumulator state — the file
+/// `--snapshot-out` / `--checkpoint` writes and `pmt merge` /
+/// `--resume` reads.
+///
+/// The embedded [`ShardAccumulators`] is already canonical (sorted sets,
+/// per-chunk moments in chunk order — see its docs); this wrapper adds
+/// the sweep identity: the exact [`ExploreRequest`] the shard is folding
+/// and a fingerprint of the profile it is folding it over.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccumulatorSnapshot {
+    /// Must equal [`SNAPSHOT_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The explore request this shard is a slice of. Merging and
+    /// resuming require bytewise-equal requests across snapshots.
+    pub request: ExploreRequest,
+    /// [`profile_fingerprint`] of the profile the shard folded — catches
+    /// resuming or merging against a different profile file that happens
+    /// to share the request's profile *name*.
+    pub profile_fingerprint: String,
+    /// Which shard this is.
+    pub shard_index: usize,
+    /// How many shards partition the sweep.
+    pub shard_count: usize,
+    /// The accumulator state itself.
+    pub shard: ShardAccumulators,
+}
+
+impl AccumulatorSnapshot {
+    /// A snapshot at the current schema version.
+    pub fn new(
+        request: ExploreRequest,
+        profile_fingerprint: String,
+        shard_index: usize,
+        shard_count: usize,
+        shard: ShardAccumulators,
+    ) -> AccumulatorSnapshot {
+        AccumulatorSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            request,
+            profile_fingerprint,
+            shard_index,
+            shard_count,
+            shard,
+        }
+    }
+
+    /// Refuse snapshots written by another format version.
+    pub fn check_version(&self) -> Result<(), ApiError> {
+        if self.schema_version == SNAPSHOT_SCHEMA_VERSION {
+            Ok(())
+        } else {
+            Err(ApiError::bad_request(
+                "bad_snapshot_version",
+                format!(
+                    "snapshot schema version {}, this build speaks {}",
+                    self.schema_version, SNAPSHOT_SCHEMA_VERSION
+                ),
+            ))
+        }
+    }
+
+    /// Whether the embedded shard has folded every chunk it owns.
+    pub fn is_complete(&self) -> bool {
+        self.shard.is_complete()
+    }
+}
+
+/// The stable content fingerprint of a profile: FNV-1a over its
+/// canonical JSON, hex-encoded — the same construction the serve
+/// registry uses for its `content_hash`, so a snapshot taken against a
+/// registered profile and one taken against the profile file agree.
+pub fn profile_fingerprint(profile: &ApplicationProfile) -> String {
+    let mut json = String::new();
+    Serialize::to_json(profile, &mut json);
+    format!("{:016x}", fnv1a(&[&json]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpaceSpec;
+    use pmt_dse::ShardAccumulators;
+
+    fn snapshot() -> AccumulatorSnapshot {
+        AccumulatorSnapshot::new(
+            ExploreRequest::new("mcf", SpaceSpec::named("small")),
+            "00deadbeef000000".to_string(),
+            1,
+            3,
+            ShardAccumulators::empty(32, 8, 2, 3, 5),
+        )
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_checks_version() {
+        let snap = snapshot();
+        assert!(snap.check_version().is_ok());
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: AccumulatorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let mut skewed = snap;
+        skewed.schema_version = 99;
+        let err = skewed.check_version().unwrap_err();
+        assert_eq!(err.body.code, "bad_snapshot_version");
+        assert!(err.body.message.contains("99"));
+    }
+
+    #[test]
+    fn completeness_tracks_the_embedded_shard() {
+        let mut snap = snapshot();
+        assert!(!snap.is_complete()); // owns 1 chunk, 0 done
+        snap.shard.chunks_done = 1;
+        assert!(snap.is_complete());
+    }
+}

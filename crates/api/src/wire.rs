@@ -234,6 +234,9 @@ pub struct MetricsResponse {
     pub coalesced_requests: u64,
     /// Explore/predict requests answered from the response cache.
     pub response_cache_hits: u64,
+    /// Cache lookups whose 64-bit key matched but whose stored request
+    /// bytes did not — a verified hash collision, served as a miss.
+    pub response_cache_collisions: u64,
     /// Responses currently held by the cache.
     pub response_cache_entries: u64,
     /// Design points actually predicted (cache hits and coalesced

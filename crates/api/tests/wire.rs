@@ -144,7 +144,8 @@ fn every_response_type_round_trips() {
 fn metrics_response_round_trips() {
     let json = r#"{"schema_version":1,"profiles":1,"requests":4,"predict_requests":0,
         "explore_requests":2,"errors":0,"rejected_busy":0,"coalesced_requests":0,
-        "response_cache_hits":1,"response_cache_entries":1,"points_predicted":32,
+        "response_cache_hits":1,"response_cache_collisions":0,
+        "response_cache_entries":1,"points_predicted":32,
         "predict_seconds":0.5,"points_per_s":64.0,"inflight_sweeps":0,
         "max_inflight_sweeps":2,"queue_depth":0,"worker_threads":4}"#;
     let m: MetricsResponse = serde_json::from_str(json).unwrap();

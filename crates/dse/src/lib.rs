@@ -72,7 +72,10 @@ pub use constrain::DesignConstraints;
 pub use empirical::EmpiricalModel;
 pub use pareto::{FrontEntry, ParetoAccumulator, ParetoFront, PruningQuality};
 pub use space::{Axis, LazyDesignSpace, LazyPoints, ProductSpace};
-pub use streaming::{Objective, RankedEntry, StreamPoint, StreamingSummary, StreamingSweep, TopK};
+pub use streaming::{
+    chunk_count, merge_shards, shard_chunk_range, Objective, RankedEntry, ShardAccumulators,
+    StreamPoint, StreamingSummary, StreamingSweep, TopK, DEFAULT_CHUNK,
+};
 pub use sweep::{
     sim_cache_key, BatchEvaluation, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig,
 };

@@ -154,6 +154,17 @@ impl<T> ParetoAccumulator<T> {
     }
 }
 
+impl<T: Clone> ParetoAccumulator<T> {
+    /// Borrowing form of [`into_sorted`](Self::into_sorted): the frontier
+    /// sorted by id, with the accumulator left intact. This is the
+    /// canonical snapshot order of the sharded sweeps.
+    pub fn sorted_entries(&self) -> Vec<FrontEntry<T>> {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|e| e.id);
+        entries
+    }
+}
+
 /// The Pareto-optimal subset of a set of (delay, power) points, both
 /// minimized.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]

@@ -355,7 +355,22 @@ impl ProductSpace {
 
 impl LazyDesignSpace for ProductSpace {
     fn len(&self) -> usize {
-        self.axes.iter().map(|a| a.values.len()).product()
+        // An unchecked `.product()` wraps silently in release builds,
+        // which would make sharded chunk math quietly wrong for spaces
+        // past usize::MAX points — fail loudly instead.
+        self.axes.iter().fold(1usize, |acc, a| {
+            acc.checked_mul(a.values.len()).unwrap_or_else(|| {
+                let sizes: Vec<String> = self
+                    .axes
+                    .iter()
+                    .map(|a| format!("{}×{}", a.name, a.values.len()))
+                    .collect();
+                panic!(
+                    "design space size overflows usize: axes {}",
+                    sizes.join(" · ")
+                )
+            })
+        })
     }
 
     fn point_at(&self, index: usize) -> DesignPoint {
@@ -427,6 +442,19 @@ mod tests {
         let p = subset.point_at(1);
         assert_eq!(p.id, 1); // ...but point_at re-bases it
         assert_eq!(p.machine, subset[1].machine);
+    }
+
+    #[test]
+    #[should_panic(expected = "design space size overflows usize")]
+    fn product_space_len_overflow_panics_instead_of_wrapping() {
+        // 256^8 = 2^64: one past usize::MAX. Before the checked_mul fix
+        // this wrapped to 0 in release builds and the sweep silently
+        // evaluated nothing.
+        let mut space = ProductSpace::new(MachineConfig::nehalem());
+        for _ in 0..8 {
+            space = space.axis("f", (0..256).map(f64::from), |_, _| {});
+        }
+        let _ = LazyDesignSpace::len(&space);
     }
 
     #[test]

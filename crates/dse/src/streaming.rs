@@ -55,6 +55,12 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Default points per fold chunk. Part of the determinism contract: a
+/// sharded sweep only merges bit-identically with a single-process run
+/// when both used the same chunk size, so snapshots record it and
+/// [`merge_shards`] validates it.
+pub const DEFAULT_CHUNK: usize = 1024;
+
 /// One streamed model evaluation: the per-point record the accumulators
 /// fold. Deliberately `Copy` and name-free — a million-point sweep must
 /// not clone a workload `String` per point.
@@ -279,10 +285,26 @@ impl<T> TopK<T> {
     }
 
     /// Merge another fold of the same `k` in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two folds keep different `k`s — merging a top-3 into
+    /// a top-5 would silently report a set that is neither, so mismatched
+    /// shards fail loudly instead.
     pub fn merge(&mut self, other: TopK<T>) {
+        assert_eq!(
+            self.k, other.k,
+            "TopK::merge requires equal k (left keeps {}, right keeps {})",
+            self.k, other.k
+        );
         for slot in other.heap {
             self.push(slot.0.key, slot.0.id, slot.0.item);
         }
+    }
+
+    /// The `k` this fold keeps.
+    pub fn k(&self) -> usize {
+        self.k
     }
 
     /// Number of entries currently kept (≤ k).
@@ -298,6 +320,19 @@ impl<T> TopK<T> {
     /// Consume into the kept entries, best (smallest key) first.
     pub fn into_sorted(self) -> Vec<RankedEntry<T>> {
         let mut entries: Vec<RankedEntry<T>> = self.heap.into_iter().map(|s| s.0).collect();
+        entries.sort_by(|a, b| a.cmp_rank(b));
+        entries
+    }
+}
+
+impl<T: Clone> TopK<T> {
+    /// Borrowing form of [`into_sorted`](Self::into_sorted): the kept
+    /// entries sorted ascending on (key, id), with the heap left intact.
+    /// Sorting before encoding is what makes shard snapshots canonical —
+    /// the heap's internal layout depends on push order, the sorted set
+    /// does not.
+    pub fn sorted_entries(&self) -> Vec<RankedEntry<T>> {
+        let mut entries: Vec<RankedEntry<T>> = self.heap.iter().map(|s| s.0.clone()).collect();
         entries.sort_by(|a, b| a.cmp_rank(b));
         entries
     }
@@ -408,7 +443,7 @@ impl<'a> StreamingSweep<'a> {
             max_seconds: None,
             top_k: 10,
             objective: Objective::Seconds,
-            chunk: 1024,
+            chunk: DEFAULT_CHUNK,
             serial: false,
         }
     }
@@ -489,40 +524,21 @@ impl<'a> StreamingSweep<'a> {
         space: &S,
     ) -> StreamingSummary {
         let n = space.len();
+        // `step_by` never overflows: every yielded start is a valid index
+        // below `n`, and the final increment saturates inside the iterator.
         let starts: Vec<usize> = (0..n).step_by(self.chunk).collect();
-        let fold_chunk = |&start: &usize| {
-            let end = (start + self.chunk).min(n);
-            let mut acc = ChunkFold::new(self.top_k);
-            for index in start..end {
-                let point = space.point_at(index);
-                if let Some(c) = &self.prefilter {
-                    if !c.admits(&point) {
-                        acc.rejected += 1;
-                        continue;
-                    }
-                }
-                let p = evaluate_stream_point(&point, prepared, &self.model);
-                acc.evaluated += 1;
-                acc.cpi.push(p.cpi);
-                acc.power.push(p.power);
-                acc.seconds.push(p.seconds);
-                if self.max_power_w.is_some_and(|w| p.power > w)
-                    || self.max_seconds.is_some_and(|s| p.seconds > s)
-                {
-                    acc.over_budget += 1;
-                    continue;
-                }
-                acc.pareto.push(p.design_id, p.coords(), p);
-                acc.top.push(self.objective.key(&p), p.design_id, p);
-            }
-            acc
-        };
         // Identical chunk tree on both paths: fold chunks (serially or in
         // parallel), then merge the chunk summaries in chunk order.
         let folded: Vec<ChunkFold> = if self.serial {
-            starts.iter().map(fold_chunk).collect()
+            starts
+                .iter()
+                .map(|&s| self.fold_chunk(prepared, space, s, n))
+                .collect()
         } else {
-            starts.par_iter().map(fold_chunk).collect()
+            starts
+                .par_iter()
+                .map(|&s| self.fold_chunk(prepared, space, s, n))
+                .collect()
         };
         let mut total = ChunkFold::new(self.top_k);
         for chunk in folded {
@@ -540,6 +556,387 @@ impl<'a> StreamingSweep<'a> {
             seconds: total.seconds,
         }
     }
+
+    /// Fold one chunk of `[start, start + chunk) ∩ [0, n)` — the shared
+    /// unit of work of [`run_prepared`](Self::run_prepared) and
+    /// [`run_shard_prepared`](Self::run_shard_prepared), so a sharded run
+    /// computes the exact same per-chunk accumulators a single-process
+    /// run does.
+    fn fold_chunk<S: LazyDesignSpace + ?Sized>(
+        &self,
+        prepared: &PreparedProfile<'_>,
+        space: &S,
+        start: usize,
+        n: usize,
+    ) -> ChunkFold {
+        // Saturate rather than wrap: near usize::MAX the naive
+        // `start + chunk` would overflow and fold an empty (or wrong)
+        // range in release builds.
+        let end = start.saturating_add(self.chunk).min(n);
+        let mut acc = ChunkFold::new(self.top_k);
+        for index in start..end {
+            let point = space.point_at(index);
+            if let Some(c) = &self.prefilter {
+                if !c.admits(&point) {
+                    acc.rejected += 1;
+                    continue;
+                }
+            }
+            let p = evaluate_stream_point(&point, prepared, &self.model);
+            acc.evaluated += 1;
+            acc.cpi.push(p.cpi);
+            acc.power.push(p.power);
+            acc.seconds.push(p.seconds);
+            if self.max_power_w.is_some_and(|w| p.power > w)
+                || self.max_seconds.is_some_and(|s| p.seconds > s)
+            {
+                acc.over_budget += 1;
+                continue;
+            }
+            acc.pareto.push(p.design_id, p.coords(), p);
+            acc.top.push(self.objective.key(&p), p.design_id, p);
+        }
+        acc
+    }
+
+    /// Fold only shard `shard_index` of `shard_count`'s contiguous range
+    /// of the **global** chunk list, optionally resuming from a prior
+    /// [`ShardAccumulators`] checkpoint.
+    ///
+    /// The global chunk list is the one [`run_prepared`](Self::run_prepared)
+    /// folds — `(0..space.len()).step_by(chunk)` — and shard `i` owns
+    /// chunks `[i·C/s, (i+1)·C/s)` of its `C` chunks, so concatenating
+    /// the shards in shard order replays the single-process fold exactly.
+    ///
+    /// `on_checkpoint` is invoked with the running snapshot after every
+    /// `checkpoint_every` completed chunks (`0` disables intermediate
+    /// checkpoints); the final, complete snapshot is returned. Chunks
+    /// within a checkpoint batch fold in parallel (unless
+    /// [`serial`](Self::serial)), merged in chunk order as always.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_index >= shard_count`, `shard_count == 0`, or a
+    /// `resume` snapshot's geometry (space size, chunk size, chunk range,
+    /// top-k) does not match this sweep and shard.
+    // Each argument is an independent caller decision (what to fold,
+    // where, from which checkpoint, how often); bundling them into a
+    // one-use options struct would only move the list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_shard_prepared<S: LazyDesignSpace + ?Sized>(
+        &self,
+        prepared: &PreparedProfile<'_>,
+        space: &S,
+        shard_index: usize,
+        shard_count: usize,
+        resume: Option<&ShardAccumulators>,
+        checkpoint_every: usize,
+        mut on_checkpoint: impl FnMut(&ShardAccumulators),
+    ) -> ShardAccumulators {
+        assert!(shard_count > 0, "shard_count must be positive");
+        assert!(
+            shard_index < shard_count,
+            "shard index {shard_index} out of range for {shard_count} shards"
+        );
+        let n = space.len();
+        let total = chunk_count(n, self.chunk);
+        let (lo, hi) = shard_chunk_range(total, shard_index, shard_count);
+        let mut acc = match resume {
+            Some(r) => {
+                assert_eq!(
+                    (r.space_points, r.chunk, r.chunk_lo, r.chunk_hi, r.top_k),
+                    (n, self.chunk, lo, hi, self.top_k),
+                    "resume snapshot geometry does not match this sweep/shard"
+                );
+                r.clone()
+            }
+            None => ShardAccumulators::empty(n, self.chunk, lo, hi, self.top_k),
+        };
+        // Rebuild the running set accumulators from the snapshot's
+        // canonical (sorted) entries. Both are order-independent sets, so
+        // a resumed fold converges on the same survivors as an
+        // uninterrupted one.
+        let mut pareto: ParetoAccumulator<StreamPoint> = ParetoAccumulator::new();
+        for e in &acc.frontier {
+            pareto.push(e.id, e.coords, e.item);
+        }
+        let mut top: TopK<StreamPoint> = TopK::new(self.top_k);
+        for e in &acc.top {
+            top.push(e.key, e.id, e.item);
+        }
+
+        let batch = if checkpoint_every == 0 {
+            usize::MAX
+        } else {
+            checkpoint_every
+        };
+        while acc.chunks_done < hi - lo {
+            let next = lo + acc.chunks_done;
+            let end = next.saturating_add(batch).min(hi);
+            let folds: Vec<ChunkFold> = if self.serial {
+                (next..end)
+                    .map(|c| self.fold_chunk(prepared, space, c * self.chunk, n))
+                    .collect()
+            } else {
+                (next..end)
+                    .into_par_iter()
+                    .map(|c| self.fold_chunk(prepared, space, c * self.chunk, n))
+                    .collect()
+            };
+            for f in folds {
+                // Keep the per-chunk moments instead of a running total:
+                // f64 addition is not associative, so only replaying the
+                // global chunk-order fold at merge time can be
+                // bit-identical to the single-process run.
+                acc.cpi_chunks.push(f.cpi);
+                acc.power_chunks.push(f.power);
+                acc.seconds_chunks.push(f.seconds);
+                acc.evaluated += f.evaluated;
+                acc.rejected += f.rejected;
+                acc.over_budget += f.over_budget;
+                pareto.merge(f.pareto);
+                top.merge(f.top);
+                acc.chunks_done += 1;
+            }
+            acc.frontier = pareto.sorted_entries();
+            acc.top = top.sorted_entries();
+            on_checkpoint(&acc);
+        }
+        acc
+    }
+}
+
+/// Number of chunks `run_prepared`'s start list covers `points` with:
+/// `⌈points / chunk⌉`.
+pub fn chunk_count(points: usize, chunk: usize) -> usize {
+    assert!(chunk > 0, "chunk size must be positive");
+    if points == 0 {
+        0
+    } else {
+        1 + (points - 1) / chunk
+    }
+}
+
+/// The contiguous global-chunk range `[lo, hi)` shard `index` of `count`
+/// owns: `lo = ⌊index·total/count⌋`, `hi = ⌊(index+1)·total/count⌋`.
+/// Computed in 128-bit so `index·total` cannot overflow; the ranges of
+/// shards `0..count` tile `[0, total)` exactly.
+pub fn shard_chunk_range(total_chunks: usize, index: usize, count: usize) -> (usize, usize) {
+    assert!(count > 0, "shard count must be positive");
+    assert!(
+        index < count,
+        "shard index {index} out of range for {count} shards"
+    );
+    let lo = (index as u128 * total_chunks as u128 / count as u128) as usize;
+    let hi = ((index + 1) as u128 * total_chunks as u128 / count as u128) as usize;
+    (lo, hi)
+}
+
+/// The canonical, deterministic byte form of one shard's accumulator
+/// state — what `pmt explore --shard i/n --snapshot-out` writes and
+/// [`merge_shards`] folds back together.
+///
+/// # Canonical form
+///
+/// Two runs that completed the same chunks hold the same snapshot, byte
+/// for byte, regardless of push order, parallelism, or how many times
+/// the shard was killed and resumed:
+///
+/// * `frontier` is the shard-local Pareto set sorted by design id,
+/// * `top` is the shard-local top-K set sorted on (key, id) — the heap is
+///   never encoded directly, its layout depends on push order,
+/// * `*_chunks` hold one [`Moments`] **per completed chunk, in global
+///   chunk order** — kept unmerged because f64 addition is not
+///   associative: [`merge_shards`] replays the exact single-process
+///   chunk-order fold from them,
+/// * the geometry fields pin everything the determinism contract depends
+///   on (space size, chunk size, owned chunk range, top-k).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardAccumulators {
+    /// Size of the full (unsharded) space this shard is a slice of.
+    pub space_points: usize,
+    /// Fold chunk size — part of the determinism contract.
+    pub chunk: usize,
+    /// First global chunk index this shard owns.
+    pub chunk_lo: usize,
+    /// One past the last global chunk index this shard owns.
+    pub chunk_hi: usize,
+    /// Chunks completed so far: global chunks `[chunk_lo, chunk_lo +
+    /// chunks_done)` are folded in. Equal to `chunk_hi - chunk_lo` when
+    /// the shard is complete; a resumed run continues here.
+    pub chunks_done: usize,
+    /// The top-K budget every shard must share.
+    pub top_k: usize,
+    /// Points predicted so far (within completed chunks).
+    pub evaluated: usize,
+    /// Points rejected by the pre-filter so far.
+    pub rejected: usize,
+    /// Predicted points excluded by the post-filter budgets so far.
+    pub over_budget: usize,
+    /// Shard-local Pareto survivors, sorted by design id.
+    pub frontier: Vec<FrontEntry<StreamPoint>>,
+    /// Shard-local top-K survivors, sorted on (key, id).
+    pub top: Vec<RankedEntry<StreamPoint>>,
+    /// CPI moments of each completed chunk, in global chunk order.
+    pub cpi_chunks: Vec<Moments>,
+    /// Power moments of each completed chunk, in global chunk order.
+    pub power_chunks: Vec<Moments>,
+    /// Execution-time moments of each completed chunk, in global chunk
+    /// order.
+    pub seconds_chunks: Vec<Moments>,
+}
+
+impl ShardAccumulators {
+    /// A fresh shard over global chunks `[lo, hi)` with nothing folded.
+    pub fn empty(
+        space_points: usize,
+        chunk: usize,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        top_k: usize,
+    ) -> ShardAccumulators {
+        ShardAccumulators {
+            space_points,
+            chunk,
+            chunk_lo,
+            chunk_hi,
+            chunks_done: 0,
+            top_k,
+            evaluated: 0,
+            rejected: 0,
+            over_budget: 0,
+            frontier: Vec::new(),
+            top: Vec::new(),
+            cpi_chunks: Vec::new(),
+            power_chunks: Vec::new(),
+            seconds_chunks: Vec::new(),
+        }
+    }
+
+    /// Whether every owned chunk has been folded.
+    pub fn is_complete(&self) -> bool {
+        self.chunks_done == self.chunk_hi.saturating_sub(self.chunk_lo)
+    }
+}
+
+/// Fold complete shard snapshots back into the [`StreamingSummary`] a
+/// single-process [`StreamingSweep::run_prepared`] over the same space
+/// produces — bit-identically.
+///
+/// The shards are sorted by `chunk_lo` and validated to tile the global
+/// chunk range `[0, ⌈space_points/chunk⌉)` exactly with matching
+/// geometry; the moments are then replayed through
+/// [`Moments::merge`] in global chunk order (the same left fold
+/// `run_prepared` performs) while frontier and top-K merge as the
+/// order-independent sets they are.
+pub fn merge_shards(mut shards: Vec<ShardAccumulators>) -> Result<StreamingSummary, String> {
+    let Some(first) = shards.first() else {
+        return Err("no shard snapshots to merge".to_string());
+    };
+    let (space_points, chunk, top_k) = (first.space_points, first.chunk, first.top_k);
+    if chunk == 0 {
+        return Err("shard snapshot declares a zero chunk size".to_string());
+    }
+    let total = chunk_count(space_points, chunk);
+    // `chunk_hi` breaks ties so an empty shard `[x, x)` (more shards
+    // than chunks) sorts before the non-empty `[x, y)` and still
+    // satisfies the tiling walk below.
+    shards.sort_by_key(|s| (s.chunk_lo, s.chunk_hi));
+    let mut expect_lo = 0usize;
+    for s in &shards {
+        if (s.space_points, s.chunk, s.top_k) != (space_points, chunk, top_k) {
+            return Err(format!(
+                "shard geometry mismatch: expected (space_points, chunk, top_k) = \
+                 ({space_points}, {chunk}, {top_k}), found ({}, {}, {})",
+                s.space_points, s.chunk, s.top_k
+            ));
+        }
+        if !s.is_complete() {
+            return Err(format!(
+                "shard covering chunks {}..{} is incomplete ({} of {} chunks done) — \
+                 resume it before merging",
+                s.chunk_lo,
+                s.chunk_hi,
+                s.chunks_done,
+                s.chunk_hi.saturating_sub(s.chunk_lo)
+            ));
+        }
+        if s.chunk_lo != expect_lo {
+            return Err(format!(
+                "shards do not tile the chunk range: expected a shard starting at \
+                 chunk {expect_lo}, found chunk {}",
+                s.chunk_lo
+            ));
+        }
+        if s.chunk_hi < s.chunk_lo || s.chunk_hi > total {
+            return Err(format!(
+                "shard chunk range {}..{} is invalid for {total} total chunks",
+                s.chunk_lo, s.chunk_hi
+            ));
+        }
+        let owned = s.chunk_hi - s.chunk_lo;
+        if s.cpi_chunks.len() != owned
+            || s.power_chunks.len() != owned
+            || s.seconds_chunks.len() != owned
+        {
+            return Err(format!(
+                "shard covering chunks {}..{} carries {}/{}/{} per-chunk moments, \
+                 expected {owned} of each",
+                s.chunk_lo,
+                s.chunk_hi,
+                s.cpi_chunks.len(),
+                s.power_chunks.len(),
+                s.seconds_chunks.len()
+            ));
+        }
+        expect_lo = s.chunk_hi;
+    }
+    if expect_lo != total {
+        return Err(format!(
+            "shards cover chunks 0..{expect_lo} of {total} — the partition is incomplete"
+        ));
+    }
+
+    // Replay the single-process fold: sets merge order-independently,
+    // moments merge in global chunk order (shards are sorted, and each
+    // shard's per-chunk lists are already in chunk order).
+    let mut pareto: ParetoAccumulator<StreamPoint> = ParetoAccumulator::new();
+    let mut top: TopK<StreamPoint> = TopK::new(top_k);
+    let mut cpi = Moments::new();
+    let mut power = Moments::new();
+    let mut seconds = Moments::new();
+    let (mut evaluated, mut rejected, mut over_budget) = (0usize, 0usize, 0usize);
+    for s in shards {
+        for e in &s.frontier {
+            pareto.push(e.id, e.coords, e.item);
+        }
+        for e in &s.top {
+            top.push(e.key, e.id, e.item);
+        }
+        for m in &s.cpi_chunks {
+            cpi.merge(m);
+        }
+        for m in &s.power_chunks {
+            power.merge(m);
+        }
+        for m in &s.seconds_chunks {
+            seconds.merge(m);
+        }
+        evaluated += s.evaluated;
+        rejected += s.rejected;
+        over_budget += s.over_budget;
+    }
+    Ok(StreamingSummary {
+        space_points,
+        evaluated,
+        rejected,
+        over_budget,
+        frontier: pareto.into_sorted(),
+        top: top.into_sorted(),
+        cpi,
+        power,
+        seconds,
+    })
 }
 
 /// One model-only point evaluation — the same arithmetic as the

@@ -231,6 +231,7 @@ mod streaming_engine {
             mask in 1u32..(1 << 5),
             chunk in 1usize..40,
             k in 1usize..8,
+            shards in 1usize..6,
         ) {
             // A random axis-subset of the 32-point test grid.
             let full = DesignSpace::small();
@@ -275,6 +276,25 @@ mod streaming_engine {
             let par_top: Vec<(u64, usize)> =
                 par.top.iter().map(|e| (e.key.to_bits(), e.id)).collect();
             prop_assert_eq!(ser_top, par_top);
+
+            // Sharded + merged == unsharded, bit for bit, whatever the
+            // shard count and chunk size (shards may even outnumber
+            // chunks, leaving some empty).
+            let prepared = pmt_core::PreparedProfile::new(profile());
+            let snaps: Vec<_> = (0..shards)
+                .map(|i| {
+                    StreamingSweep::new(profile())
+                        .chunk(chunk)
+                        .top_k(k)
+                        .run_shard_prepared(&prepared, &space, i, shards, None, 2, |_| {})
+                })
+                .collect();
+            let merged = pmt_dse::merge_shards(snaps).unwrap();
+            let mut merged_json = String::new();
+            serde::Serialize::to_json(&merged, &mut merged_json);
+            let mut serial_json = String::new();
+            serde::Serialize::to_json(&ser, &mut serial_json);
+            prop_assert_eq!(merged_json, serial_json);
 
             // Sanity: the space the engine saw is the one we enumerated.
             prop_assert_eq!(LazyDesignSpace::len(&space), points.len());

@@ -1,0 +1,187 @@
+//! Sharded streaming sweeps: the determinism contract, end to end.
+//!
+//! A sharded run must be indistinguishable from the single-process run
+//! it decomposes — not approximately, but **bit for bit**: shard the
+//! global chunk list, fold each shard (possibly killed and resumed from
+//! a checkpoint), merge the snapshots, and the merged summary's every
+//! f64 equals the unsharded fold's. These tests assert that contract on
+//! real model predictions, plus the validation `merge_shards` performs
+//! on untrusted snapshot sets.
+
+use pmt_core::PreparedProfile;
+use pmt_dse::{
+    chunk_count, merge_shards, shard_chunk_range, Objective, ShardAccumulators, StreamingSummary,
+    StreamingSweep, TopK,
+};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_uarch::DesignSpace;
+use pmt_workloads::WorkloadSpec;
+use std::sync::OnceLock;
+
+fn profile() -> &'static ApplicationProfile {
+    static PROFILE: OnceLock<ApplicationProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(20_000))
+    })
+}
+
+/// A sweep small enough to run many times: 32 points in 8 chunks of 4.
+fn sweep(profile: &ApplicationProfile) -> StreamingSweep<'_> {
+    StreamingSweep::new(profile)
+        .chunk(4)
+        .top_k(3)
+        .objective(Objective::Energy)
+}
+
+/// Bit-exact equality witness: the vendored serde serializes f64 via
+/// shortest-round-trip formatting, so equal JSON ⇔ equal bits.
+fn json<T: serde::Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    serde::Serialize::to_json(value, &mut out);
+    out
+}
+
+fn run_shards(shard_count: usize) -> Vec<ShardAccumulators> {
+    let prof = profile();
+    let prepared = PreparedProfile::new(prof);
+    let space = DesignSpace::small();
+    (0..shard_count)
+        .map(|i| sweep(prof).run_shard_prepared(&prepared, &space, i, shard_count, None, 0, |_| {}))
+        .collect()
+}
+
+fn reference() -> StreamingSummary {
+    sweep(profile()).run(&DesignSpace::small())
+}
+
+#[test]
+fn sharded_merge_is_bit_identical_to_single_process() {
+    let reference = reference();
+    for shard_count in [1, 2, 3, 5, 8, 11] {
+        let merged = merge_shards(run_shards(shard_count)).unwrap();
+        assert_eq!(
+            json(&merged),
+            json(&reference),
+            "merge of {shard_count} shards diverged from the single-process run"
+        );
+        // The JSON equality already implies these, but spell out the
+        // floats the contract is really about.
+        assert_eq!(merged.cpi.sum.to_bits(), reference.cpi.sum.to_bits());
+        assert_eq!(merged.power.sum.to_bits(), reference.power.sum.to_bits());
+        assert_eq!(
+            merged.seconds.sum.to_bits(),
+            reference.seconds.sum.to_bits()
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_shard() {
+    let prof = profile();
+    let prepared = PreparedProfile::new(prof);
+    let space = DesignSpace::small();
+
+    // Uninterrupted shard 1 of 3, checkpointing after every chunk.
+    let mut checkpoints: Vec<ShardAccumulators> = Vec::new();
+    let uninterrupted = sweep(prof).run_shard_prepared(&prepared, &space, 1, 3, None, 1, |snap| {
+        checkpoints.push(snap.clone())
+    });
+    assert!(uninterrupted.is_complete());
+    assert_eq!(checkpoints.last().unwrap(), &uninterrupted);
+    assert!(
+        checkpoints.len() >= 2,
+        "need an intermediate checkpoint to simulate a kill"
+    );
+
+    // "Kill" the shard after its first checkpoint: resume from that
+    // snapshot and from every later one — each must converge on the
+    // byte-identical final snapshot.
+    for partial in &checkpoints[..checkpoints.len() - 1] {
+        assert!(!partial.is_complete());
+        let resumed =
+            sweep(prof).run_shard_prepared(&prepared, &space, 1, 3, Some(partial), 1, |_| {});
+        assert_eq!(json(&resumed), json(&uninterrupted));
+    }
+
+    // Resuming an already-complete shard is a no-op returning it as-is.
+    let resumed =
+        sweep(prof).run_shard_prepared(&prepared, &space, 1, 3, Some(&uninterrupted), 1, |_| {
+            panic!("complete shard must not re-checkpoint")
+        });
+    assert_eq!(json(&resumed), json(&uninterrupted));
+
+    // And a merge using the resumed shard matches the single-process run.
+    let shard0 = sweep(prof).run_shard_prepared(&prepared, &space, 0, 3, None, 0, |_| {});
+    let shard2 = sweep(prof).run_shard_prepared(&prepared, &space, 2, 3, None, 0, |_| {});
+    let merged = merge_shards(vec![shard0, resumed, shard2]).unwrap();
+    assert_eq!(json(&merged), json(&reference()));
+}
+
+#[test]
+fn merge_validates_the_snapshot_set() {
+    let shards = run_shards(3);
+
+    let err = merge_shards(Vec::new()).unwrap_err();
+    assert!(err.contains("no shard snapshots"), "{err}");
+
+    // An incomplete shard is refused with a resume hint.
+    let mut incomplete = shards.clone();
+    incomplete[1].chunks_done -= 1;
+    let err = merge_shards(incomplete).unwrap_err();
+    assert!(err.contains("incomplete"), "{err}");
+    assert!(err.contains("resume"), "{err}");
+
+    // A missing shard breaks the tiling.
+    let gap = vec![shards[0].clone(), shards[2].clone()];
+    let err = merge_shards(gap).unwrap_err();
+    assert!(err.contains("tile") || err.contains("partition"), "{err}");
+
+    // A duplicated shard also breaks the tiling.
+    let dup = vec![shards[0].clone(), shards[0].clone(), shards[1].clone()];
+    assert!(merge_shards(dup).is_err());
+
+    // Mixed geometry (different chunk size) is refused.
+    let prof = profile();
+    let prepared = PreparedProfile::new(prof);
+    let space = DesignSpace::small();
+    let other_chunk = StreamingSweep::new(prof)
+        .chunk(8)
+        .top_k(3)
+        .objective(Objective::Energy)
+        .run_shard_prepared(&prepared, &space, 0, 3, None, 0, |_| {});
+    let mixed = vec![other_chunk, shards[1].clone(), shards[2].clone()];
+    assert!(merge_shards(mixed).is_err());
+}
+
+#[test]
+fn shard_ranges_tile_the_global_chunk_list() {
+    for total in [0usize, 1, 7, 8, 103, 1024] {
+        for count in [1usize, 2, 3, 5, 16, 200] {
+            let mut expect_lo = 0;
+            for i in 0..count {
+                let (lo, hi) = shard_chunk_range(total, i, count);
+                assert_eq!(lo, expect_lo, "gap/overlap at shard {i}/{count} of {total}");
+                assert!(hi >= lo);
+                expect_lo = hi;
+            }
+            assert_eq!(expect_lo, total, "shards of {total} chunks do not cover it");
+        }
+    }
+    assert_eq!(chunk_count(0, 1024), 0);
+    assert_eq!(chunk_count(1, 1024), 1);
+    assert_eq!(chunk_count(1024, 1024), 1);
+    assert_eq!(chunk_count(1025, 1024), 2);
+}
+
+#[test]
+#[should_panic(expected = "TopK::merge requires equal k")]
+fn topk_merge_with_mismatched_k_panics() {
+    // Silently keeping the smaller k would make a merge of snapshots
+    // taken with different --top values look successful while dropping
+    // candidates; the geometry check upstream should make this
+    // unreachable, and this assert keeps it loud if it ever isn't.
+    let mut a: TopK<u32> = TopK::new(3);
+    let b: TopK<u32> = TopK::new(4);
+    a.merge(b);
+}

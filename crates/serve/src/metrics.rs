@@ -23,6 +23,9 @@ pub struct Metrics {
     pub coalesced_requests: AtomicU64,
     /// Requests answered from the response cache.
     pub response_cache_hits: AtomicU64,
+    /// Cache lookups whose 64-bit key matched but whose stored request
+    /// bytes did not — verified hash collisions, served as misses.
+    pub response_cache_collisions: AtomicU64,
     /// Responses currently held by the cache.
     pub response_cache_entries: AtomicU64,
     /// Design points actually predicted.
@@ -71,6 +74,7 @@ impl Metrics {
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
             response_cache_hits: self.response_cache_hits.load(Ordering::Relaxed),
+            response_cache_collisions: self.response_cache_collisions.load(Ordering::Relaxed),
             response_cache_entries: self.response_cache_entries.load(Ordering::Relaxed),
             points_predicted: points,
             predict_seconds: secs,

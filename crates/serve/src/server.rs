@@ -93,7 +93,11 @@ impl Flight {
     }
 
     fn complete(&self, response: Response) {
-        *self.done.lock().expect("flight lock") = Some(response);
+        // Poison-tolerant: this also runs from `FlightGuard::drop` during
+        // an unwind, where a second panic would abort the process.
+        if let Ok(mut done) = self.done.lock() {
+            *done = Some(response);
+        }
         self.cv.notify_all();
     }
 
@@ -108,11 +112,24 @@ impl Flight {
     }
 }
 
-/// Bounded FIFO of completed responses.
+/// One response-cache lookup outcome. A `Collision` is a lookup whose
+/// 64-bit key matched an entry but whose stored identity bytes did not —
+/// without the verification it would have served another request's
+/// response.
+enum CacheLookup {
+    Hit(Response),
+    Miss,
+    Collision,
+}
+
+/// Bounded FIFO of completed responses. Entries store the full request
+/// identity alongside the response, and [`get`](ResponseCache::get)
+/// verifies it: the 64-bit FNV key alone is an index, not proof of
+/// equality.
 struct ResponseCache {
     capacity: usize,
     order: VecDeque<u64>,
-    by_key: HashMap<u64, Response>,
+    by_key: HashMap<u64, (String, Response)>,
 }
 
 impl ResponseCache {
@@ -124,11 +141,17 @@ impl ResponseCache {
         }
     }
 
-    fn get(&self, key: u64) -> Option<Response> {
-        self.by_key.get(&key).cloned()
+    fn get(&self, key: u64, identity: &str) -> CacheLookup {
+        match self.by_key.get(&key) {
+            Some((stored, response)) if stored == identity => CacheLookup::Hit(response.clone()),
+            Some(_) => CacheLookup::Collision,
+            None => CacheLookup::Miss,
+        }
     }
 
-    fn insert(&mut self, key: u64, response: Response) {
+    fn insert(&mut self, key: u64, identity: &str, response: Response) {
+        // A colliding key keeps its first occupant; the colliding
+        // request is simply never cached (and counted on lookup).
         if self.capacity == 0 || self.by_key.contains_key(&key) {
             return;
         }
@@ -138,7 +161,7 @@ impl ResponseCache {
             }
         }
         self.order.push_back(key);
-        self.by_key.insert(key, response);
+        self.by_key.insert(key, (identity.to_string(), response));
     }
 
     fn len(&self) -> usize {
@@ -146,12 +169,14 @@ impl ResponseCache {
     }
 }
 
-/// State shared by every worker.
+/// State shared by every worker. Flights are keyed by the full request
+/// identity string, not its 64-bit hash — two distinct requests must
+/// never coalesce onto one computation.
 struct Shared {
     config: ServeConfig,
     registry: Arc<Registry>,
     metrics: Metrics,
-    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
     cache: Mutex<ResponseCache>,
 }
 
@@ -267,7 +292,14 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     Metrics::bump(&shared.metrics.requests);
     let response = match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(request) => handle(shared, &request),
+        // Contain panics here so one poisoned request answers a
+        // structured 500 instead of killing the worker thread.
+        Ok(request) => {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(shared, &request)))
+                .unwrap_or_else(|_| {
+                    Response::error(&ApiError::internal("request handling panicked"))
+                })
+        }
         Err(e) => Response::error(&e),
     };
     if response.is_error() {
@@ -346,9 +378,8 @@ fn handle_predict(shared: &Shared, request: &Request) -> Result<Response, ApiErr
     let req: PredictRequest = parse_body(request)?;
     req.check_version()?;
     let profile = shared.registry.get(&req.profile)?;
-    let key = request_key(profile.content_hash, &req);
-    if let Some(hit) = shared.cache.lock().expect("cache lock").get(key) {
-        Metrics::bump(&shared.metrics.response_cache_hits);
+    let (key, identity) = request_identity(profile.content_hash, &req);
+    if let Some(hit) = cache_lookup(shared, key, &identity) {
         return Ok(hit);
     }
     let started = Instant::now();
@@ -358,30 +389,75 @@ fn handle_predict(shared: &Shared, request: &Request) -> Result<Response, ApiErr
         &shared.metrics.predict_nanos,
         started.elapsed().as_nanos() as u64,
     );
-    cache_insert(shared, key, &response);
+    cache_insert(shared, key, &identity, &response);
     Ok(response)
+}
+
+/// Completes the leader's flight and unregisters it exactly once — with
+/// the computed response on the normal path
+/// ([`publish`](FlightGuard::publish)), or with a structured 500 from
+/// `Drop` if the computation unwinds. Without the unwind arm, followers
+/// would block on the condvar forever and the stuck flight key would
+/// poison every future identical request.
+struct FlightGuard<'a> {
+    shared: &'a Shared,
+    identity: &'a str,
+    flight: &'a Flight,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn finish(shared: &Shared, identity: &str, flight: &Flight, response: Response) {
+        flight.complete(response);
+        // `if let` rather than `.expect`: the drop path runs during
+        // unwind, where a second panic would abort the process.
+        if let Ok(mut flights) = shared.flights.lock() {
+            flights.remove(identity);
+        }
+    }
+
+    /// Publish the leader's response to the followers (normal path).
+    fn publish(mut self, response: Response) {
+        self.completed = true;
+        Self::finish(self.shared, self.identity, self.flight, response);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        Self::finish(
+            self.shared,
+            self.identity,
+            self.flight,
+            Response::error(&ApiError::internal(
+                "explore computation panicked; the in-flight request was aborted",
+            )),
+        );
+    }
 }
 
 fn handle_explore(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
     let req: ExploreRequest = parse_body(request)?;
     req.check_version()?;
     let profile = shared.registry.get(&req.profile)?;
-    let key = request_key(profile.content_hash, &req);
+    let (key, identity) = request_identity(profile.content_hash, &req);
 
     // Gate 1: the response cache.
-    if let Some(hit) = shared.cache.lock().expect("cache lock").get(key) {
-        Metrics::bump(&shared.metrics.response_cache_hits);
+    if let Some(hit) = cache_lookup(shared, key, &identity) {
         return Ok(hit);
     }
 
     // Gate 2: coalesce onto an identical in-flight computation.
     let (flight, leader) = {
         let mut flights = shared.flights.lock().expect("flights lock");
-        match flights.get(&key) {
+        match flights.get(&identity) {
             Some(f) => (Arc::clone(f), false),
             None => {
                 let f = Arc::new(Flight::new());
-                flights.insert(key, Arc::clone(&f));
+                flights.insert(identity.clone(), Arc::clone(&f));
                 (f, true)
             }
         }
@@ -392,11 +468,29 @@ fn handle_explore(shared: &Shared, request: &Request) -> Result<Response, ApiErr
     }
 
     // Leader: compute (or reject), publish to followers, uncache the
-    // flight.
-    let response = leader_compute(shared, &req, &profile.prepared, key);
-    flight.complete(response.clone());
-    shared.flights.lock().expect("flights lock").remove(&key);
+    // flight — via the guard, so a panicking sweep still unblocks its
+    // followers and frees the key.
+    let guard = FlightGuard {
+        shared,
+        identity: &identity,
+        flight: &flight,
+        completed: false,
+    };
+    let response = leader_compute(shared, &req, &profile.prepared, key, &identity);
+    guard.publish(response.clone());
     Ok(response)
+}
+
+/// Releases an in-flight sweep slot on scope exit — including unwind, so
+/// a panicking sweep cannot permanently shrink the admission capacity.
+struct SweepSlot<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for SweepSlot<'_> {
+    fn drop(&mut self) {
+        self.metrics.inflight_sweeps.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// The leader's path: backpressure gate, space-size cap, sweep.
@@ -405,6 +499,7 @@ fn leader_compute(
     req: &ExploreRequest,
     prepared: &pmt_core::PreparedProfile<'static>,
     key: u64,
+    identity: &str,
 ) -> Response {
     // Gate 3: an in-flight sweep slot, or 429.
     if !acquire_sweep_slot(shared) {
@@ -417,6 +512,9 @@ fn leader_compute(
             shared.config.retry_after_s,
         ));
     }
+    let _slot = SweepSlot {
+        metrics: &shared.metrics,
+    };
     let response = match sized_ok(shared, req) {
         Err(e) => Response::error(&e),
         Ok(()) => {
@@ -438,12 +536,8 @@ fn leader_compute(
             }
         }
     };
-    shared
-        .metrics
-        .inflight_sweeps
-        .fetch_sub(1, Ordering::AcqRel);
     if !response.is_error() {
-        cache_insert(shared, key, &response);
+        cache_insert(shared, key, identity, &response);
     }
     response
 }
@@ -480,18 +574,38 @@ fn acquire_sweep_slot(shared: &Shared) -> bool {
     }
 }
 
-/// The cache/coalescing key: profile content plus the canonical
-/// re-serialization of the request (so client-side formatting or field
-/// order differences cannot split the key).
-fn request_key<T: serde::Serialize>(content_hash: u64, req: &T) -> u64 {
-    let mut canonical = String::new();
-    serde::Serialize::to_json(req, &mut canonical);
-    fnv1a(&[&format!("{content_hash:016x}"), &canonical])
+/// The cache/coalescing identity: profile content hash plus the
+/// canonical re-serialization of the request (so client-side formatting
+/// or field order differences cannot split it), and its 64-bit FNV key.
+/// The key indexes the maps; only the full identity string proves two
+/// requests equal — coalescing compares identities and cache hits are
+/// verified against them, so a hash collision can never serve or share
+/// the wrong response.
+fn request_identity<T: serde::Serialize>(content_hash: u64, req: &T) -> (u64, String) {
+    let mut identity = format!("{content_hash:016x}:");
+    serde::Serialize::to_json(req, &mut identity);
+    (fnv1a(&[&identity]), identity)
 }
 
-fn cache_insert(shared: &Shared, key: u64, response: &Response) {
+/// Gate-1 lookup: a verified hit returns the cached response; a verified
+/// collision counts toward `response_cache_collisions` and misses.
+fn cache_lookup(shared: &Shared, key: u64, identity: &str) -> Option<Response> {
+    match shared.cache.lock().expect("cache lock").get(key, identity) {
+        CacheLookup::Hit(hit) => {
+            Metrics::bump(&shared.metrics.response_cache_hits);
+            Some(hit)
+        }
+        CacheLookup::Collision => {
+            Metrics::bump(&shared.metrics.response_cache_collisions);
+            None
+        }
+        CacheLookup::Miss => None,
+    }
+}
+
+fn cache_insert(shared: &Shared, key: u64, identity: &str, response: &Response) {
     let mut cache = shared.cache.lock().expect("cache lock");
-    cache.insert(key, response.clone());
+    cache.insert(key, identity, response.clone());
     shared
         .metrics
         .response_cache_entries
@@ -502,20 +616,40 @@ fn cache_insert(shared: &Shared, key: u64, response: &Response) {
 mod tests {
     use super::*;
 
+    fn hit(lookup: CacheLookup) -> Option<Response> {
+        match lookup {
+            CacheLookup::Hit(r) => Some(r),
+            _ => None,
+        }
+    }
+
     #[test]
     fn response_cache_is_bounded_fifo() {
         let mut cache = ResponseCache::new(2);
-        cache.insert(1, Response::json("a".into()));
-        cache.insert(2, Response::json("b".into()));
-        cache.insert(3, Response::json("c".into()));
+        cache.insert(1, "one", Response::json("a".into()));
+        cache.insert(2, "two", Response::json("b".into()));
+        cache.insert(3, "three", Response::json("c".into()));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(1).is_none(), "oldest evicted");
-        assert_eq!(cache.get(2).unwrap().body, "b");
-        assert_eq!(cache.get(3).unwrap().body, "c");
+        assert!(hit(cache.get(1, "one")).is_none(), "oldest evicted");
+        assert_eq!(hit(cache.get(2, "two")).unwrap().body, "b");
+        assert_eq!(hit(cache.get(3, "three")).unwrap().body, "c");
         // Zero capacity caches nothing.
         let mut none = ResponseCache::new(0);
-        none.insert(1, Response::json("a".into()));
+        none.insert(1, "one", Response::json("a".into()));
         assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn colliding_keys_are_verified_misses_not_wrong_hits() {
+        let mut cache = ResponseCache::new(4);
+        cache.insert(7, "request A", Response::json("a".into()));
+        // Same 64-bit key, different request bytes: must not serve "a".
+        assert!(matches!(cache.get(7, "request B"), CacheLookup::Collision));
+        assert!(matches!(cache.get(8, "request B"), CacheLookup::Miss));
+        // The first occupant keeps the slot; the collider is never cached.
+        cache.insert(7, "request B", Response::json("b".into()));
+        assert_eq!(hit(cache.get(7, "request A")).unwrap().body, "a");
+        assert!(matches!(cache.get(7, "request B"), CacheLookup::Collision));
     }
 
     #[test]
@@ -530,12 +664,15 @@ mod tests {
     }
 
     #[test]
-    fn request_key_separates_profiles_and_requests() {
+    fn request_identity_separates_profiles_and_requests() {
         use pmt_api::{MachineSpec, PredictRequest};
         let a = PredictRequest::new("astar", MachineSpec::named("nehalem"));
         let b = PredictRequest::new("astar", MachineSpec::named("low-power"));
-        assert_ne!(request_key(1, &a), request_key(1, &b));
-        assert_ne!(request_key(1, &a), request_key(2, &a));
-        assert_eq!(request_key(1, &a), request_key(1, &a.clone()));
+        assert_ne!(request_identity(1, &a), request_identity(1, &b));
+        assert_ne!(request_identity(1, &a), request_identity(2, &a));
+        assert_eq!(request_identity(1, &a), request_identity(1, &a.clone()));
+        // The identity embeds the full canonical request, not just a hash.
+        let (_, identity) = request_identity(1, &a);
+        assert!(identity.contains("nehalem"));
     }
 }

@@ -12,7 +12,7 @@
 //! * backpressure is a structured 429 carrying `Retry-After`.
 
 use pmt_api::{
-    ExploreRequest, MachineSpec, PredictRequest, RegisterProfileRequest, SpaceSpec,
+    AxisSpec, ExploreRequest, MachineSpec, PredictRequest, RegisterProfileRequest, SpaceSpec,
     WIRE_SCHEMA_VERSION,
 };
 use pmt_core::PreparedProfile;
@@ -110,6 +110,8 @@ fn metric(addr: SocketAddr, name: &str) -> u64 {
         "coalesced_requests" => m.coalesced_requests,
         "rejected_busy" => m.rejected_busy,
         "explore_requests" => m.explore_requests,
+        "response_cache_collisions" => m.response_cache_collisions,
+        "errors" => m.errors,
         other => panic!("unknown metric {other}"),
     }
 }
@@ -187,6 +189,60 @@ fn warm_repeat_hits_the_cache_and_predicts_nothing() {
         "a warm repeat does zero new predictions"
     );
     assert_eq!(metric(addr, "response_cache_hits"), 1);
+    assert_eq!(metric(addr, "response_cache_collisions"), 0);
+    server.stop();
+}
+
+/// A request engineered to panic inside the leader's computation: eight
+/// 256-value `f` axes make a 256⁸ = 2⁶⁴-point product space, so
+/// `ProductSpace::len` overflows `usize` and panics (by design, instead
+/// of wrapping) — *after* the leader has registered the in-flight entry.
+fn poison_request() -> ExploreRequest {
+    let values: Vec<f64> = (0..256).map(f64::from).collect();
+    let axes = (0..8).map(|_| AxisSpec::new("f", &values)).collect();
+    ExploreRequest::new("astar", SpaceSpec::product(None, axes))
+}
+
+#[test]
+fn leader_panic_answers_500_frees_the_flight_and_never_strands_followers() {
+    let server = serve(ServeConfig {
+        max_inflight_sweeps: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = serde_json::to_string(&poison_request()).unwrap();
+
+    // Concurrent identical poison requests: the leader panics between
+    // registering the flight and completing it. Before the drop-guard
+    // fix, the leader's connection died and every follower blocked on
+    // the flight condvar forever (this test hung here).
+    const N: usize = 6;
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| scope.spawn(|| post(addr, "/v1/explore", &body)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &replies {
+        assert_eq!(r.status, 500, "{}", r.body);
+        let err: pmt_api::ErrorBody = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(err.code, "internal");
+        assert!(err.message.contains("panicked"), "{}", err.message);
+    }
+
+    // The flight key was removed on unwind: a repeat is a fresh leader
+    // (panicking again), not a replay of a stale completed flight.
+    assert_eq!(post(addr, "/v1/explore", &body).status, 500);
+
+    // The sweep slot was released on unwind: a valid explore still gets
+    // admitted (max_inflight_sweeps is 1, so a leaked slot would 429).
+    let good = post(
+        addr,
+        "/v1/explore",
+        &serde_json::to_string(&explore_request()).unwrap(),
+    );
+    assert_eq!(good.status, 200, "{}", good.body);
+    assert_eq!(metric(addr, "rejected_busy"), 0);
     server.stop();
 }
 

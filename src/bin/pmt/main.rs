@@ -22,6 +22,7 @@
 mod args;
 mod commands;
 mod explore;
+mod merge;
 mod serve;
 
 use args::CliError;
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(rest),
         "sweep" => commands::sweep(rest),
         "explore" => explore::run(rest),
+        "merge" => merge::run(rest),
         "validate" => commands::validate(rest),
         "report" => commands::report(rest),
         "corun" => commands::corun(rest),
@@ -91,6 +93,7 @@ fn all_commands() -> Vec<&'static args::Command> {
         &commands::SIMULATE,
         &commands::SWEEP,
         &explore::EXPLORE,
+        &merge::MERGE,
         &commands::VALIDATE,
         &commands::REPORT,
         &commands::CORUN,

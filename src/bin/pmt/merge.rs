@@ -1,0 +1,63 @@
+//! `pmt merge` — fold shard snapshots back into one `ExploreResponse`.
+//!
+//! The inputs are the [`AccumulatorSnapshot`] files that
+//! `pmt explore --shard I/N --snapshot-out FILE` writes. Merging replays
+//! the single-process fold exactly — per-chunk moments in global chunk
+//! order, Pareto/top-K as order-independent sets — so the merged
+//! response (`--out`) is **byte-identical** to the file the equivalent
+//! unsharded `pmt explore --out` run writes. CI's shard-smoke job
+//! asserts this, including for a shard that was SIGKILLed mid-sweep and
+//! resumed from its checkpoint.
+
+use crate::args::{CliError, Command, Flag};
+use crate::commands::api_err;
+use pmt::api::AccumulatorSnapshot;
+
+pub const MERGE: Command = Command {
+    name: "merge",
+    about: "merge shard snapshots into one explore response",
+    positionals: "<snapshot.json>...",
+    flags: &[Flag::value(
+        "--out",
+        "FILE",
+        "write the merged wire-schema ExploreResponse here",
+    )],
+};
+
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let parsed = match MERGE.parse(args)? {
+        Some(parsed) => parsed,
+        None => return Ok(()),
+    };
+    let paths = parsed.positionals();
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "`pmt merge` needs at least one snapshot file (see `pmt merge --help`)".to_string(),
+        ));
+    }
+
+    let mut snapshots: Vec<AccumulatorSnapshot> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
+        let snap: AccumulatorSnapshot = serde_json::from_str(&json)
+            .map_err(|e| CliError::Runtime(format!("parsing {path}: {e}")))?;
+        snapshots.push(snap);
+    }
+
+    eprintln!(
+        "merging {} shard snapshot{}...",
+        snapshots.len(),
+        if snapshots.len() == 1 { "" } else { "s" }
+    );
+    let space_label = snapshots[0].request.space.label();
+    let resp = pmt::serve::engine::merge_response(&snapshots).map_err(api_err)?;
+    crate::explore::print_response(&resp, &space_label);
+
+    if let Some(path) = parsed.value("--out") {
+        let json = serde_json::to_string(&resp).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("merged explore response -> {path}");
+    }
+    Ok(())
+}

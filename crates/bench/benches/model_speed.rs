@@ -2,18 +2,24 @@
 //! must be orders of magnitude faster than cycle-level simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
-use pmt_profiler::{Profiler, ProfilerConfig};
+use pmt_core::{BatchPredictor, IntervalModel, ModelConfig, PreparedProfile};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_sim::{OooSimulator, SimConfig};
 use pmt_uarch::MachineConfig;
 use pmt_workloads::WorkloadSpec;
 
+/// Shared fixture: one profiled workload at the benchmark budget.
+fn fixture(name: &str, n: u64) -> (WorkloadSpec, ApplicationProfile) {
+    let spec = WorkloadSpec::by_name(name).unwrap();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named(name, &mut spec.trace(n));
+    (spec, profile)
+}
+
 fn bench_model_vs_sim(c: &mut Criterion) {
-    let spec = WorkloadSpec::by_name("astar").unwrap();
     let n = 50_000u64;
     let machine = MachineConfig::nehalem();
-    let profile =
-        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(n));
+    let (spec, profile) = fixture("astar", n);
 
     let mut group = c.benchmark_group("design-point-evaluation");
     group.sample_size(20);
@@ -34,6 +40,14 @@ fn bench_model_vs_sim(c: &mut Criterion) {
                 .predict_summary(&prepared)
                 .cpi()
         })
+    });
+    // Batched steady-state per-point cost: one predictor held across the
+    // loop, so the SoA curve queries and stride walks memoize — what a
+    // chunked sweep pays per configuration after warm-up.
+    let config = ModelConfig::default();
+    group.bench_function(BenchmarkId::new("interval-model-batched", n), |b| {
+        let mut batch = BatchPredictor::new(&prepared, &config);
+        b.iter(|| batch.predict_summary(&machine).cpi())
     });
     group.bench_function(BenchmarkId::new("cycle-level-sim", n), |b| {
         b.iter(|| {

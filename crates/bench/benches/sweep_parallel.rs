@@ -61,35 +61,65 @@ fn bench_sweep(c: &mut Criterion) {
                 .len()
         })
     });
-    // The streaming engine over the same space: identical per-point
-    // arithmetic, but folded into online accumulators instead of a
-    // collected Vec — the overhead of streaming should be noise.
-    group.bench_function(BenchmarkId::new("streaming", n), |b| {
-        let space = DesignSpace::thesis_table_6_3();
+    // The streaming engine over the same space, one point at a time: the
+    // pre-kernels baseline (identical bytes, different speed).
+    let space = DesignSpace::thesis_table_6_3();
+    group.bench_function(BenchmarkId::new("streaming-per-point", n), |b| {
+        b.iter(|| {
+            StreamingSweep::new(&profile)
+                .per_point()
+                .run(&space)
+                .frontier
+                .len()
+        })
+    });
+    // The batched kernels (the streaming default): SoA curve queries,
+    // cross-point memoization, laned CPI/seconds arithmetic.
+    group.bench_function(BenchmarkId::new("streaming-batched", n), |b| {
         b.iter(|| StreamingSweep::new(&profile).run(&space).frontier.len())
     });
     group.finish();
 
-    // Direct throughput ratio, printed once: criterion's per-benchmark
-    // times are what CI records, but the points/s ratio is the number the
-    // tentpole claims.
+    // Direct throughput ratios, printed once: criterion's per-benchmark
+    // times are what CI records, but the points/s ratios are the numbers
+    // the tentpole claims.
     let reps = 5;
-    let t0 = Instant::now();
-    for _ in 0..reps {
+    let time = |f: &dyn Fn()| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t.elapsed().as_secs_f64().max(1e-12)
+    };
+    let serial = time(&|| {
         SpaceEvaluation::run_serial(&points, &profile, None, &cfg);
-    }
-    let serial = t0.elapsed();
-    let t1 = Instant::now();
-    for _ in 0..reps {
+    });
+    let parallel = time(&|| {
         SpaceEvaluation::run(&points, &profile, None, &cfg);
-    }
-    let parallel = t1.elapsed();
-    let ratio = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12);
+    });
+    let per_point = time(&|| {
+        StreamingSweep::new(&profile)
+            .per_point()
+            .serial()
+            .run(&space);
+    });
+    let batched = time(&|| {
+        StreamingSweep::new(&profile).serial().run(&space);
+    });
+    let pts = (n * reps) as f64;
     println!(
-        "sweep throughput: serial {:.0} pts/s, parallel {:.0} pts/s — {ratio:.2}x on {} thread(s)",
-        (n * reps) as f64 / serial.as_secs_f64(),
-        (n * reps) as f64 / parallel.as_secs_f64(),
+        "sweep throughput: serial {:.0} pts/s, parallel {:.0} pts/s — {:.2}x on {} thread(s)",
+        pts / serial,
+        pts / parallel,
+        serial / parallel,
         rayon::current_num_threads(),
+    );
+    println!(
+        "kernel throughput (serial): per-point {:.0} pts/s, batched {:.0} pts/s — {:.2}x ({})",
+        pts / per_point,
+        pts / batched,
+        per_point / batched,
+        pmt_core::kernels::lanes::simd_level().label(),
     );
 }
 

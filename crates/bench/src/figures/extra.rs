@@ -73,7 +73,9 @@ struct PathRates {
     parallel_points_per_s: f64,
 }
 
-/// The streaming engine measured over the ≥100k-point lazy demo space.
+/// The streaming engine measured over the ≥100k-point lazy demo space,
+/// **one point at a time** (`.per_point()`) — the pre-kernels baseline,
+/// rate-comparable with schema-v2 records.
 #[derive(Serialize)]
 struct StreamingRates {
     /// Size of the lazily decoded space (≥ 100k by construction).
@@ -85,6 +87,23 @@ struct StreamingRates {
     /// Peak heap growth during the parallel streaming sweep; `None` when
     /// the counting allocator is not installed (any process but the
     /// `speedup` binary itself).
+    peak_alloc_bytes: Option<usize>,
+}
+
+/// The batched-kernels path (the streaming default) over the same lazy
+/// demo space: SoA curve queries, cross-point memoization and laned
+/// CPI/seconds arithmetic. `streaming` is measured with `.per_point()`,
+/// so these two arms isolate exactly what the kernels buy — the fold and
+/// its answers are bit-identical either way.
+#[derive(Serialize)]
+struct BatchedRates {
+    space_points: usize,
+    serial_points_per_s: f64,
+    parallel_points_per_s: f64,
+    /// Serial batched rate ÷ serial per-point streaming rate.
+    speedup_vs_streaming_serial: f64,
+    /// Peak heap growth during the parallel batched sweep (same counting
+    /// allocator caveat as [`StreamingRates::peak_alloc_bytes`]).
     peak_alloc_bytes: Option<usize>,
 }
 
@@ -115,8 +134,15 @@ struct BenchModelRecord {
     speedup_serial: f64,
     speedup_parallel: f64,
     /// Fold-online path: `StreamingSweep` over the lazy ≥100k-point
-    /// demo space — bounded memory regardless of space size.
+    /// demo space — bounded memory regardless of space size. Measured
+    /// with `.per_point()` since schema 3 (the v2-comparable baseline).
     streaming: StreamingRates,
+    /// The batched prediction kernels over the same space — the
+    /// streaming default since schema 3.
+    batched: BatchedRates,
+    /// Which kernel lane implementation the batched arm dispatched to
+    /// (`"scalar"` under `PMT_FORCE_SCALAR` or without SIMD support).
+    kernel_simd: &'static str,
     /// The same space materialized (`Vec<DesignPoint>` +
     /// `Vec<PointOutcome>`), the memory baseline streaming removes.
     collected: CollectedRates,
@@ -204,22 +230,43 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
     // Streaming vs collected over the ≥100k-point lazy demo space: the
     // rate and — when this process installed the counting allocator —
     // the peak-allocation comparison proving the engine's memory stays
-    // bounded by the answer, not the space.
+    // bounded by the answer, not the space. The `streaming` arm runs
+    // `.per_point()` (the pre-kernels baseline, v2-comparable); the
+    // `batched` arm is the engine's default path through the SoA
+    // prediction kernels — identical answers, and the rate ratio is the
+    // kernels' headline.
     let big = ProductSpace::frontier_demo();
-    let streaming_sweep = StreamingSweep::new(&profile).model(cfg.model.clone());
+    let sweep = || StreamingSweep::new(&profile).model(cfg.model.clone());
     let t_s0 = Instant::now();
-    let stream_serial = streaming_sweep.serial().run(&big);
+    let stream_serial = sweep().per_point().serial().run(&big);
     let t_stream_serial = t_s0.elapsed();
-    let streaming_sweep = StreamingSweep::new(&profile).model(cfg.model.clone());
     let stream_base = alloc_track::mark();
     let t_s1 = Instant::now();
-    let stream_parallel = streaming_sweep.run(&big);
+    let stream_parallel = sweep().per_point().run(&big);
     let t_stream_parallel = t_s1.elapsed();
     let stream_peak = alloc_track::peak_since(stream_base);
+    let t_b0 = Instant::now();
+    let batched_serial = sweep().serial().run(&big);
+    let t_batched_serial = t_b0.elapsed();
+    let batched_base = alloc_track::mark();
+    let t_b1 = Instant::now();
+    let batched_parallel = sweep().run(&big);
+    let t_batched_parallel = t_b1.elapsed();
+    let batched_peak = alloc_track::peak_since(batched_base);
     assert_eq!(
-        stream_serial.frontier.len(),
-        stream_parallel.frontier.len(),
+        stream_serial.frontier_ids(),
+        stream_parallel.frontier_ids(),
         "serial and parallel streaming folds disagree"
+    );
+    assert_eq!(
+        stream_serial.frontier_ids(),
+        batched_serial.frontier_ids(),
+        "batched kernels drifted from the per-point fold"
+    );
+    assert_eq!(
+        batched_serial.frontier_ids(),
+        batched_parallel.frontier_ids(),
+        "serial and parallel batched folds disagree"
     );
 
     let collect_base = alloc_track::mark();
@@ -239,6 +286,14 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
         parallel_points_per_s: big_rate(t_stream_parallel),
         frontier_points: stream_parallel.frontier.len(),
         peak_alloc_bytes: stream_peak,
+    };
+    let batched = BatchedRates {
+        space_points: big.len(),
+        serial_points_per_s: big_rate(t_batched_serial),
+        parallel_points_per_s: big_rate(t_batched_parallel),
+        speedup_vs_streaming_serial: big_rate(t_batched_serial)
+            / big_rate(t_stream_serial).max(1e-12),
+        peak_alloc_bytes: batched_peak,
     };
     let collected = CollectedRates {
         space_points: collected_n,
@@ -261,7 +316,7 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
     let total = (points.len() as u32 * reps) as f64;
     let rate = |d: Duration| total / d.as_secs_f64().max(1e-12);
     let record = BenchModelRecord {
-        schema_version: 2,
+        schema_version: 3,
         bench: "sweep_points_per_second",
         workload: "astar",
         instructions: n,
@@ -279,6 +334,8 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
         speedup_serial: rate(t_prepared_serial) / rate(t_legacy_serial).max(1e-12),
         speedup_parallel: rate(t_prepared_parallel) / rate(t_legacy_parallel).max(1e-12),
         streaming,
+        batched,
+        kernel_simd: pmt_core::kernels::lanes::simd_level().label(),
         collected,
     };
     // A requested record that cannot be written is a hard error: CI's
@@ -369,7 +426,7 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
             columns: vec!["path".into(), "points/s".into(), "peak alloc".into()],
             rows: vec![
                 vec![
-                    "streaming (fold online, serial)".into(),
+                    "streaming (per point, serial)".into(),
                     format!(
                         "{} pts/s",
                         fmt::f64(record.streaming.serial_points_per_s, 0)
@@ -377,12 +434,25 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
                     "—".into(),
                 ],
                 vec![
-                    "streaming (fold online, parallel)".into(),
+                    "streaming (per point, parallel)".into(),
                     format!(
                         "{} pts/s",
                         fmt::f64(record.streaming.parallel_points_per_s, 0)
                     ),
                     mb(record.streaming.peak_alloc_bytes),
+                ],
+                vec![
+                    "streaming (batched kernels, serial)".into(),
+                    format!("{} pts/s", fmt::f64(record.batched.serial_points_per_s, 0)),
+                    "—".into(),
+                ],
+                vec![
+                    "streaming (batched kernels, parallel)".into(),
+                    format!(
+                        "{} pts/s",
+                        fmt::f64(record.batched.parallel_points_per_s, 0)
+                    ),
+                    mb(record.batched.peak_alloc_bytes),
                 ],
                 vec![
                     "collected (materialize every point)".into(),
@@ -396,9 +466,14 @@ pub fn speedup(cfg: &HarnessConfig) -> Vec<Figure> {
         },
     )
     .note(format!(
-        "{} frontier survivors kept out of {} points; peak alloc is live-heap \
-         growth during the sweep (counting allocator, speedup binary only)",
-        record.streaming.frontier_points, record.streaming.space_points
+        "{} frontier survivors kept out of {} points; batched kernels \
+         ({}) are {}× the per-point serial rate, bit-identical fold; peak \
+         alloc is live-heap growth during the sweep (counting allocator, \
+         speedup binary only)",
+        record.streaming.frontier_points,
+        record.streaming.space_points,
+        record.kernel_simd,
+        fmt::f64(record.batched.speedup_vs_streaming_serial, 1)
     ));
     vec![sim_table, prepared_table, streaming_table]
 }

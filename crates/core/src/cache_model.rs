@@ -100,6 +100,26 @@ impl CacheModel {
         }
     }
 
+    /// Assemble a model from precomputed query results. The batched
+    /// kernels answer the six searches of
+    /// [`from_fitted`](Self::from_fitted) against their flat SoA curve
+    /// storage (with memoization across design points) and hand the
+    /// results back through here; the values must be exactly what
+    /// `from_fitted` would have produced for the same `model`/lines.
+    pub(crate) fn from_parts(
+        model: &Arc<StackDistanceModel>,
+        critical_rd: [u64; 3],
+        ratios: MissRatios,
+        cold_fraction: f64,
+    ) -> CacheModel {
+        CacheModel {
+            critical_rd,
+            ratios,
+            cold_fraction,
+            model: Arc::clone(model),
+        }
+    }
+
     /// The underlying StatStack model.
     pub fn stack_model(&self) -> &StackDistanceModel {
         &self.model

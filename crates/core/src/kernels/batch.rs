@@ -1,0 +1,254 @@
+//! The batched prediction path: one [`BatchPredictor`] per
+//! (prepared profile, model config) evaluates a whole chunk of design
+//! points, answering curve queries from the flat `CurveArena` and
+//! memoizing the expensive machine-dependent computations across
+//! points.
+//!
+//! # Why the results are bit-identical to the scalar path
+//!
+//! The predictor runs the *same* `Evaluator` arithmetic as
+//! `IntervalModel::predict_summary` — only the `EvalHooks` differ, and
+//! both hook implementations are deterministic functions of the same
+//! inputs:
+//!
+//! * **Cache queries** are keyed by `(curve, per-level line counts)` —
+//!   the complete input set of `CacheModel::from_fitted` — and answered
+//!   by the arena's transcription of the scalar searches. A memo hit
+//!   replays bytes the transcription produced earlier for identical
+//!   inputs.
+//! * **Stride walks** are keyed by every machine-dependent value
+//!   `StrideMlpModel::evaluate_stream` reads for a fixed window: the
+//!   window identity (fixing skeleton, static loads, stream length and
+//!   cold counts), the L3 critical reuse distance of the window's load
+//!   curve (the only field of `loads_model` the walk touches), ROB size,
+//!   MSHR entries, and — only when the prefetcher is enabled, the only
+//!   case that reads them — the prefetch-table size, DRAM page size,
+//!   DRAM latency and the effective dispatch rate. `llc_store_misses`
+//!   is a pure pass-through in the walk, so it stays out of the key and
+//!   is overwritten with the current point's value after a hit. A miss
+//!   computes through the very same `stride_stream_behavior` the scalar
+//!   hooks call.
+//! * **Critical paths and branch penalties** are keyed by their complete
+//!   input sets — `(window, rob)` for CP(ROB), and the window plus every
+//!   scalar the leaky-bucket walk (Alg 3.2) reads for the branch
+//!   penalty. The walk iterates up to the misprediction interval with a
+//!   dependency-curve interpolation per step, which makes it the single
+//!   most expensive machine-dependent computation in a sweep — and its
+//!   inputs are untouched by frequency, MSHR and last-level-cache axes,
+//!   so most points replay it from the memo.
+//!
+//! Memo hits are what make batching ≥3× faster on sweep-shaped spaces:
+//! neighbouring design points share most axes, so most points reuse
+//! earlier points' curve queries, stride walks and branch penalties
+//! outright.
+
+use crate::branch_penalty::{branch_penalty, BranchPenalty};
+use crate::cache_model::CacheModel;
+use crate::config::ModelConfig;
+use crate::kernels::arena::{CachePoint, CurveArena};
+use crate::mlp::MemoryBehavior;
+use crate::model::{
+    stride_stream_behavior, CurveId, EvalHooks, Evaluator, PredictionSummary, WindowInputs,
+};
+use crate::prepared::PreparedProfile;
+use pmt_statstack::StackDistanceModel;
+use pmt_uarch::MachineConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Complete input set of a cache query: which curve, at which per-level
+/// line counts.
+type CacheKey = (u32, [u64; 3]);
+
+/// Complete machine-dependent input set of one window's stride walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct StrideKey {
+    window: u32,
+    crit_l3: u64,
+    rob: u32,
+    mshr: u32,
+    /// Present iff the prefetcher is enabled — the only case in which
+    /// the walk reads any of these fields.
+    prefetch: Option<PrefetchKey>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PrefetchKey {
+    table_entries: u32,
+    dram_page_bytes: u32,
+    dram_latency: u32,
+    deff_bits: u64,
+}
+
+/// Complete input set of one window's branch-penalty computation
+/// (leaky-bucket Alg 3.2): the window fixes the dependency profile; the
+/// scalars are everything else `branch_penalty` reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct BranchKey {
+    window: u32,
+    rob: u32,
+    width: u32,
+    frontend_depth: u32,
+    interval_bits: u64,
+    lat_bits: u64,
+}
+
+/// Batched predictor for one prepared profile under one model
+/// configuration: build once per chunk of design points, then call
+/// [`predict_summary`](Self::predict_summary) per point (or
+/// [`predict_batch_into`](Self::predict_batch_into) for a whole slice).
+/// Later points reuse earlier points' memoized curve queries and stride
+/// walks; results are bit-identical to
+/// `IntervalModel::predict_summary`, in any evaluation order.
+pub struct BatchPredictor<'p, 'a> {
+    prepared: &'p PreparedProfile<'a>,
+    config: ModelConfig,
+    arena: CurveArena,
+    cache_memo: HashMap<CacheKey, CachePoint>,
+    stride_memo: HashMap<StrideKey, MemoryBehavior>,
+    /// CP(ROB) per `(window, rob)`.
+    cp_memo: HashMap<(u32, u32), f64>,
+    /// Branch penalties per complete leaky-bucket input set.
+    branch_memo: HashMap<BranchKey, BranchPenalty>,
+}
+
+impl<'p, 'a> BatchPredictor<'p, 'a> {
+    /// Lay the profile's fitted curves out as flat SoA arrays and set up
+    /// empty memo tables. One config clone total — per-point evaluation
+    /// clones nothing.
+    pub fn new(prepared: &'p PreparedProfile<'a>, config: &ModelConfig) -> BatchPredictor<'p, 'a> {
+        BatchPredictor {
+            prepared,
+            config: config.clone(),
+            arena: CurveArena::new(prepared),
+            cache_memo: HashMap::new(),
+            stride_memo: HashMap::new(),
+            cp_memo: HashMap::new(),
+            branch_memo: HashMap::new(),
+        }
+    }
+
+    /// The prepared profile this predictor evaluates.
+    pub fn prepared(&self) -> &'p PreparedProfile<'a> {
+        self.prepared
+    }
+
+    /// Predict one design point, reusing everything memoized so far.
+    /// Bit-identical to `IntervalModel::with_config(machine,
+    /// config).predict_summary(prepared)`.
+    pub fn predict_summary(&mut self, machine: &MachineConfig) -> PredictionSummary {
+        let mut hooks = BatchHooks {
+            arena: &self.arena,
+            cache_memo: &mut self.cache_memo,
+            stride_memo: &mut self.stride_memo,
+            cp_memo: &mut self.cp_memo,
+            branch_memo: &mut self.branch_memo,
+        };
+        Evaluator {
+            machine,
+            config: &self.config,
+        }
+        .run(self.prepared, false, &mut hooks)
+        .0
+    }
+
+    /// Predict a whole chunk of design points in order, appending one
+    /// summary per machine to `out` (cleared first).
+    pub fn predict_batch_into<'m, I>(&mut self, machines: I, out: &mut Vec<PredictionSummary>)
+    where
+        I: IntoIterator<Item = &'m MachineConfig>,
+    {
+        out.clear();
+        for machine in machines {
+            out.push(self.predict_summary(machine));
+        }
+    }
+}
+
+/// The batched [`EvalHooks`]: arena-backed cache queries and memoized
+/// stride walks. Borrows the predictor's parts separately so the
+/// `Evaluator` can hold `&mut hooks` while the predictor's profile stays
+/// borrowed.
+struct BatchHooks<'s> {
+    arena: &'s CurveArena,
+    cache_memo: &'s mut HashMap<CacheKey, CachePoint>,
+    stride_memo: &'s mut HashMap<StrideKey, MemoryBehavior>,
+    cp_memo: &'s mut HashMap<(u32, u32), f64>,
+    branch_memo: &'s mut HashMap<BranchKey, BranchPenalty>,
+}
+
+impl EvalHooks for BatchHooks<'_> {
+    fn cache_model(
+        &mut self,
+        id: CurveId,
+        model: &Arc<StackDistanceModel>,
+        lines: [u64; 3],
+    ) -> CacheModel {
+        let curve = id.arena_index();
+        let point = *self
+            .cache_memo
+            .entry((curve, lines))
+            .or_insert_with(|| self.arena.evaluate(curve, lines));
+        CacheModel::from_parts(model, point.critical_rd, point.ratios, point.cold_fraction)
+    }
+
+    fn stride(
+        &mut self,
+        machine: &MachineConfig,
+        deff: f64,
+        inp: &WindowInputs<'_>,
+        loads: f64,
+        store_llc_misses: f64,
+    ) -> MemoryBehavior {
+        let key = StrideKey {
+            window: inp.window,
+            crit_l3: inp.loads_model.critical_rd[2],
+            rob: machine.core.rob_size,
+            mshr: machine.mem.mshr_entries,
+            prefetch: machine.prefetcher.enabled.then(|| PrefetchKey {
+                table_entries: machine.prefetcher.table_entries,
+                dram_page_bytes: machine.mem.dram_page_bytes,
+                dram_latency: machine.mem.dram_latency,
+                deff_bits: deff.to_bits(),
+            }),
+        };
+        let mut behavior = *self
+            .stride_memo
+            .entry(key)
+            .or_insert_with(|| stride_stream_behavior(machine, deff, inp, loads, store_llc_misses));
+        // Pass-through field, not part of the walk: always the current
+        // point's value.
+        behavior.llc_store_misses = store_llc_misses;
+        behavior
+    }
+
+    fn critical_path(&mut self, inp: &WindowInputs<'_>, rob: u32) -> f64 {
+        *self
+            .cp_memo
+            .entry((inp.window, rob))
+            .or_insert_with(|| inp.deps.cp(rob))
+    }
+
+    fn branch(
+        &mut self,
+        inp: &WindowInputs<'_>,
+        rob: u32,
+        width: u32,
+        frontend_depth: u32,
+        interval: f64,
+        lat: f64,
+    ) -> BranchPenalty {
+        let key = BranchKey {
+            window: inp.window,
+            rob,
+            width,
+            frontend_depth,
+            interval_bits: interval.to_bits(),
+            lat_bits: lat.to_bits(),
+        };
+        *self
+            .branch_memo
+            .entry(key)
+            .or_insert_with(|| branch_penalty(inp.deps, rob, width, frontend_depth, interval, lat))
+    }
+}

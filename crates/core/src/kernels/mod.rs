@@ -1,0 +1,33 @@
+//! Batched structure-of-arrays prediction kernels.
+//!
+//! The scalar hot path ([`IntervalModel::predict_summary`]) evaluates one
+//! design point at a time: per point it chases one `Arc` per fitted
+//! StatStack curve, runs six binary searches per curve, and re-walks the
+//! stride-MLP virtual stream. This module restructures that work around
+//! *batches* of design points:
+//!
+//! * `arena` *(internal)* — every fitted curve of a
+//!   [`PreparedProfile`](crate::PreparedProfile) laid out once as flat
+//!   sorted SoA arrays (`floors`/`survival`/`stack`), queried in place;
+//! * [`search`] — the branchless sorted-slice search those queries use,
+//!   probe-for-probe identical to `std`'s binary search;
+//! * [`lanes`] — chunked elementwise f64 arithmetic (`core::arch` SIMD
+//!   behind a scalar-identical runtime-selected fallback;
+//!   `PMT_FORCE_SCALAR=1` forces the fallback) for the outer
+//!   per-point arrays (CPI, seconds);
+//! * [`BatchPredictor`] — the entry point: one per (prepared profile,
+//!   config), memoizing curve queries and stride walks across the
+//!   points of a batch.
+//!
+//! Everything here is bit-identical to the scalar path by construction
+//! (same arithmetic, same probe sequences, per-lane correctly-rounded
+//! SIMD); `crates/core/tests/batch_identity.rs` pins it.
+//!
+//! [`IntervalModel::predict_summary`]: crate::IntervalModel::predict_summary
+
+pub(crate) mod arena;
+pub mod batch;
+pub mod lanes;
+pub mod search;
+
+pub use batch::BatchPredictor;

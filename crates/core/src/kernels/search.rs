@@ -1,0 +1,163 @@
+//! Branchless sorted-slice search, probe-for-probe identical to
+//! `std`'s `slice::binary_search_by`.
+//!
+//! The batched kernels answer miss-ratio / critical-reuse-distance
+//! queries against the same fitted curves the scalar path searches with
+//! `binary_search` / `binary_search_by`. Those curves may contain
+//! *duplicate* knots (a zero-survival segment repeats the same expected
+//! stack distance), and the scalar code's behaviour on duplicates is
+//! semantically load-bearing: `Ok(i)` indexes into a parallel `floors`
+//! array, so returning a *different* matching index would change the
+//! result. Bit-identity therefore requires replicating `std`'s exact
+//! probe sequence — including which of several equal elements it lands
+//! on — not merely "a correct binary search".
+//!
+//! `std`'s current algorithm is already the branchless shape we want:
+//! the loop runs a *fixed* `⌈log₂ len⌉` iterations with no early exit
+//! (so the iteration count never depends on the data), and the window
+//! update is a conditional move (`base` either stays or jumps to `mid`).
+//! The functions below transcribe it literally. An interpolated *first
+//! probe* (guessing the index from the value range) was rejected: it
+//! visits a different probe path and can land on a different `Ok` index
+//! when knots repeat. The interpolation the module docs promise lives
+//! *after* the search — the caller solves
+//! `floors[i-1] + (target - stack[i-1]) / survival[i-1]` within the
+//! located segment, which is the interpolation step of the
+//! critical-reuse-distance query itself.
+//!
+//! The differential suite (`tests/search_differential.rs` plus the unit
+//! tests below) pins index-exact agreement with `std` on adversarial
+//! shapes, so a future `std` algorithm change fails loudly instead of
+//! silently shifting golden files.
+
+/// Search a sorted `f64` slice for `target`, returning exactly what
+/// `xs.binary_search_by(|x| x.partial_cmp(&target).unwrap())` returns —
+/// the same `Ok` index on duplicates, the same `Err` insertion point.
+///
+/// Precondition: neither `xs` nor `target` contains NaN (the scalar
+/// path's `partial_cmp(..).unwrap()` would panic on NaN; this routine
+/// would return an arbitrary `Err`). The fitted curves never contain
+/// NaN.
+#[inline]
+pub fn search_f64(xs: &[f64], target: f64) -> Result<usize, usize> {
+    let mut size = xs.len();
+    if size == 0 {
+        return Err(0);
+    }
+    let mut base = 0usize;
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        // Greater keeps `base`; Less *or Equal* jumps to `mid` — this
+        // cmov is what decides which duplicate the search lands on.
+        base = if xs[mid] > target { base } else { mid };
+        size -= half;
+    }
+    let v = xs[base];
+    if v == target {
+        Ok(base)
+    } else {
+        Err(base + (v < target) as usize)
+    }
+}
+
+/// Search a sorted `u64` slice for `target`, returning exactly what
+/// `xs.binary_search(&target)` returns.
+#[inline]
+pub fn search_u64(xs: &[u64], target: u64) -> Result<usize, usize> {
+    let mut size = xs.len();
+    if size == 0 {
+        return Err(0);
+    }
+    let mut base = 0usize;
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        base = if xs[mid] > target { base } else { mid };
+        size -= half;
+    }
+    let v = xs[base];
+    if v == target {
+        Ok(base)
+    } else {
+        Err(base + (v < target) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_matches_std_f64(xs: &[f64], target: f64) {
+        let std_result = xs.binary_search_by(|x| x.partial_cmp(&target).unwrap());
+        assert_eq!(
+            search_f64(xs, target),
+            std_result,
+            "f64 divergence on {xs:?} target {target}"
+        );
+    }
+
+    fn assert_matches_std_u64(xs: &[u64], target: u64) {
+        assert_eq!(
+            search_u64(xs, target),
+            xs.binary_search(&target),
+            "u64 divergence on {xs:?} target {target}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(search_f64(&[], 1.0), Err(0));
+        assert_eq!(search_u64(&[], 1), Err(0));
+        for t in [-1.0, 0.0, 1.0] {
+            assert_matches_std_f64(&[0.0], t);
+        }
+        for t in [0u64, 1, 2] {
+            assert_matches_std_u64(&[1], t);
+        }
+    }
+
+    #[test]
+    fn duplicates_pick_the_same_index_as_std() {
+        // The load-bearing case: which of several equal elements is
+        // returned must match std exactly, for every duplicate-run shape.
+        for len in 1..=9usize {
+            for start in 0..len {
+                for run in 1..=(len - start) {
+                    let xs: Vec<f64> = (0..len)
+                        .map(|i| {
+                            if i < start {
+                                i as f64
+                            } else if i < start + run {
+                                start as f64
+                            } else {
+                                i as f64 + 100.0
+                            }
+                        })
+                        .collect();
+                    assert_matches_std_f64(&xs, start as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn misses_agree_on_insertion_point() {
+        let xs = [1.0, 3.0, 3.0, 3.0, 7.0, 9.0];
+        for t in [0.0, 2.0, 3.5, 8.0, 10.0] {
+            assert_matches_std_f64(&xs, t);
+        }
+        let ys = [2u64, 4, 4, 4, 8, u64::MAX];
+        for t in [0u64, 3, 4, 5, 9, u64::MAX, u64::MAX - 1] {
+            assert_matches_std_u64(&ys, t);
+        }
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let xs = [0.0, f64::MIN_POSITIVE, 1.0, f64::MAX];
+        for t in [0.0, f64::MIN_POSITIVE, 0.5, 1.0, f64::MAX, f64::INFINITY] {
+            assert_matches_std_f64(&xs, t);
+        }
+    }
+}

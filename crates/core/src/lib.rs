@@ -54,6 +54,7 @@ pub mod branch_penalty;
 pub mod cache_model;
 mod config;
 pub mod dispatch;
+pub mod kernels;
 pub mod llc_chaining;
 pub mod mlp;
 mod model;
@@ -63,6 +64,7 @@ mod prepared;
 pub mod smt;
 
 pub use config::{EvaluationMode, MlpModelKind, ModelConfig};
+pub use kernels::BatchPredictor;
 pub use model::{IntervalModel, Prediction, PredictionSummary, WindowPrediction};
 pub use moments::Moments;
 pub use multicore::{CorePrediction, CorunPrediction, MulticoreModel};

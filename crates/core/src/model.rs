@@ -1,6 +1,6 @@
 //! The assembled interval model (Eq 3.1) and its predictions.
 
-use crate::branch_penalty::branch_penalty;
+use crate::branch_penalty::{branch_penalty, BranchPenalty};
 use crate::cache_model::CacheModel;
 use crate::config::{EvaluationMode, MlpModelKind, ModelConfig};
 use crate::dispatch::{effective_dispatch_rate, DispatchBreakdown};
@@ -11,9 +11,11 @@ use pmt_profiler::{
     ApplicationProfile, DependenceProfile, LoadDependenceDistribution, MicroTraceProfile,
     StaticLoadProfile,
 };
+use pmt_statstack::StackDistanceModel;
 use pmt_trace::UopClass;
 use pmt_uarch::{ActivityVector, CpiComponent, CpiStack, MachineConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Prediction for one evaluation window (a micro-trace's window, or the
 /// whole application in combined mode).
@@ -183,14 +185,17 @@ pub struct IntervalModel {
 }
 
 /// Everything one window evaluation needs.
-struct WindowInputs<'a> {
+pub(crate) struct WindowInputs<'a> {
+    /// Position of this window in evaluation order (0 in combined mode) —
+    /// the identity batched hooks memoize per-window state under.
+    pub(crate) window: u32,
     index: u64,
     instructions: f64,
     class_counts: [f64; UopClass::COUNT],
-    deps: &'a DependenceProfile,
+    pub(crate) deps: &'a DependenceProfile,
     load_deps: &'a LoadDependenceDistribution,
     entropy: f64,
-    loads_model: CacheModel,
+    pub(crate) loads_model: CacheModel,
     stores_model: CacheModel,
     static_loads: &'a [StaticLoadProfile],
     /// Prebuilt virtual-stream skeleton for the stride-MLP model.
@@ -346,8 +351,161 @@ impl IntervalModel {
         prepared: &PreparedProfile<'_>,
         collect_windows: bool,
     ) -> (PredictionSummary, Vec<WindowPrediction>) {
+        Evaluator {
+            machine: &self.machine,
+            config: &self.config,
+        }
+        .run(prepared, collect_windows, &mut DirectHooks)
+    }
+}
+
+/// Identifies one fitted StatStack curve of a [`PreparedProfile`] across
+/// an evaluation — the key batched hooks use to find the curve's flat SoA
+/// storage and memoize queries against it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum CurveId {
+    /// The instruction-path model.
+    Inst,
+    /// The global (combined-mode) load model.
+    GlobalLoads,
+    /// The global (combined-mode) store model.
+    GlobalStores,
+    /// Window `i`'s load model.
+    WindowLoads(u32),
+    /// Window `i`'s store model.
+    WindowStores(u32),
+}
+
+impl CurveId {
+    /// Position of this curve in [`PreparedProfile`] evaluation order
+    /// (instruction, global loads, global stores, then each window's
+    /// loads/stores pair) — the layout `kernels::CurveArena` builds.
+    pub(crate) fn arena_index(self) -> u32 {
+        match self {
+            CurveId::Inst => 0,
+            CurveId::GlobalLoads => 1,
+            CurveId::GlobalStores => 2,
+            CurveId::WindowLoads(i) => 3 + 2 * i,
+            CurveId::WindowStores(i) => 4 + 2 * i,
+        }
+    }
+}
+
+/// The two machine-dependent computations [`Evaluator`] delegates, so the
+/// batched kernels can answer them from flat SoA curves and per-batch
+/// memoization while the scalar path computes them directly. Both
+/// implementations must return bit-identical values — the conformance
+/// suite (`tests/batch_identity.rs`) pins this on each path.
+pub(crate) trait EvalHooks {
+    /// Resolve one fitted curve's machine-dependent cache queries:
+    /// critical reuse distances and miss ratios at `lines`.
+    fn cache_model(
+        &mut self,
+        id: CurveId,
+        model: &Arc<StackDistanceModel>,
+        lines: [u64; 3],
+    ) -> CacheModel;
+
+    /// Run the stride-MLP virtual-stream walk for one window.
+    fn stride(
+        &mut self,
+        machine: &MachineConfig,
+        deff: f64,
+        inp: &WindowInputs<'_>,
+        loads: f64,
+        store_llc_misses: f64,
+    ) -> MemoryBehavior;
+
+    /// CP(ROB): the window dependency profile's critical-path length.
+    /// A pure function of `(window, rob)` — the batched hooks memoize it.
+    fn critical_path(&mut self, inp: &WindowInputs<'_>, rob: u32) -> f64 {
+        inp.deps.cp(rob)
+    }
+
+    /// The branch-misprediction penalty (leaky-bucket Alg 3.2) for one
+    /// window. A pure function of the window's dependency profile and
+    /// the five scalars — the complete input set of
+    /// [`branch_penalty`], which the batched hooks key a memo by.
+    fn branch(
+        &mut self,
+        inp: &WindowInputs<'_>,
+        rob: u32,
+        width: u32,
+        frontend_depth: u32,
+        interval: f64,
+        lat: f64,
+    ) -> BranchPenalty {
+        branch_penalty(inp.deps, rob, width, frontend_depth, interval, lat)
+    }
+}
+
+/// The scalar path: every query computed directly, exactly as the
+/// one-point model always has.
+pub(crate) struct DirectHooks;
+
+impl EvalHooks for DirectHooks {
+    fn cache_model(
+        &mut self,
+        _id: CurveId,
+        model: &Arc<StackDistanceModel>,
+        lines: [u64; 3],
+    ) -> CacheModel {
+        CacheModel::from_fitted(model, lines)
+    }
+
+    fn stride(
+        &mut self,
+        machine: &MachineConfig,
+        deff: f64,
+        inp: &WindowInputs<'_>,
+        loads: f64,
+        store_llc_misses: f64,
+    ) -> MemoryBehavior {
+        stride_stream_behavior(machine, deff, inp, loads, store_llc_misses)
+    }
+}
+
+/// The stride-MLP walk both hook implementations share: the batched path
+/// calls this on a memo miss, so a memo hit replays bytes produced by
+/// this very computation.
+pub(crate) fn stride_stream_behavior(
+    machine: &MachineConfig,
+    deff: f64,
+    inp: &WindowInputs<'_>,
+    loads: f64,
+    store_llc_misses: f64,
+) -> MemoryBehavior {
+    StrideMlpModel::new(machine, deff).evaluate_stream(
+        inp.stream,
+        inp.static_loads,
+        &inp.loads_model,
+        inp.stream_uops,
+        loads,
+        store_llc_misses,
+        inp.window_cold,
+    )
+}
+
+/// The evaluation core behind [`IntervalModel`], borrowing machine and
+/// config so batched callers can evaluate one design point per call
+/// without cloning a `MachineConfig`/`ModelConfig` pair per point.
+pub(crate) struct Evaluator<'m> {
+    pub(crate) machine: &'m MachineConfig,
+    pub(crate) config: &'m ModelConfig,
+}
+
+impl Evaluator<'_> {
+    /// Walk the windows once, combining as we go; keep the per-window
+    /// predictions only when `collect_windows` asks.
+    pub(crate) fn run(
+        &self,
+        prepared: &PreparedProfile<'_>,
+        collect_windows: bool,
+        hooks: &mut impl EvalHooks,
+    ) -> (PredictionSummary, Vec<WindowPrediction>) {
         let profile = prepared.profile();
-        let inst_model = CacheModel::from_fitted(
+        let inst_model = hooks.cache_model(
+            CurveId::Inst,
             prepared.inst_model(),
             CacheModel::inst_lines(&self.machine.caches),
         );
@@ -362,36 +520,45 @@ impl IntervalModel {
         };
         match self.config.evaluation {
             EvaluationMode::PerMicroTrace if !profile.micro_traces.is_empty() => {
-                for (t, pw) in profile.micro_traces.iter().zip(prepared.windows()) {
-                    let inputs = self.trace_inputs(t, pw);
-                    fold(self.evaluate_window(&inputs, profile, &inst_model));
+                for (wi, (t, pw)) in profile
+                    .micro_traces
+                    .iter()
+                    .zip(prepared.windows())
+                    .enumerate()
+                {
+                    let inputs = self.trace_inputs(wi as u32, t, pw, hooks);
+                    fold(self.evaluate_window(&inputs, profile, &inst_model, hooks));
                 }
             }
             _ => {
-                let inputs = self.combined_inputs(profile, prepared);
-                fold(self.evaluate_window(&inputs, profile, &inst_model));
+                let inputs = self.combined_inputs(profile, prepared, hooks);
+                fold(self.evaluate_window(&inputs, profile, &inst_model, hooks));
             }
         }
         (combiner.finish(profile), windows)
     }
 
     /// Per-micro-trace inputs: machine-independent parts from the
-    /// preparation, machine-dependent cache queries done here.
+    /// preparation, machine-dependent cache queries done here. `wi` is
+    /// the window's position in evaluation order.
     fn trace_inputs<'a>(
         &self,
+        wi: u32,
         t: &'a MicroTraceProfile,
         pw: &'a PreparedWindow,
+        hooks: &mut impl EvalHooks,
     ) -> WindowInputs<'a> {
         let data_lines = CacheModel::data_lines(&self.machine.caches);
         WindowInputs {
+            window: wi,
             index: t.index,
             instructions: t.weight_instructions as f64,
             class_counts: pw.class_counts,
             deps: &t.deps,
             load_deps: &t.load_deps,
             entropy: pw.entropy,
-            loads_model: CacheModel::from_fitted(&pw.loads, data_lines),
-            stores_model: CacheModel::from_fitted(&pw.stores, data_lines),
+            loads_model: hooks.cache_model(CurveId::WindowLoads(wi), &pw.loads, data_lines),
+            stores_model: hooks.cache_model(CurveId::WindowStores(wi), &pw.stores, data_lines),
             static_loads: &t.static_loads,
             stream: &pw.stream,
             stream_uops: t.uops,
@@ -405,6 +572,7 @@ impl IntervalModel {
         &self,
         profile: &'a ApplicationProfile,
         prepared: &'a PreparedProfile<'_>,
+        hooks: &mut impl EvalHooks,
     ) -> WindowInputs<'a> {
         // The stride sample (the first micro-trace's static loads), its
         // length and its skeleton come from the preparation as one unit so
@@ -415,14 +583,15 @@ impl IntervalModel {
         let data_lines = CacheModel::data_lines(&self.machine.caches);
         let (global_loads, global_stores) = prepared.global_models();
         WindowInputs {
+            window: 0,
             index: 0,
             instructions: profile.total_instructions as f64,
             class_counts: *prepared.combined_class_counts(),
             deps: &profile.deps,
             load_deps: &profile.load_deps,
             entropy: profile.branch.entropy,
-            loads_model: CacheModel::from_fitted(global_loads, data_lines),
-            stores_model: CacheModel::from_fitted(global_stores, data_lines),
+            loads_model: hooks.cache_model(CurveId::GlobalLoads, global_loads, data_lines),
+            stores_model: hooks.cache_model(CurveId::GlobalStores, global_stores, data_lines),
             static_loads,
             stream,
             stream_uops,
@@ -437,8 +606,9 @@ impl IntervalModel {
         inp: &WindowInputs<'_>,
         profile: &ApplicationProfile,
         inst_model: &CacheModel,
+        hooks: &mut impl EvalHooks,
     ) -> WindowPrediction {
-        let m = &self.machine;
+        let m = self.machine;
         let n_uops: f64 = inp.class_counts.iter().sum();
         let rob = m.core.rob_size;
 
@@ -463,7 +633,7 @@ impl IntervalModel {
         }
 
         // --- Base: effective dispatch rate (Eq 3.10) ----------------------
-        let cp = inp.deps.cp(rob);
+        let cp = hooks.critical_path(inp, rob);
         let dispatch = effective_dispatch_rate(m, &inp.class_counts, cp, lat);
         let base_cycles = n_uops / dispatch.effective;
 
@@ -476,8 +646,8 @@ impl IntervalModel {
         let mispredicts = branches * miss_rate;
         let branch_cycles = if mispredicts > 0.5 {
             let interval = n_uops / mispredicts;
-            let pen = branch_penalty(
-                inp.deps,
+            let pen = hooks.branch(
+                inp,
                 rob,
                 m.core.dispatch_width,
                 m.core.frontend_depth,
@@ -519,6 +689,7 @@ impl IntervalModel {
             },
             &dispatch,
             profile,
+            hooks,
         );
 
         let density = memory.miss_window_density.clamp(0.0, 1.0);
@@ -609,8 +780,9 @@ impl IntervalModel {
         mem: MemoryInputs,
         dispatch: &DispatchBreakdown,
         profile: &ApplicationProfile,
+        hooks: &mut impl EvalHooks,
     ) -> MemoryBehavior {
-        let m = &self.machine;
+        let m = self.machine;
         let lr = &inp.loads_model.ratios;
         let MemoryInputs {
             loads,
@@ -619,16 +791,8 @@ impl IntervalModel {
         } = mem;
         match self.config.mlp_model {
             MlpModelKind::Stride if !inp.static_loads.is_empty() && inp.stream_uops > 0 => {
-                let model = StrideMlpModel::new(m, dispatch.effective);
-                let mut behavior = model.evaluate_stream(
-                    inp.stream,
-                    inp.static_loads,
-                    &inp.loads_model,
-                    inp.stream_uops,
-                    loads,
-                    store_llc_misses,
-                    inp.window_cold,
-                );
+                let mut behavior =
+                    hooks.stride(m, dispatch.effective, inp, loads, store_llc_misses);
                 if !self.config.mshr_cap {
                     // Undo the cap by re-flooring at the raw value — the
                     // cap is inside evaluate; approximate by scaling up.

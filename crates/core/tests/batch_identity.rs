@@ -1,0 +1,220 @@
+//! The batched-kernel conformance suite: for every machine, profile,
+//! model configuration and batch size, [`BatchPredictor`] must return
+//! exactly the bytes the scalar `predict_summary` does. Batching moves
+//! work (SoA curve queries, cross-point memoization) — never arithmetic.
+//!
+//! CI runs this suite twice: once as-is (the host's SIMD level) and once
+//! with `PMT_FORCE_SCALAR=1`, so both runtime-dispatch paths are pinned
+//! on every push.
+
+use pmt_core::kernels::lanes::LANES;
+use pmt_core::{BatchPredictor, IntervalModel, ModelConfig, PreparedProfile};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_uarch::{CacheConfig, DesignSpace, MachineConfig};
+use pmt_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared profiles (profiling dominates test time; predictions don't).
+fn profiles() -> &'static [ApplicationProfile] {
+    static PROFILES: OnceLock<Vec<ApplicationProfile>> = OnceLock::new();
+    PROFILES.get_or_init(|| {
+        ["astar", "mcf", "gcc"]
+            .iter()
+            .map(|name| {
+                let spec = WorkloadSpec::by_name(name).expect("suite member");
+                Profiler::new(ProfilerConfig::fast_test())
+                    .profile_named(name, &mut spec.trace(25_000))
+            })
+            .collect()
+    })
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serializes")
+}
+
+/// Random machines far outside the thesis grid (same envelope as the
+/// prepared-identity golden). Frequency, voltage and the name vary too:
+/// they are prediction-inert, so machines differing only in them replay
+/// each other's memo entries — and must still match the scalar path
+/// byte for byte.
+fn machine_strategy() -> impl Strategy<Value = MachineConfig> {
+    (
+        (1u32..=8, 32u32..=512, 3u32..=7, 7u32..=11, 11u32..=14),
+        (
+            100u32..=400,
+            4u32..=64,
+            any::<bool>(),
+            2u32..=9,
+            80u32..=130,
+        ),
+    )
+        .prop_map(
+            |((width, rob, l1_exp, l2_exp, l3_exp), (dram, mshr, prefetcher, freq, vdd))| {
+                let base = MachineConfig::nehalem();
+                let mut m = if prefetcher {
+                    MachineConfig::nehalem_with_prefetcher()
+                } else {
+                    base.clone()
+                };
+                m.name = format!("rand-w{width}r{rob}f{freq}");
+                m.core = m.core.with_dispatch_width(width).with_rob(rob);
+                m.core.frequency_ghz = freq as f64 * 0.5;
+                m.core.vdd = vdd as f64 / 100.0;
+                m.caches.l1i = CacheConfig::new(1 << l1_exp, 4, 64, 1);
+                m.caches.l1d = CacheConfig::new(1 << l1_exp, 8, 64, base.caches.l1d.latency);
+                m.caches.l2 = CacheConfig::new(1 << l2_exp, 8, 64, base.caches.l2.latency);
+                m.caches.l3 = CacheConfig::new(1 << l3_exp, 16, 64, 28);
+                m.mem.dram_latency = dram;
+                m.mem.mshr_entries = mshr;
+                m
+            },
+        )
+}
+
+/// One batch through one predictor vs per-point scalar models, bytes
+/// compared via serde_json (shortest-round-trip floats: equal strings ⇔
+/// equal bits).
+fn assert_batch_matches_scalar(
+    profile: &ApplicationProfile,
+    config: &ModelConfig,
+    machines: &[MachineConfig],
+    ctx: &str,
+) {
+    let prepared = PreparedProfile::new(profile);
+    let mut batch = BatchPredictor::new(&prepared, config);
+    let mut out = Vec::new();
+    batch.predict_batch_into(machines.iter(), &mut out);
+    assert_eq!(out.len(), machines.len(), "{ctx}: batch length");
+    for (machine, got) in machines.iter().zip(&out) {
+        let want = IntervalModel::with_config(machine, config.clone()).predict_summary(&prepared);
+        assert_eq!(json(&want), json(got), "{ctx} @ {}", machine.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Adversarial batch sizes around the SIMD lane width: every prefix
+    /// of a random (LANES+1)-machine batch — sizes 1, LANES−1, LANES and
+    /// LANES+1 — through a *fresh* predictor (each size sees a different
+    /// memo-fill order), against per-point scalar models. Random
+    /// profiles and both evaluation modes.
+    #[test]
+    fn batch_matches_scalar_at_lane_straddling_sizes(
+        machines in prop::collection::vec(machine_strategy(), LANES + 1),
+        profile_idx in 0usize..3,
+        combined in any::<bool>(),
+    ) {
+        let profile = &profiles()[profile_idx];
+        let config = if combined {
+            ModelConfig::ispass_2015()
+        } else {
+            ModelConfig::default()
+        };
+        for size in [1, LANES - 1, LANES, LANES + 1] {
+            assert_batch_matches_scalar(
+                profile,
+                &config,
+                &machines[..size],
+                &format!("size {size} combined {combined}"),
+            );
+        }
+    }
+
+    /// Replay: the same machines pushed through one predictor twice.
+    /// The second pass is pure memo hits and must reproduce the first
+    /// pass — and the scalar path — byte for byte.
+    #[test]
+    fn memo_hits_replay_identical_bytes(
+        machines in prop::collection::vec(machine_strategy(), LANES),
+        profile_idx in 0usize..3,
+    ) {
+        let profile = &profiles()[profile_idx];
+        let config = ModelConfig::default();
+        let prepared = PreparedProfile::new(profile);
+        let mut batch = BatchPredictor::new(&prepared, &config);
+        let first: Vec<String> = machines.iter().map(|m| json(&batch.predict_summary(m))).collect();
+        for (machine, want) in machines.iter().zip(&first) {
+            prop_assert_eq!(&json(&batch.predict_summary(machine)), want);
+            let scalar = IntervalModel::with_config(machine, config.clone())
+                .predict_summary(&prepared);
+            prop_assert_eq!(&json(&scalar), want);
+        }
+    }
+}
+
+/// The empty batch: no output, no panic, output vector cleared.
+#[test]
+fn empty_batch_is_empty() {
+    let profile = &profiles()[0];
+    let prepared = PreparedProfile::new(profile);
+    let mut batch = BatchPredictor::new(&prepared, &ModelConfig::default());
+    let mut out = vec![IntervalModel::new(&MachineConfig::nehalem()).predict_summary(&prepared)];
+    batch.predict_batch_into(std::iter::empty::<&MachineConfig>(), &mut out);
+    assert!(out.is_empty(), "stale summaries must be cleared");
+}
+
+/// Machines differing only in frequency, voltage and name present
+/// identical inputs to every memoized computation (prediction never
+/// reads those fields — seconds and power are scaled downstream), so
+/// after the first rung a DVFS ladder replays pure memo hits. Every
+/// rung must still match its own scalar model byte for byte.
+#[test]
+fn frequency_only_variants_replay_memo_hits_identically() {
+    let profile = &profiles()[1];
+    let prepared = PreparedProfile::new(profile);
+    let config = ModelConfig::default();
+    let mut batch = BatchPredictor::new(&prepared, &config);
+    for (i, freq) in [1.0, 1.6, 2.66, 3.2, 4.0].into_iter().enumerate() {
+        let mut m = MachineConfig::nehalem();
+        m.name = format!("dvfs-{i}");
+        m.core.frequency_ghz = freq;
+        m.core.vdd = 0.9 + 0.1 * i as f64;
+        let want = IntervalModel::with_config(&m, config.clone()).predict_summary(&prepared);
+        assert_eq!(json(&want), json(&batch.predict_summary(&m)), "freq {freq}");
+    }
+}
+
+/// The golden acceptance scale: the full 243-point Table 6.3 space
+/// through ONE predictor (maximum memo reuse — the production shape), in
+/// both evaluation modes, every point byte-identical to the scalar path.
+#[test]
+fn batch_matches_scalar_across_the_full_243_point_space() {
+    let profile = &profiles()[0];
+    let prepared = PreparedProfile::new(profile);
+    for config in [ModelConfig::default(), ModelConfig::ispass_2015()] {
+        let mut batch = BatchPredictor::new(&prepared, &config);
+        let points = DesignSpace::thesis_table_6_3().enumerate();
+        assert_eq!(points.len(), 243);
+        for point in points {
+            let want = IntervalModel::with_config(&point.machine, config.clone())
+                .predict_summary(&prepared);
+            assert_eq!(
+                json(&want),
+                json(&batch.predict_summary(&point.machine)),
+                "astar @ {}",
+                point.machine.name
+            );
+        }
+    }
+}
+
+/// A profile with no micro-traces falls back to combined mode; the
+/// batched path must follow it bit-for-bit.
+#[test]
+fn batch_handles_empty_micro_traces() {
+    let mut profile = profiles()[2].clone();
+    profile.micro_traces.clear();
+    let machines = vec![
+        MachineConfig::nehalem(),
+        MachineConfig::nehalem_with_prefetcher(),
+    ];
+    assert_batch_matches_scalar(
+        &profile,
+        &ModelConfig::default(),
+        &machines,
+        "no micro-traces",
+    );
+}

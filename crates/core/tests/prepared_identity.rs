@@ -1,9 +1,9 @@
 //! The tentpole guarantee of the prepared-profile fast path: for every
-//! machine configuration, `predict_prepared` and `predict_summary` return
-//! exactly the bytes `predict` does — the preparation moves work, never
-//! arithmetic.
+//! machine configuration, `predict_prepared`, `predict_summary` and the
+//! batched [`BatchPredictor`] return exactly the bytes `predict` does —
+//! the preparation (and the batching) moves work, never arithmetic.
 
-use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
+use pmt_core::{BatchPredictor, IntervalModel, ModelConfig, PreparedProfile};
 use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_uarch::{CacheConfig, DesignSpace, MachineConfig};
 use pmt_workloads::WorkloadSpec;
@@ -19,7 +19,7 @@ fn json<T: serde::Serialize>(v: &T) -> String {
     serde_json::to_string(v).expect("serializes")
 }
 
-/// Assert the three prediction paths agree byte for byte on one machine.
+/// Assert the four prediction paths agree byte for byte on one machine.
 fn assert_identical(model: &IntervalModel, profile: &ApplicationProfile, ctx: &str) {
     let prepared = PreparedProfile::new(profile);
     let legacy = model.predict(profile);
@@ -34,6 +34,12 @@ fn assert_identical(model: &IntervalModel, profile: &ApplicationProfile, ctx: &s
         json(&legacy.summary()),
         json(&summary),
         "predict_summary drifted: {ctx}"
+    );
+    let mut batch = BatchPredictor::new(&prepared, model.config());
+    assert_eq!(
+        json(&legacy.summary()),
+        json(&batch.predict_summary(model.machine())),
+        "batched drifted: {ctx}"
     );
 }
 
@@ -64,19 +70,29 @@ fn prepared_is_bit_identical_across_validation_subspace() {
 }
 
 /// The golden acceptance check: the full 243-point Table 6.3 space, one
-/// preparation, every point bit-identical to the legacy path.
+/// preparation, every point bit-identical to the legacy path — and one
+/// shared [`BatchPredictor`] (memos warm across all 243 points) matching
+/// the legacy summaries byte for byte.
 #[test]
 fn prepared_is_bit_identical_across_the_full_243_point_space() {
     let profile = profile_of("astar", 30_000);
     let prepared = PreparedProfile::new(&profile);
+    let mut batch = BatchPredictor::new(&prepared, &ModelConfig::default());
     let points = DesignSpace::thesis_table_6_3().enumerate();
     assert_eq!(points.len(), 243);
     for point in points {
         let model = IntervalModel::new(&point.machine);
+        let legacy = model.predict(&profile);
         assert_eq!(
-            json(&model.predict(&profile)),
+            json(&legacy),
             json(&model.predict_prepared(&prepared)),
             "astar @ {}",
+            point.machine.name
+        );
+        assert_eq!(
+            json(&legacy.summary()),
+            json(&batch.predict_summary(&point.machine)),
+            "astar batched @ {}",
             point.machine.name
         );
     }
@@ -153,6 +169,11 @@ proptest! {
         prop_assert_eq!(
             json(&model.predict(profile).summary()),
             json(&model.predict_summary(&prepared))
+        );
+        let mut batch = BatchPredictor::new(&prepared, model.config());
+        prop_assert_eq!(
+            json(&model.predict(profile).summary()),
+            json(&batch.predict_summary(&m))
         );
     }
 }

@@ -4,7 +4,7 @@
 //! nanoseconds are fixed), so every operating point gets a rescaled
 //! machine description before the model runs.
 
-use pmt_core::{IntervalModel, ModelConfig, PreparedProfile};
+use pmt_core::{BatchPredictor, ModelConfig, PreparedProfile};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
 use pmt_uarch::{MachineConfig, OperatingPoint};
@@ -94,12 +94,18 @@ pub fn explore_iter<'a>(
     prepared: &'a PreparedProfile<'a>,
     model_cfg: &'a ModelConfig,
 ) -> impl Iterator<Item = DvfsOutcome> + 'a {
+    // One batched predictor is captured for the whole sweep (the map
+    // closure is `FnMut`, so laziness is untouched): operating points
+    // share their cache geometry, so the SoA curve queries — and, when no
+    // prefetcher rescales with the clock, the stride-MLP walks — memoize
+    // across the stream. Bit-identical to the one-point path by the
+    // kernel conformance suite.
+    let mut batch = BatchPredictor::new(prepared, model_cfg);
     points.into_iter().map(move |point| {
         let machine = machine_at(base, point);
-        let prediction =
-            IntervalModel::with_config(&machine, model_cfg.clone()).predict_summary(prepared);
+        let prediction = batch.predict_summary(&machine);
         let seconds = prediction.seconds_at(point.frequency_ghz);
-        let power = PowerModel::new(&machine).power(&prediction.activity);
+        let power = PowerModel::power_of(&machine, &prediction.activity);
         DvfsOutcome {
             point,
             cpi: prediction.cpi(),

@@ -23,6 +23,15 @@
 //! transitive; top-K uses the strict total order (key, id)), reported in
 //! a fixed sort order.
 //!
+//! Each chunk's predictions run through the **batched kernels** by
+//! default: one [`BatchPredictor`] per chunk answers every admitted
+//! point's summary (SoA curve queries, cross-point memoization), and the
+//! per-point CPI/seconds arithmetic is evaluated over f64
+//! [`lanes`](pmt_core::kernels::lanes). Both are bit-identical to the
+//! one-point-at-a-time path — pinned by `pmt-core`'s conformance suite
+//! and this module's own equivalence test — so
+//! [`per_point`](StreamingSweep::per_point) changes speed, never bytes.
+//!
 //! ```
 //! use pmt_dse::{Objective, StreamingSweep};
 //! use pmt_profiler::{Profiler, ProfilerConfig};
@@ -46,7 +55,8 @@
 use crate::constrain::DesignConstraints;
 use crate::pareto::{FrontEntry, ParetoAccumulator};
 use crate::space::LazyDesignSpace;
-use pmt_core::{IntervalModel, ModelConfig, Moments, PreparedProfile};
+use pmt_core::kernels::lanes;
+use pmt_core::{BatchPredictor, IntervalModel, ModelConfig, Moments, PreparedProfile};
 use pmt_power::PowerModel;
 use pmt_profiler::ApplicationProfile;
 use pmt_uarch::DesignPoint;
@@ -429,6 +439,7 @@ pub struct StreamingSweep<'a> {
     objective: Objective,
     chunk: usize,
     serial: bool,
+    per_point: bool,
 }
 
 impl<'a> StreamingSweep<'a> {
@@ -445,6 +456,7 @@ impl<'a> StreamingSweep<'a> {
             objective: Objective::Seconds,
             chunk: DEFAULT_CHUNK,
             serial: false,
+            per_point: false,
         }
     }
 
@@ -504,6 +516,15 @@ impl<'a> StreamingSweep<'a> {
     /// Force the sequential path (for measurement and equivalence tests).
     pub fn serial(mut self) -> Self {
         self.serial = true;
+        self
+    }
+
+    /// Evaluate one design point at a time instead of through the
+    /// batched kernels. Bit-identical to the default batched path (the
+    /// kernels replicate the scalar arithmetic exactly) — this exists
+    /// for measurement baselines and equivalence tests, not correctness.
+    pub fn per_point(mut self) -> Self {
+        self.per_point = true;
         self
     }
 
@@ -574,6 +595,25 @@ impl<'a> StreamingSweep<'a> {
         // range in release builds.
         let end = start.saturating_add(self.chunk).min(n);
         let mut acc = ChunkFold::new(self.top_k);
+        if self.per_point {
+            for index in start..end {
+                let point = space.point_at(index);
+                if let Some(c) = &self.prefilter {
+                    if !c.admits(&point) {
+                        acc.rejected += 1;
+                        continue;
+                    }
+                }
+                let p = evaluate_stream_point(&point, prepared, &self.model);
+                self.fold_point(&mut acc, p);
+            }
+            return acc;
+        }
+        // The batched path: materialize the chunk's admitted points in
+        // index order, then evaluate them together through the batched
+        // kernels. The fold below runs in the same index order as the
+        // per-point loop above, so the two paths are bit-identical.
+        let mut points: Vec<DesignPoint> = Vec::with_capacity(end - start);
         for index in start..end {
             let point = space.point_at(index);
             if let Some(c) = &self.prefilter {
@@ -582,21 +622,30 @@ impl<'a> StreamingSweep<'a> {
                     continue;
                 }
             }
-            let p = evaluate_stream_point(&point, prepared, &self.model);
-            acc.evaluated += 1;
-            acc.cpi.push(p.cpi);
-            acc.power.push(p.power);
-            acc.seconds.push(p.seconds);
-            if self.max_power_w.is_some_and(|w| p.power > w)
-                || self.max_seconds.is_some_and(|s| p.seconds > s)
-            {
-                acc.over_budget += 1;
-                continue;
-            }
-            acc.pareto.push(p.design_id, p.coords(), p);
-            acc.top.push(self.objective.key(&p), p.design_id, p);
+            points.push(point);
+        }
+        for p in evaluate_stream_points_batched(&points, prepared, &self.model) {
+            self.fold_point(&mut acc, p);
         }
         acc
+    }
+
+    /// Fold one predicted point into a chunk's accumulators — shared by
+    /// the per-point and batched halves of
+    /// [`fold_chunk`](Self::fold_chunk) so the two paths cannot drift.
+    fn fold_point(&self, acc: &mut ChunkFold, p: StreamPoint) {
+        acc.evaluated += 1;
+        acc.cpi.push(p.cpi);
+        acc.power.push(p.power);
+        acc.seconds.push(p.seconds);
+        if self.max_power_w.is_some_and(|w| p.power > w)
+            || self.max_seconds.is_some_and(|s| p.seconds > s)
+        {
+            acc.over_budget += 1;
+            return;
+        }
+        acc.pareto.push(p.design_id, p.coords(), p);
+        acc.top.push(self.objective.key(&p), p.design_id, p);
     }
 
     /// Fold only shard `shard_index` of `shard_count`'s contiguous range
@@ -960,6 +1009,50 @@ pub(crate) fn evaluate_stream_point(
     }
 }
 
+/// [`evaluate_stream_point`] for a whole slice of points at once, in
+/// order — the batched model half the streaming fold and the
+/// materializing sweeps share. One [`BatchPredictor`] answers every
+/// summary (SoA curve queries, memos shared across the batch); the
+/// CPI/seconds arithmetic runs over f64 [`lanes`]. Every step replicates
+/// the one-point path exactly (same summaries, per-lane
+/// correctly-rounded division and multiplication only), so the returned
+/// points are bit-identical to mapping [`evaluate_stream_point`].
+pub(crate) fn evaluate_stream_points_batched(
+    points: &[DesignPoint],
+    prepared: &PreparedProfile<'_>,
+    model_cfg: &ModelConfig,
+) -> Vec<StreamPoint> {
+    let mut batch = BatchPredictor::new(prepared, model_cfg);
+    let mut summaries = Vec::with_capacity(points.len());
+    batch.predict_batch_into(points.iter().map(|p| &p.machine), &mut summaries);
+    let k = points.len();
+    let cycles: Vec<f64> = summaries.iter().map(|s| s.cycles).collect();
+    let instructions: Vec<f64> = summaries.iter().map(|s| s.instructions as f64).collect();
+    let freq_ghz: Vec<f64> = points
+        .iter()
+        .map(|p| p.machine.core.frequency_ghz)
+        .collect();
+    let mut cpi = vec![0.0; k];
+    let mut hz = vec![0.0; k];
+    let mut seconds = vec![0.0; k];
+    lanes::div(&cycles, &instructions, &mut cpi);
+    lanes::mul_scalar(&freq_ghz, 1e9, &mut hz);
+    lanes::div(&cycles, &hz, &mut seconds);
+    (0..k)
+        .map(|i| StreamPoint {
+            design_id: points[i].id,
+            // `PredictionSummary::cpi` guards the empty profile.
+            cpi: if summaries[i].instructions > 0 {
+                cpi[i]
+            } else {
+                0.0
+            },
+            seconds: seconds[i],
+            power: PowerModel::power_of(&points[i].machine, &summaries[i].activity).total(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,6 +1136,48 @@ mod tests {
                 par.top.iter().map(|e| (e.key.to_bits(), e.id)).collect();
             assert_eq!(ser_top, par_top);
         }
+    }
+
+    #[test]
+    fn batched_fold_is_bit_identical_to_per_point() {
+        let profile = profile();
+        let space = DesignSpace::small();
+        for chunk in [1, 3, 5, 64] {
+            let batched = StreamingSweep::new(&profile)
+                .chunk(chunk)
+                .top_k(4)
+                .serial()
+                .run(&space);
+            let scalar = StreamingSweep::new(&profile)
+                .chunk(chunk)
+                .top_k(4)
+                .serial()
+                .per_point()
+                .run(&space);
+            // Byte compare via serde_json: shortest-round-trip floats
+            // make equal strings ⇔ equal bits.
+            assert_eq!(
+                serde_json::to_string(&batched).unwrap(),
+                serde_json::to_string(&scalar).unwrap(),
+                "chunk {chunk}"
+            );
+        }
+        // Filters interleave identically on both paths.
+        let batched = StreamingSweep::new(&profile)
+            .constraints(DesignConstraints::new().max_dispatch_width(2))
+            .max_power_w(25.0)
+            .serial()
+            .run(&space);
+        let scalar = StreamingSweep::new(&profile)
+            .constraints(DesignConstraints::new().max_dispatch_width(2))
+            .max_power_w(25.0)
+            .serial()
+            .per_point()
+            .run(&space);
+        assert_eq!(
+            serde_json::to_string(&batched).unwrap(),
+            serde_json::to_string(&scalar).unwrap()
+        );
     }
 
     #[test]

@@ -146,12 +146,12 @@ impl SpaceEvaluation {
     ///
     /// Profile once, **prepare once**, predict many: the machine-independent
     /// StatStack fits are compiled once ([`PreparedProfile`]), shared
-    /// read-only across the rayon workers, and every design point pays only
-    /// for the machine-dependent queries
-    /// ([`pmt_core::IntervalModel::predict_summary`]). Results come back in
-    /// design-point order, so a parallel sweep is **bit-identical** to
-    /// [`run_serial`](Self::run_serial) — the evaluation of one point never
-    /// depends on any other point.
+    /// read-only across the rayon workers, and the design points pay only
+    /// for the machine-dependent queries — answered per chunk through the
+    /// batched kernels ([`pmt_core::BatchPredictor`]), bit-identical to
+    /// the one-point [`pmt_core::IntervalModel::predict_summary`]. Results
+    /// come back in design-point order, so a parallel sweep is
+    /// **bit-identical** to [`run_serial`](Self::run_serial).
     pub fn run(
         points: &[DesignPoint],
         profile: &ApplicationProfile,
@@ -175,10 +175,11 @@ impl SpaceEvaluation {
     }
 
     /// The single evaluation core behind [`run`](Self::run) and
-    /// [`run_serial`](Self::run_serial): one prepared profile, one
-    /// per-point closure — the serial and parallel paths differ *only* in
-    /// the iterator driving it, so their equivalence is structural rather
-    /// than maintained by hand.
+    /// [`run_serial`](Self::run_serial): one prepared profile, the model
+    /// half batched per chunk, the simulation half per point — the
+    /// serial and parallel paths differ *only* in the iterators driving
+    /// both halves, so their equivalence is structural rather than
+    /// maintained by hand.
     fn evaluate(
         points: &[DesignPoint],
         profile: &ApplicationProfile,
@@ -191,30 +192,50 @@ impl SpaceEvaluation {
             "simulation needs the workload spec"
         );
         let prepared = PreparedProfile::new(profile);
-        let eval = |point: &DesignPoint| Self::evaluate_point(point, &prepared, spec, cfg);
+        let model = Self::predict_model_points(points, &prepared, cfg, parallel);
+        let eval = |i: usize| Self::finish_point(&points[i], model[i], &prepared, spec, cfg);
         let outcomes = if parallel {
-            points.par_iter().map(eval).collect()
+            (0..points.len()).into_par_iter().map(eval).collect()
         } else {
-            points.iter().map(eval).collect()
+            (0..points.len()).map(eval).collect()
         };
         SpaceEvaluation { outcomes }
     }
 
-    /// Evaluate one design point against a prepared workload: the
-    /// machine-dependent model queries, the power model, and (optionally)
-    /// the memoized reference simulation. The model half is
-    /// [`crate::streaming::evaluate_stream_point`] — the *same function*
-    /// the streaming engine folds — so a streamed sweep is bit-identical
-    /// to a materialized one by construction.
-    fn evaluate_point(
+    /// The model half of a sweep: every point's (cpi, seconds, power),
+    /// in point order, evaluated through the batched kernels
+    /// ([`crate::streaming::evaluate_stream_points_batched`] — the *same
+    /// function* the streaming engine folds, so a streamed sweep is
+    /// bit-identical to a materialized one by construction). Chunks run
+    /// in parallel when asked; order-preserving either way.
+    fn predict_model_points(
+        points: &[DesignPoint],
+        prepared: &PreparedProfile<'_>,
+        cfg: &SweepConfig,
+        parallel: bool,
+    ) -> Vec<crate::streaming::StreamPoint> {
+        let chunks: Vec<&[DesignPoint]> = points.chunks(crate::streaming::DEFAULT_CHUNK).collect();
+        let eval = |c: &&[DesignPoint]| {
+            crate::streaming::evaluate_stream_points_batched(c, prepared, &cfg.model)
+        };
+        let per_chunk: Vec<Vec<crate::streaming::StreamPoint>> = if parallel {
+            chunks.par_iter().map(eval).collect()
+        } else {
+            chunks.iter().map(eval).collect()
+        };
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Finish one design point: attach the precomputed model prediction
+    /// and (optionally) the memoized reference simulation.
+    fn finish_point(
         point: &DesignPoint,
+        p: crate::streaming::StreamPoint,
         prepared: &PreparedProfile<'_>,
         spec: Option<&WorkloadSpec>,
         cfg: &SweepConfig,
     ) -> PointOutcome {
         let machine = &point.machine;
-        let p = crate::streaming::evaluate_stream_point(point, prepared, &cfg.model);
-
         let (sim_cpi, sim_power, sim_seconds) = if cfg.with_simulation {
             let spec = spec.expect("checked in run()");
             let simulate = || {
@@ -384,12 +405,12 @@ impl<'a> SweepBuilder<'a> {
     /// Evaluate all (workload × design point) pairs.
     ///
     /// Each workload is **prepared once** ([`PreparedProfile`]) and shared
-    /// read-only across the whole grid. The serial and parallel paths run
-    /// the identical flat (job, point) grid through the identical per-pair
-    /// closure — only the driving iterator differs — so a parallel batch
-    /// is structurally bit-identical to a serial one. The parallel path
-    /// lets rayon load-balance across workloads *and* points; outcomes are
-    /// regrouped per workload in input order.
+    /// read-only across the whole grid. The model half runs through the
+    /// batched kernels per (workload, chunk); the finishing half runs the
+    /// identical flat (job, point) grid through the identical per-pair
+    /// closure. The serial and parallel paths differ only in the driving
+    /// iterators, so a parallel batch is structurally bit-identical to a
+    /// serial one; outcomes are regrouped per workload in input order.
     pub fn run(&self) -> BatchEvaluation {
         assert!(
             !self.config.with_simulation || self.jobs.iter().all(|(_, s)| s.is_some()),
@@ -406,12 +427,31 @@ impl<'a> SweepBuilder<'a> {
             .par_iter()
             .map(|(profile, _)| PreparedProfile::new(profile))
             .collect();
+        // The batched model half, one prediction list per workload (the
+        // inner call parallelizes over chunks unless `serial`).
+        let model: Vec<Vec<crate::streaming::StreamPoint>> = prepared
+            .iter()
+            .map(|prep| {
+                SpaceEvaluation::predict_model_points(
+                    &self.points,
+                    prep,
+                    &self.config,
+                    !self.serial,
+                )
+            })
+            .collect();
         let grid: Vec<(usize, usize)> = (0..self.jobs.len())
             .flat_map(|j| (0..n_points).map(move |p| (j, p)))
             .collect();
         let eval = |&(j, p): &(usize, usize)| {
             let (_, spec) = self.jobs[j];
-            SpaceEvaluation::evaluate_point(&self.points[p], &prepared[j], spec, &self.config)
+            SpaceEvaluation::finish_point(
+                &self.points[p],
+                model[j][p],
+                &prepared[j],
+                spec,
+                &self.config,
+            )
         };
         let mut outcomes: Vec<PointOutcome> = if self.serial {
             grid.iter().map(eval).collect()

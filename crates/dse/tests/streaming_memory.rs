@@ -101,10 +101,13 @@ fn big_space_streams_in_bounded_memory() {
     // Materializing this space would need ≥ points × sizeof(DesignPoint)
     // (machine config + name String ≈ 400 B each) plus the outcome Vec.
     // The streaming fold must stay far below that — a fixed 8 MiB
-    // ceiling covers prepared-profile scratch, rayon bookkeeping and the
-    // accumulators with a wide margin while sitting ~5× under even the
-    // bare 100k-point outcome Vec (~9.6 MB of `PointOutcome`s, before
-    // the dominant per-point `MachineConfig`s).
+    // ceiling covers prepared-profile scratch, rayon bookkeeping, the
+    // accumulators AND the batched kernels' per-chunk staging (this run
+    // takes the default batched path: each in-flight chunk holds its
+    // admitted `DesignPoint`s, summaries, memo tables and lane arrays —
+    // all O(chunk), never O(space)) with a wide margin, while sitting
+    // ~5× under even the bare 100k-point outcome Vec (~9.6 MB of
+    // `PointOutcome`s, before the dominant per-point `MachineConfig`s).
     let ceiling = 8 << 20;
     assert!(
         growth < ceiling,

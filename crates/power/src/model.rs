@@ -96,7 +96,13 @@ impl PowerModel {
 
     /// Static (leakage) power in watts at the machine's voltage.
     pub fn static_power(&self) -> f64 {
-        let m = &self.machine;
+        PowerModel::static_power_of(&self.machine)
+    }
+
+    /// [`static_power`](PowerModel::static_power) without constructing a
+    /// model — borrows the machine. The batched sweep path calls this per
+    /// design point and must not clone a `MachineConfig` each time.
+    pub fn static_power_of(m: &MachineConfig) -> f64 {
         let core = m.core.rob_size as f64 * leak::ROB_ENTRY
             + m.core.iq_size as f64 * leak::IQ_ENTRY
             + (m.core.dispatch_width as f64).powi(2) * leak::WIDTH_SQ;
@@ -127,12 +133,18 @@ impl PowerModel {
     ///
     /// Returns zero dynamic power when `activity.cycles == 0`.
     pub fn power(&self, activity: &ActivityVector) -> PowerBreakdown {
+        PowerModel::power_of(&self.machine, activity)
+    }
+
+    /// [`power`](PowerModel::power) without constructing a model — borrows
+    /// the machine (same no-clone contract as
+    /// [`static_power_of`](PowerModel::static_power_of)).
+    pub fn power_of(m: &MachineConfig, activity: &ActivityVector) -> PowerBreakdown {
         let mut b = PowerBreakdown::default();
-        b.static_w = self.static_power();
+        b.static_w = PowerModel::static_power_of(m);
         if activity.cycles <= 0.0 {
             return b;
         }
-        let m = &self.machine;
         let seconds = activity.cycles / (m.core.frequency_ghz * 1e9);
         let vscale = (m.core.vdd / V_NOM).powi(2);
         // nJ → W: count × nJ / seconds × 1e-9.

@@ -48,7 +48,11 @@ pub fn predict_response(
 }
 
 /// Stream a design space through the prepared profile: Pareto frontier,
-/// top-K by the requested objective, moments.
+/// top-K by the requested objective, moments. The sweep predicts through
+/// the batched kernels (the [`StreamingSweep`] default, bit-identical to
+/// per-point prediction), so explore responses stay byte-stable while
+/// the single-point [`predict_response`] path above keeps the simple
+/// one-machine `predict_prepared` call.
 pub fn explore_response(
     prepared: &PreparedProfile<'_>,
     req: &ExploreRequest,

@@ -98,6 +98,18 @@ impl StackDistanceModel {
         self.cold_fraction
     }
 
+    /// The fitted curve as parallel slices `(floors, survival, stack)`:
+    /// bin floors (increasing), `P(RD > floor)` and the expected stack
+    /// distance at each floor. This is the raw data
+    /// [`critical_reuse_distance`](Self::critical_reuse_distance) and
+    /// [`miss_ratio`](Self::miss_ratio) search, exposed so batched
+    /// evaluators can lay many fitted curves out as flat
+    /// structure-of-arrays storage and answer the same queries without
+    /// chasing one `Arc` per curve per point.
+    pub fn curve(&self) -> (&[u64], &[f64], &[f64]) {
+        (&self.floors, &self.survival, &self.stack)
+    }
+
     /// Total accesses the model was fitted on.
     pub fn total_accesses(&self) -> u64 {
         self.total

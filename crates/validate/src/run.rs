@@ -205,6 +205,9 @@ impl Validator {
             sim_instructions: self.config.sim_instructions,
             sim_cache: Some(self.cache.clone()),
         };
+        // The builder's model half runs through the batched prediction
+        // kernels (bit-identical to per-point prediction); only the
+        // reference simulations run one (workload, point) at a time.
         let mut builder = SweepBuilder::new()
             .points(self.points.clone())
             .config(sweep_config);

@@ -68,7 +68,7 @@ pub use machine::{machine_by_name, MachineSpec, MACHINE_NAMES};
 pub use snapshot::{profile_fingerprint, AccumulatorSnapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use space::{AxisSpec, SpaceSpec, AXIS_NAMES, SPACE_NAMES};
 pub use wire::{
-    ExploreRequest, ExploreResponse, HealthResponse, MetricsResponse, PredictRequest,
+    ExploreRequest, ExploreResponse, HealthResponse, MemoMetrics, MetricsResponse, PredictRequest,
     PredictResponse, ProfileInfo, ProfilesResponse, RegisterProfileRequest,
     RegisterProfileResponse, StackEntry,
 };

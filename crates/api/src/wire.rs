@@ -232,6 +232,24 @@ pub struct MetricsResponse {
     /// Explore requests that joined an identical in-flight computation
     /// instead of computing.
     pub coalesced_requests: u64,
+    /// Predict requests that rode another caller's batch flight and were
+    /// answered from its demultiplexed result (the leaders themselves
+    /// count under `flight_leaders`).
+    pub batched_requests: u64,
+    /// Batch flights evaluated (each one `BatchPredictor` pass over the
+    /// admitted window, size ≥ 1).
+    pub batch_flights: u64,
+    /// Design points evaluated inside batch flights (leaders + riders).
+    pub batch_points: u64,
+    /// Derived: `batch_points / batch_flights` (0 before any flight).
+    pub batch_mean_size: f64,
+    /// Requests that ended in a panic-shaped structured 500: panicking
+    /// leaders, plus every rider/follower such a flight failed.
+    pub failed_requests: u64,
+    /// Requests that led a flight to completion themselves: solo
+    /// predicts, batch leaders, and explore leaders (even when the
+    /// computation answered a structured 4xx).
+    pub flight_leaders: u64,
     /// Explore/predict requests answered from the response cache.
     pub response_cache_hits: u64,
     /// Cache lookups whose 64-bit key matched but whose stored request
@@ -254,6 +272,42 @@ pub struct MetricsResponse {
     pub queue_depth: u64,
     /// Worker threads serving requests.
     pub worker_threads: u64,
+    /// Cumulative `BatchPredictor` memo efficacy across every batch
+    /// flight since daemon start.
+    pub memo: MemoMetrics,
+}
+
+/// Cumulative [`BatchPredictor`](../pmt_core/struct.BatchPredictor.html)
+/// memo counters, summed over every batch flight's `memo_stats()`
+/// snapshot. Entries equal misses by construction (every miss inserts
+/// exactly one entry); both are reported so the invariant is checkable
+/// over the wire.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoMetrics {
+    /// Cache-query memo entries created.
+    pub cache_entries: u64,
+    /// Cache queries answered from the memo.
+    pub cache_hits: u64,
+    /// Cache queries computed.
+    pub cache_misses: u64,
+    /// Stride-walk memo entries created.
+    pub stride_entries: u64,
+    /// Stride walks replayed from the memo.
+    pub stride_hits: u64,
+    /// Stride walks computed.
+    pub stride_misses: u64,
+    /// CP(ROB) memo entries created.
+    pub cp_entries: u64,
+    /// Critical-path lookups replayed from the memo.
+    pub cp_hits: u64,
+    /// Critical-path lookups computed.
+    pub cp_misses: u64,
+    /// Branch-penalty memo entries created.
+    pub branch_entries: u64,
+    /// Branch penalties replayed from the memo.
+    pub branch_hits: u64,
+    /// Branch penalties computed.
+    pub branch_misses: u64,
 }
 
 #[cfg(test)]

@@ -144,12 +144,22 @@ fn every_response_type_round_trips() {
 fn metrics_response_round_trips() {
     let json = r#"{"schema_version":1,"profiles":1,"requests":4,"predict_requests":0,
         "explore_requests":2,"errors":0,"rejected_busy":0,"coalesced_requests":0,
+        "batched_requests":3,"batch_flights":1,"batch_points":4,
+        "batch_mean_size":4.0,"failed_requests":0,"flight_leaders":1,
         "response_cache_hits":1,"response_cache_collisions":0,
         "response_cache_entries":1,"points_predicted":32,
         "predict_seconds":0.5,"points_per_s":64.0,"inflight_sweeps":0,
-        "max_inflight_sweeps":2,"queue_depth":0,"worker_threads":4}"#;
+        "max_inflight_sweeps":2,"queue_depth":0,"worker_threads":4,
+        "memo":{"cache_entries":2,"cache_hits":6,"cache_misses":2,
+        "stride_entries":5,"stride_hits":15,"stride_misses":5,
+        "cp_entries":5,"cp_hits":15,"cp_misses":5,
+        "branch_entries":5,"branch_hits":15,"branch_misses":5}}"#;
     let m: MetricsResponse = serde_json::from_str(json).unwrap();
     assert_eq!(m.points_predicted, 32);
+    assert_eq!(m.batched_requests, 3);
+    assert_eq!(m.batch_mean_size, 4.0);
+    assert_eq!(m.memo.cache_hits, 6);
+    assert_eq!(m.memo.branch_misses, 5);
     round_trips(&m);
 }
 

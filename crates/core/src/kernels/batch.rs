@@ -53,6 +53,7 @@ use crate::model::{
 use crate::prepared::PreparedProfile;
 use pmt_statstack::StackDistanceModel;
 use pmt_uarch::MachineConfig;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -93,6 +94,65 @@ struct BranchKey {
     lat_bits: u64,
 }
 
+/// A snapshot of the predictor's memo tables: how many entries each
+/// holds and how the lookups split into hits and misses. Every miss
+/// inserts exactly one entry, so `*_entries == *_misses` always holds —
+/// the snapshot reports both so the invariant is checkable from the
+/// outside (the serve `/metrics` endpoint and the `speedup` binary both
+/// surface these numbers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Cache-query memo (curve × per-level line counts) entries.
+    pub cache_entries: u64,
+    /// Cache-query lookups answered from the memo.
+    pub cache_hits: u64,
+    /// Cache-query lookups that computed (and inserted).
+    pub cache_misses: u64,
+    /// Stride-walk memo entries.
+    pub stride_entries: u64,
+    /// Stride walks replayed from the memo.
+    pub stride_hits: u64,
+    /// Stride walks computed.
+    pub stride_misses: u64,
+    /// CP(ROB) memo entries.
+    pub cp_entries: u64,
+    /// Critical-path lookups replayed from the memo.
+    pub cp_hits: u64,
+    /// Critical-path lookups computed.
+    pub cp_misses: u64,
+    /// Branch-penalty (leaky bucket) memo entries.
+    pub branch_entries: u64,
+    /// Branch penalties replayed from the memo.
+    pub branch_hits: u64,
+    /// Branch penalties computed.
+    pub branch_misses: u64,
+}
+
+impl MemoStats {
+    /// Total lookups answered from any memo.
+    pub fn hits(&self) -> u64 {
+        self.cache_hits + self.stride_hits + self.cp_hits + self.branch_hits
+    }
+
+    /// Total lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.cache_misses + self.stride_misses + self.cp_misses + self.branch_misses
+    }
+}
+
+/// Running hit/miss tallies, bumped inside the hooks.
+#[derive(Debug, Default)]
+struct MemoCounters {
+    cache_hits: u64,
+    cache_misses: u64,
+    stride_hits: u64,
+    stride_misses: u64,
+    cp_hits: u64,
+    cp_misses: u64,
+    branch_hits: u64,
+    branch_misses: u64,
+}
+
 /// Batched predictor for one prepared profile under one model
 /// configuration: build once per chunk of design points, then call
 /// [`predict_summary`](Self::predict_summary) per point (or
@@ -110,6 +170,7 @@ pub struct BatchPredictor<'p, 'a> {
     cp_memo: HashMap<(u32, u32), f64>,
     /// Branch penalties per complete leaky-bucket input set.
     branch_memo: HashMap<BranchKey, BranchPenalty>,
+    counters: MemoCounters,
 }
 
 impl<'p, 'a> BatchPredictor<'p, 'a> {
@@ -125,6 +186,26 @@ impl<'p, 'a> BatchPredictor<'p, 'a> {
             stride_memo: HashMap::new(),
             cp_memo: HashMap::new(),
             branch_memo: HashMap::new(),
+            counters: MemoCounters::default(),
+        }
+    }
+
+    /// Snapshot the memo tables: entry counts plus cumulative hit/miss
+    /// tallies since construction.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            cache_entries: self.cache_memo.len() as u64,
+            cache_hits: self.counters.cache_hits,
+            cache_misses: self.counters.cache_misses,
+            stride_entries: self.stride_memo.len() as u64,
+            stride_hits: self.counters.stride_hits,
+            stride_misses: self.counters.stride_misses,
+            cp_entries: self.cp_memo.len() as u64,
+            cp_hits: self.counters.cp_hits,
+            cp_misses: self.counters.cp_misses,
+            branch_entries: self.branch_memo.len() as u64,
+            branch_hits: self.counters.branch_hits,
+            branch_misses: self.counters.branch_misses,
         }
     }
 
@@ -143,6 +224,7 @@ impl<'p, 'a> BatchPredictor<'p, 'a> {
             stride_memo: &mut self.stride_memo,
             cp_memo: &mut self.cp_memo,
             branch_memo: &mut self.branch_memo,
+            counters: &mut self.counters,
         };
         Evaluator {
             machine,
@@ -163,6 +245,26 @@ impl<'p, 'a> BatchPredictor<'p, 'a> {
             out.push(self.predict_summary(machine));
         }
     }
+
+    /// Predict a chunk of design points carrying opaque caller keys, in
+    /// iteration order, returning `(key, summary)` pairs. This is what
+    /// makes demultiplexing a multi-caller batch structural: each caller
+    /// tags its point, and the tag rides back with the result — no
+    /// positional bookkeeping at the call site. Results are bit-identical
+    /// to calling [`predict_summary`](Self::predict_summary) per point
+    /// (in any order: the memos are evaluation-order-independent).
+    pub fn predict_tagged<K, I>(&mut self, points: I) -> Vec<(K, PredictionSummary)>
+    where
+        I: IntoIterator<Item = (K, MachineConfig)>,
+    {
+        points
+            .into_iter()
+            .map(|(key, machine)| {
+                let summary = self.predict_summary(&machine);
+                (key, summary)
+            })
+            .collect()
+    }
 }
 
 /// The batched [`EvalHooks`]: arena-backed cache queries and memoized
@@ -175,6 +277,7 @@ struct BatchHooks<'s> {
     stride_memo: &'s mut HashMap<StrideKey, MemoryBehavior>,
     cp_memo: &'s mut HashMap<(u32, u32), f64>,
     branch_memo: &'s mut HashMap<BranchKey, BranchPenalty>,
+    counters: &'s mut MemoCounters,
 }
 
 impl EvalHooks for BatchHooks<'_> {
@@ -185,10 +288,16 @@ impl EvalHooks for BatchHooks<'_> {
         lines: [u64; 3],
     ) -> CacheModel {
         let curve = id.arena_index();
-        let point = *self
-            .cache_memo
-            .entry((curve, lines))
-            .or_insert_with(|| self.arena.evaluate(curve, lines));
+        let point = match self.cache_memo.entry((curve, lines)) {
+            Entry::Occupied(hit) => {
+                self.counters.cache_hits += 1;
+                *hit.get()
+            }
+            Entry::Vacant(slot) => {
+                self.counters.cache_misses += 1;
+                *slot.insert(self.arena.evaluate(curve, lines))
+            }
+        };
         CacheModel::from_parts(model, point.critical_rd, point.ratios, point.cold_fraction)
     }
 
@@ -212,10 +321,22 @@ impl EvalHooks for BatchHooks<'_> {
                 deff_bits: deff.to_bits(),
             }),
         };
-        let mut behavior = *self
-            .stride_memo
-            .entry(key)
-            .or_insert_with(|| stride_stream_behavior(machine, deff, inp, loads, store_llc_misses));
+        let mut behavior = match self.stride_memo.entry(key) {
+            Entry::Occupied(hit) => {
+                self.counters.stride_hits += 1;
+                *hit.get()
+            }
+            Entry::Vacant(slot) => {
+                self.counters.stride_misses += 1;
+                *slot.insert(stride_stream_behavior(
+                    machine,
+                    deff,
+                    inp,
+                    loads,
+                    store_llc_misses,
+                ))
+            }
+        };
         // Pass-through field, not part of the walk: always the current
         // point's value.
         behavior.llc_store_misses = store_llc_misses;
@@ -223,10 +344,16 @@ impl EvalHooks for BatchHooks<'_> {
     }
 
     fn critical_path(&mut self, inp: &WindowInputs<'_>, rob: u32) -> f64 {
-        *self
-            .cp_memo
-            .entry((inp.window, rob))
-            .or_insert_with(|| inp.deps.cp(rob))
+        match self.cp_memo.entry((inp.window, rob)) {
+            Entry::Occupied(hit) => {
+                self.counters.cp_hits += 1;
+                *hit.get()
+            }
+            Entry::Vacant(slot) => {
+                self.counters.cp_misses += 1;
+                *slot.insert(inp.deps.cp(rob))
+            }
+        }
     }
 
     fn branch(
@@ -246,9 +373,22 @@ impl EvalHooks for BatchHooks<'_> {
             interval_bits: interval.to_bits(),
             lat_bits: lat.to_bits(),
         };
-        *self
-            .branch_memo
-            .entry(key)
-            .or_insert_with(|| branch_penalty(inp.deps, rob, width, frontend_depth, interval, lat))
+        match self.branch_memo.entry(key) {
+            Entry::Occupied(hit) => {
+                self.counters.branch_hits += 1;
+                *hit.get()
+            }
+            Entry::Vacant(slot) => {
+                self.counters.branch_misses += 1;
+                *slot.insert(branch_penalty(
+                    inp.deps,
+                    rob,
+                    width,
+                    frontend_depth,
+                    interval,
+                    lat,
+                ))
+            }
+        }
     }
 }

@@ -30,4 +30,4 @@ pub mod batch;
 pub mod lanes;
 pub mod search;
 
-pub use batch::BatchPredictor;
+pub use batch::{BatchPredictor, MemoStats};

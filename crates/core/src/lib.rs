@@ -64,7 +64,7 @@ mod prepared;
 pub mod smt;
 
 pub use config::{EvaluationMode, MlpModelKind, ModelConfig};
-pub use kernels::BatchPredictor;
+pub use kernels::{BatchPredictor, MemoStats};
 pub use model::{IntervalModel, Prediction, PredictionSummary, WindowPrediction};
 pub use moments::Moments;
 pub use multicore::{CorePrediction, CorunPrediction, MulticoreModel};

@@ -218,3 +218,80 @@ fn batch_handles_empty_micro_traces() {
         "no micro-traces",
     );
 }
+
+/// `predict_tagged` is the demux primitive cross-request batching rides
+/// on: opaque caller keys go in with their machines, `(key, summary)`
+/// pairs come out in iteration order, and every summary is bit-identical
+/// to a solo `predict_summary` of the same point.
+#[test]
+fn predict_tagged_keys_ride_with_bit_identical_summaries() {
+    let profile = &profiles()[0];
+    let prepared = PreparedProfile::new(profile);
+    let config = ModelConfig::default();
+    let points: Vec<(String, MachineConfig)> = [1.0, 1.6, 2.66, 3.2]
+        .iter()
+        .enumerate()
+        .map(|(i, &freq)| {
+            let mut m = MachineConfig::nehalem();
+            m.core.frequency_ghz = freq;
+            m.core.rob_size = 64 << (i % 3);
+            (format!("caller-{i}"), m)
+        })
+        .collect();
+
+    let mut batch = BatchPredictor::new(&prepared, &config);
+    let tagged = batch.predict_tagged(points.clone());
+    assert_eq!(tagged.len(), points.len());
+    for ((key, summary), (want_key, machine)) in tagged.iter().zip(&points) {
+        assert_eq!(key, want_key, "keys must ride back in iteration order");
+        let solo = IntervalModel::with_config(machine, config.clone()).predict_summary(&prepared);
+        assert_eq!(json(summary), json(&solo), "{key}");
+    }
+}
+
+/// The memo-stats snapshot: entries equal misses (every miss inserts
+/// exactly one entry), a replayed frequency-only point is all hits, and
+/// the tallies are cumulative across calls.
+#[test]
+fn memo_stats_track_entries_hits_and_misses() {
+    let profile = &profiles()[1];
+    let prepared = PreparedProfile::new(profile);
+    let mut batch = BatchPredictor::new(&prepared, &ModelConfig::default());
+    let empty = batch.memo_stats();
+    assert_eq!(empty, pmt_core::MemoStats::default());
+
+    let machine = MachineConfig::nehalem();
+    batch.predict_summary(&machine);
+    let cold = batch.memo_stats();
+    assert!(cold.misses() > 0, "a cold point must populate the memos");
+    assert_eq!(cold.cache_entries, cold.cache_misses);
+    assert_eq!(cold.stride_entries, cold.stride_misses);
+    assert_eq!(cold.cp_entries, cold.cp_misses);
+    assert_eq!(cold.branch_entries, cold.branch_misses);
+
+    // A frequency-only variant presents identical inputs to every memo:
+    // pure hits, no new entries.
+    let mut dvfs = machine.clone();
+    dvfs.core.frequency_ghz = 1.6;
+    batch.predict_summary(&dvfs);
+    let warm = batch.memo_stats();
+    assert_eq!(warm.misses(), cold.misses(), "no new entries on a replay");
+    assert_eq!(
+        warm.hits(),
+        cold.hits() + cold.misses(),
+        "the replay hits every memo the cold point populated"
+    );
+    assert_eq!(warm.cache_entries, cold.cache_entries);
+
+    // A new ROB size misses the ROB-keyed memos but keeps the cache
+    // queries hot.
+    let mut big_rob = machine.clone();
+    big_rob.core.rob_size *= 2;
+    batch.predict_summary(&big_rob);
+    let third = batch.memo_stats();
+    assert!(third.cp_misses > warm.cp_misses, "new ROB recomputes CP");
+    assert_eq!(
+        third.cache_misses, warm.cache_misses,
+        "unchanged hierarchy replays every cache query"
+    );
+}

@@ -10,9 +10,10 @@ use pmt_api::{
     profile_fingerprint, AccumulatorSnapshot, ApiError, ExploreRequest, ExploreResponse,
     PredictRequest, PredictResponse, StackEntry, WIRE_SCHEMA_VERSION,
 };
-use pmt_core::{IntervalModel, PreparedProfile};
+use pmt_core::{IntervalModel, PredictionSummary, PreparedProfile};
 use pmt_dse::{merge_shards, Objective, StreamingSweep};
 use pmt_power::PowerModel;
+use pmt_uarch::MachineConfig;
 
 /// Predict one (profile, machine) point.
 pub fn predict_response(
@@ -21,20 +22,36 @@ pub fn predict_response(
 ) -> Result<PredictResponse, ApiError> {
     req.check_version()?;
     let machine = req.machine.resolve()?;
-    let model = IntervalModel::new(&machine);
-    let prediction = model.predict_prepared(prepared);
-    let power = PowerModel::new(&machine).power(&prediction.activity);
-    Ok(PredictResponse {
+    let summary = IntervalModel::new(&machine).predict_summary(prepared);
+    Ok(summary_response(
+        &prepared.profile().name,
+        &machine,
+        &summary,
+    ))
+}
+
+/// Assemble the wire response from an evaluated summary — the one
+/// function both the solo path above and the cross-request batch
+/// scheduler call, so a batched request's bytes are the solo request's
+/// bytes by construction (given the summaries match bit for bit, which
+/// the `BatchPredictor` conformance suite pins).
+pub fn summary_response(
+    workload: &str,
+    machine: &MachineConfig,
+    summary: &PredictionSummary,
+) -> PredictResponse {
+    let power = PowerModel::new(machine).power(&summary.activity);
+    PredictResponse {
         schema_version: WIRE_SCHEMA_VERSION,
-        workload: prediction.name.clone(),
+        workload: workload.to_string(),
         machine: machine.name.clone(),
         frequency_ghz: machine.core.frequency_ghz,
-        cpi: prediction.cpi(),
-        ipc: prediction.ipc(),
-        seconds: prediction.seconds_at(machine.core.frequency_ghz),
-        mlp: prediction.mlp,
-        branch_miss_rate: prediction.branch_miss_rate,
-        cpi_stack: prediction
+        cpi: summary.cpi(),
+        ipc: summary.ipc(),
+        seconds: summary.seconds_at(machine.core.frequency_ghz),
+        mlp: summary.mlp,
+        branch_miss_rate: summary.branch_miss_rate,
+        cpi_stack: summary
             .cpi_stack
             .iter()
             .map(|(component, cpi)| StackEntry {
@@ -44,7 +61,7 @@ pub fn predict_response(
             .collect(),
         power_w: power.total(),
         static_w: power.static_w,
-    })
+    }
 }
 
 /// Stream a design space through the prepared profile: Pareto frontier,

@@ -38,8 +38,9 @@ pub mod engine;
 pub mod http;
 mod metrics;
 mod registry;
+mod scheduler;
 mod server;
 
 pub use metrics::Metrics;
 pub use registry::{RegisteredProfile, Registry};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, StopHandle};

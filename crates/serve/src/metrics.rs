@@ -1,7 +1,8 @@
 //! Service counters: lock-free atomics, snapshotted into a
 //! [`MetricsResponse`] on `GET /metrics`.
 
-use pmt_api::{MetricsResponse, WIRE_SCHEMA_VERSION};
+use pmt_api::{MemoMetrics, MetricsResponse, WIRE_SCHEMA_VERSION};
+use pmt_core::MemoStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative counters since daemon start. All counters are relaxed —
@@ -21,6 +22,47 @@ pub struct Metrics {
     pub rejected_busy: AtomicU64,
     /// Explore requests that joined an identical in-flight computation.
     pub coalesced_requests: AtomicU64,
+    /// Predict requests answered from another caller's batch flight.
+    pub batched_requests: AtomicU64,
+    /// Batch flights evaluated (one `BatchPredictor` pass each).
+    pub batch_flights: AtomicU64,
+    /// Design points evaluated inside batch flights.
+    pub batch_points: AtomicU64,
+    /// Requests that ended in a panic-shaped 500 (panicking leaders plus
+    /// the riders/followers the panic failed).
+    pub failed_requests: AtomicU64,
+    /// Requests that led a flight to completion (solo predicts, batch
+    /// leaders, explore leaders).
+    pub flight_leaders: AtomicU64,
+    /// Predict requests currently inside `handle_predict` — the
+    /// idle-close signal for the batch window (when every in-flight
+    /// predict is already aboard a batch and nothing is queued, waiting
+    /// longer cannot grow it).
+    pub predict_inflight: AtomicU64,
+    /// Cumulative `BatchPredictor` memo tallies across batch flights.
+    pub memo_cache_entries: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_cache_hits: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_cache_misses: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_stride_entries: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_stride_hits: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_stride_misses: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_cp_entries: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_cp_hits: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_cp_misses: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_branch_entries: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_branch_hits: AtomicU64,
+    /// See [`MemoMetrics`].
+    pub memo_branch_misses: AtomicU64,
     /// Requests answered from the response cache.
     pub response_cache_hits: AtomicU64,
     /// Cache lookups whose 64-bit key matched but whose stored request
@@ -54,6 +96,23 @@ impl Metrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Fold one batch flight's memo snapshot into the cumulative
+    /// tallies.
+    pub fn absorb_memo_stats(&self, stats: &MemoStats) {
+        Metrics::add(&self.memo_cache_entries, stats.cache_entries);
+        Metrics::add(&self.memo_cache_hits, stats.cache_hits);
+        Metrics::add(&self.memo_cache_misses, stats.cache_misses);
+        Metrics::add(&self.memo_stride_entries, stats.stride_entries);
+        Metrics::add(&self.memo_stride_hits, stats.stride_hits);
+        Metrics::add(&self.memo_stride_misses, stats.stride_misses);
+        Metrics::add(&self.memo_cp_entries, stats.cp_entries);
+        Metrics::add(&self.memo_cp_hits, stats.cp_hits);
+        Metrics::add(&self.memo_cp_misses, stats.cp_misses);
+        Metrics::add(&self.memo_branch_entries, stats.branch_entries);
+        Metrics::add(&self.memo_branch_hits, stats.branch_hits);
+        Metrics::add(&self.memo_branch_misses, stats.branch_misses);
+    }
+
     /// Snapshot into the wire type. `profiles`, `max_inflight_sweeps`
     /// and `worker_threads` are configuration the counters don't know.
     pub fn snapshot(
@@ -64,6 +123,8 @@ impl Metrics {
     ) -> MetricsResponse {
         let points = self.points_predicted.load(Ordering::Relaxed);
         let secs = self.predict_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let batch_flights = self.batch_flights.load(Ordering::Relaxed);
+        let batch_points = self.batch_points.load(Ordering::Relaxed);
         MetricsResponse {
             schema_version: WIRE_SCHEMA_VERSION,
             profiles,
@@ -73,6 +134,16 @@ impl Metrics {
             errors: self.errors.load(Ordering::Relaxed),
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batch_flights,
+            batch_points,
+            batch_mean_size: if batch_flights > 0 {
+                batch_points as f64 / batch_flights as f64
+            } else {
+                0.0
+            },
+            failed_requests: self.failed_requests.load(Ordering::Relaxed),
+            flight_leaders: self.flight_leaders.load(Ordering::Relaxed),
             response_cache_hits: self.response_cache_hits.load(Ordering::Relaxed),
             response_cache_collisions: self.response_cache_collisions.load(Ordering::Relaxed),
             response_cache_entries: self.response_cache_entries.load(Ordering::Relaxed),
@@ -87,6 +158,20 @@ impl Metrics {
             max_inflight_sweeps,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             worker_threads,
+            memo: MemoMetrics {
+                cache_entries: self.memo_cache_entries.load(Ordering::Relaxed),
+                cache_hits: self.memo_cache_hits.load(Ordering::Relaxed),
+                cache_misses: self.memo_cache_misses.load(Ordering::Relaxed),
+                stride_entries: self.memo_stride_entries.load(Ordering::Relaxed),
+                stride_hits: self.memo_stride_hits.load(Ordering::Relaxed),
+                stride_misses: self.memo_stride_misses.load(Ordering::Relaxed),
+                cp_entries: self.memo_cp_entries.load(Ordering::Relaxed),
+                cp_hits: self.memo_cp_hits.load(Ordering::Relaxed),
+                cp_misses: self.memo_cp_misses.load(Ordering::Relaxed),
+                branch_entries: self.memo_branch_entries.load(Ordering::Relaxed),
+                branch_hits: self.memo_branch_hits.load(Ordering::Relaxed),
+                branch_misses: self.memo_branch_misses.load(Ordering::Relaxed),
+            },
         }
     }
 }

@@ -27,6 +27,7 @@ use crate::engine;
 use crate::http::{read_request, Request, Response};
 use crate::metrics::Metrics;
 use crate::registry::Registry;
+use crate::scheduler::{self, BatchQueues};
 use pmt_api::{
     fnv1a, ApiError, ExploreRequest, HealthResponse, PredictRequest, ProfilesResponse,
     RegisterProfileRequest, WIRE_SCHEMA_VERSION,
@@ -60,6 +61,15 @@ pub struct ServeConfig {
     pub response_cache_entries: usize,
     /// Most profiles the registry admits (bounds the deliberate leak).
     pub max_profiles: usize,
+    /// Micro-batching collection window for `/v1/predict`, in
+    /// milliseconds. Concurrent predicts against the same profile that
+    /// arrive within one window share one `BatchPredictor` flight; the
+    /// window closes early when the batch is full or the daemon is
+    /// otherwise idle, so a solo request pays no added latency. `0`
+    /// disables batching (every predict is its own flight).
+    pub batch_window_ms: u64,
+    /// Most design points admitted into one batch flight.
+    pub batch_max_points: usize,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +83,8 @@ impl Default for ServeConfig {
             max_body_bytes: 64 * 1024 * 1024,
             response_cache_entries: 64,
             max_profiles: 64,
+            batch_window_ms: 5,
+            batch_max_points: 64,
         }
     }
 }
@@ -171,12 +183,15 @@ impl ResponseCache {
 
 /// State shared by every worker. Flights are keyed by the full request
 /// identity string, not its 64-bit hash — two distinct requests must
-/// never coalesce onto one computation.
-struct Shared {
-    config: ServeConfig,
-    registry: Arc<Registry>,
-    metrics: Metrics,
+/// never coalesce onto one computation. (Batch queues are keyed by the
+/// profile content hash instead: *distinct* requests do share a batch
+/// flight, each keeping its own demuxed response.)
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) metrics: Metrics,
     flights: Mutex<HashMap<String, Arc<Flight>>>,
+    pub(crate) batches: BatchQueues,
     cache: Mutex<ResponseCache>,
 }
 
@@ -199,6 +214,7 @@ impl Server {
             registry,
             metrics: Metrics::new(),
             flights: Mutex::new(HashMap::new()),
+            batches: BatchQueues::new(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -251,6 +267,15 @@ impl Server {
         self.shutdown();
     }
 
+    /// A handle another thread (e.g. a signal watcher) can use to begin
+    /// a graceful drain while this thread blocks in [`join`](Self::join).
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
     /// Block until the daemon is stopped from another thread.
     pub fn join(mut self) {
         for h in self.handles.drain(..) {
@@ -276,6 +301,28 @@ impl Drop for Server {
     }
 }
 
+/// Requests a graceful drain of a running [`Server`] from another
+/// thread: the acceptor stops taking new connections, every connection
+/// already accepted — including in-flight batch flights and coalesced
+/// sweeps — is served to completion, then the workers exit and
+/// [`Server::join`] returns. This is what `pmt serve` triggers on
+/// SIGTERM/SIGINT.
+#[derive(Clone, Debug)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl StopHandle {
+    /// Begin the drain (idempotent; returns immediately).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection; it checks
+        // the stop flag before dispatching whatever it accepts next.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
 /// Serve connections until the channel closes.
 fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
     loop {
@@ -288,28 +335,38 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
     }
 }
 
-/// One request, one response, close.
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+/// One request, one response, close — unless the predict handler handed
+/// the connection off to a batch flight, in which case the flight's
+/// leader writes the response and this worker writes nothing.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
     Metrics::bump(&shared.metrics.requests);
-    let response = match read_request(&mut stream, shared.config.max_body_bytes) {
+    let mut stream = Some(stream);
+    let response = match read_request(
+        stream.as_mut().expect("connection"),
+        shared.config.max_body_bytes,
+    ) {
         // Contain panics here so one poisoned request answers a
         // structured 500 instead of killing the worker thread.
-        Ok(request) => {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(shared, &request)))
-                .unwrap_or_else(|_| {
-                    Response::error(&ApiError::internal("request handling panicked"))
-                })
-        }
+        Ok(request) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle(shared, &request, &mut stream)
+        }))
+        .unwrap_or_else(|_| Response::error(&ApiError::internal("request handling panicked"))),
         Err(e) => Response::error(&e),
     };
+    // Handed off: the response (and its error accounting) belongs to
+    // the batch leader now.
+    let Some(mut stream) = stream else { return };
     if response.is_error() {
         Metrics::bump(&shared.metrics.errors);
     }
     let _ = response.write_to(&mut stream);
 }
 
-/// Route one parsed request.
-fn handle(shared: &Shared, request: &Request) -> Response {
+/// Route one parsed request. `stream` is the caller's connection; the
+/// predict handler may move it into a batch flight (see
+/// [`scheduler::submit`]), after which the returned response is a
+/// placeholder that is never written.
+fn handle(shared: &Shared, request: &Request, stream: &mut Option<TcpStream>) -> Response {
     let method = request.method.as_str();
     let target = request.target.split('?').next().unwrap_or("");
     match (method, target) {
@@ -333,7 +390,7 @@ fn handle(shared: &Shared, request: &Request) -> Response {
         ("POST", "/v1/profiles") => or_error(handle_register(shared, request)),
         ("POST", "/v1/predict") => {
             Metrics::bump(&shared.metrics.predict_requests);
-            or_error(handle_predict(shared, request))
+            or_error(handle_predict(shared, request, stream))
         }
         ("POST", "/v1/explore") => {
             Metrics::bump(&shared.metrics.explore_requests);
@@ -353,7 +410,7 @@ fn handle(shared: &Shared, request: &Request) -> Response {
     }
 }
 
-fn json_200<T: serde::Serialize>(value: &T) -> Response {
+pub(crate) fn json_200<T: serde::Serialize>(value: &T) -> Response {
     Response::json(serde_json::to_string(value).expect("wire types serialize"))
 }
 
@@ -374,21 +431,92 @@ fn handle_register(shared: &Shared, request: &Request) -> Result<Response, ApiEr
     Ok(json_200(&response))
 }
 
-fn handle_predict(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+/// Decrements a gauge on scope exit — including unwind.
+struct GaugeGuard<'a> {
+    gauge: &'a std::sync::atomic::AtomicU64,
+}
+
+impl<'a> GaugeGuard<'a> {
+    fn hold(gauge: &'a std::sync::atomic::AtomicU64) -> GaugeGuard<'a> {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        GaugeGuard { gauge }
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Counts a computing request under `failed_requests` if its evaluation
+/// unwinds before [`complete`](SoloFlight::complete) disarms it — the
+/// `failed` term of the metrics partition invariant, for flights with no
+/// riders to publish to (solo predicts).
+struct SoloFlight<'a> {
+    metrics: &'a Metrics,
+    completed: bool,
+}
+
+impl<'a> SoloFlight<'a> {
+    fn start(metrics: &'a Metrics) -> SoloFlight<'a> {
+        SoloFlight {
+            metrics,
+            completed: false,
+        }
+    }
+
+    fn complete(mut self) {
+        self.completed = true;
+        Metrics::bump(&self.metrics.flight_leaders);
+    }
+}
+
+impl Drop for SoloFlight<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            Metrics::bump(&self.metrics.failed_requests);
+        }
+    }
+}
+
+fn handle_predict(
+    shared: &Shared,
+    request: &Request,
+    stream: &mut Option<TcpStream>,
+) -> Result<Response, ApiError> {
     let req: PredictRequest = parse_body(request)?;
     req.check_version()?;
     let profile = shared.registry.get(&req.profile)?;
+    // Resolve before admission: machine errors are this caller's 4xx,
+    // never a batch-mate's problem.
+    let machine = req.machine.resolve()?;
     let (key, identity) = request_identity(profile.content_hash, &req);
+    let _inflight = GaugeGuard::hold(&shared.metrics.predict_inflight);
     if let Some(hit) = cache_lookup(shared, key, &identity) {
         return Ok(hit);
     }
+    if shared.config.batch_window_ms > 0 {
+        return Ok(
+            match scheduler::submit(shared, &profile, machine, key, identity, stream) {
+                Some(response) => response,
+                // Handed off: the batch leader answers this connection;
+                // this placeholder is never written (the stream is gone).
+                None => Response::json(String::new()),
+            },
+        );
+    }
+    // Batching disabled: a solo flight through the same assembly path.
+    let flight = SoloFlight::start(&shared.metrics);
     let started = Instant::now();
-    let response = json_200(&engine::predict_response(&profile.prepared, &req)?);
+    let summary = pmt_core::IntervalModel::new(&machine).predict_summary(&profile.prepared);
+    let response = json_200(&engine::summary_response(&profile.name, &machine, &summary));
     Metrics::add(&shared.metrics.points_predicted, 1);
     Metrics::add(
         &shared.metrics.predict_nanos,
         started.elapsed().as_nanos() as u64,
     );
+    flight.complete();
     cache_insert(shared, key, &identity, &response);
     Ok(response)
 }
@@ -428,6 +556,9 @@ impl Drop for FlightGuard<'_> {
         if self.completed {
             return;
         }
+        // The panicking leader is the `failed` term's explore case; its
+        // followers count themselves when they see the 500.
+        Metrics::bump(&self.shared.metrics.failed_requests);
         Self::finish(
             self.shared,
             self.identity,
@@ -463,8 +594,17 @@ fn handle_explore(shared: &Shared, request: &Request) -> Result<Response, ApiErr
         }
     };
     if !leader {
-        Metrics::bump(&shared.metrics.coalesced_requests);
-        return Ok(flight.wait());
+        let response = flight.wait();
+        // Classify after the wait, not before: a follower whose leader
+        // panicked received the guard's 500 and belongs to the `failed`
+        // term of the partition invariant, not `coalesced` (sweep errors
+        // reach followers as the leader's own 4xx/429, never a 500).
+        if response.status == 500 {
+            Metrics::bump(&shared.metrics.failed_requests);
+        } else {
+            Metrics::bump(&shared.metrics.coalesced_requests);
+        }
+        return Ok(response);
     }
 
     // Leader: compute (or reject), publish to followers, uncache the
@@ -477,6 +617,11 @@ fn handle_explore(shared: &Shared, request: &Request) -> Result<Response, ApiErr
         completed: false,
     };
     let response = leader_compute(shared, &req, &profile.prepared, key, &identity);
+    // A 429 was already counted under `rejected_busy`; everything else
+    // — including a structured 4xx from the sweep — led the flight.
+    if response.status != 429 {
+        Metrics::bump(&shared.metrics.flight_leaders);
+    }
     guard.publish(response.clone());
     Ok(response)
 }
@@ -603,7 +748,7 @@ fn cache_lookup(shared: &Shared, key: u64, identity: &str) -> Option<Response> {
     }
 }
 
-fn cache_insert(shared: &Shared, key: u64, identity: &str, response: &Response) {
+pub(crate) fn cache_insert(shared: &Shared, key: u64, identity: &str, response: &Response) {
     let mut cache = shared.cache.lock().expect("cache lock");
     cache.insert(key, identity, response.clone());
     shared

@@ -62,6 +62,10 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> R
         body.len()
     )
     .unwrap();
+    read_reply(stream)
+}
+
+fn read_reply(mut stream: TcpStream) -> Reply {
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).unwrap();
     let raw = String::from_utf8(raw).unwrap();
@@ -112,8 +116,28 @@ fn metric(addr: SocketAddr, name: &str) -> u64 {
         "explore_requests" => m.explore_requests,
         "response_cache_collisions" => m.response_cache_collisions,
         "errors" => m.errors,
+        "batched_requests" => m.batched_requests,
+        "batch_flights" => m.batch_flights,
+        "batch_points" => m.batch_points,
+        "failed_requests" => m.failed_requests,
+        "flight_leaders" => m.flight_leaders,
+        "memo_cache_hits" => m.memo.cache_hits,
+        "memo_cp_hits" => m.memo.cp_hits,
         other => panic!("unknown metric {other}"),
     }
+}
+
+/// Every terminal request outcome, summed. The serve-smoke script
+/// asserts the same partition: every request the daemon ever answered
+/// is a cache hit, a coalesced explore follower, a batched predict
+/// rider, a busy rejection, a panic-failed request, or a flight leader.
+fn partition_terms(addr: SocketAddr) -> u64 {
+    metric(addr, "response_cache_hits")
+        + metric(addr, "coalesced_requests")
+        + metric(addr, "batched_requests")
+        + metric(addr, "rejected_busy")
+        + metric(addr, "failed_requests")
+        + metric(addr, "flight_leaders")
 }
 
 #[test]
@@ -243,6 +267,12 @@ fn leader_panic_answers_500_frees_the_flight_and_never_strands_followers() {
     );
     assert_eq!(good.status, 200, "{}", good.body);
     assert_eq!(metric(addr, "rejected_busy"), 0);
+
+    // The panic-shaped requests (N concurrent + 1 repeat) are `failed`
+    // terms; the good explore is a leader; the partition stays exact.
+    assert_eq!(metric(addr, "failed_requests"), (N + 1) as u64);
+    assert_eq!(metric(addr, "flight_leaders"), 1);
+    assert_eq!(partition_terms(addr), (N + 2) as u64);
     server.stop();
 }
 
@@ -278,12 +308,10 @@ fn concurrent_identical_requests_partition_exactly() {
     // 32-point space, everyone else was a cache hit, a coalesced
     // follower, or a busy rejection.
     assert_eq!(metric(addr, "points_predicted"), 32);
-    let leaders = 1;
+    assert_eq!(metric(addr, "flight_leaders"), 1);
+    assert_eq!(metric(addr, "failed_requests"), 0);
     assert_eq!(
-        metric(addr, "response_cache_hits")
-            + metric(addr, "coalesced_requests")
-            + metric(addr, "rejected_busy")
-            + leaders,
+        partition_terms(addr),
         N as u64,
         "every request is accounted for"
     );
@@ -295,6 +323,210 @@ fn concurrent_identical_requests_partition_exactly() {
         assert_eq!(r.body, first.body);
     }
     server.stop();
+}
+
+// --------------------------------------------------- predict batching
+
+/// A predict request whose machine is inlined with a distinct clock.
+/// Frequency appears in no memo key, so concurrent DVFS-style points
+/// replay every memoized curve when they share one batch flight.
+fn dvfs_request(frequency_ghz: f64) -> String {
+    let mut m = pmt_api::machine_by_name("nehalem").unwrap();
+    m.core.frequency_ghz = frequency_ghz;
+    serde_json::to_string(&PredictRequest::new("astar", MachineSpec::inline(m))).unwrap()
+}
+
+#[test]
+fn concurrent_distinct_predicts_batch_and_match_solo_bytes() {
+    // Two workers force rendezvous: the leader holds its window open
+    // while connections are queued, and closes the moment every worker
+    // is aboard — so concurrent callers pair up without racing the
+    // clock. The window is generous because it should never be hit.
+    let server = serve(ServeConfig {
+        threads: 2,
+        batch_window_ms: 500,
+        batch_max_points: 8,
+        ..ServeConfig::default()
+    });
+    // Control daemon: batching disabled, every request a solo flight.
+    let solo = serve(ServeConfig {
+        batch_window_ms: 0,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    const N: usize = 6;
+    let bodies: Vec<String> = (0..N).map(|i| dvfs_request(2.0 + 0.2 * i as f64)).collect();
+
+    // Deterministic rendezvous: send every request's headers first, so
+    // both workers park reading bodies while the acceptor queues the
+    // remaining connections. When the bodies land, the first leader
+    // sees queued work (no idle close) and holds its window until the
+    // second worker boards — the batch then closes as full.
+    let mut streams: Vec<TcpStream> = bodies
+        .iter()
+        .map(|body| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(
+                s,
+                "POST /v1/predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )
+            .unwrap();
+            s.flush().unwrap();
+            s
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    for (s, body) in streams.iter_mut().zip(&bodies) {
+        s.write_all(body.as_bytes()).unwrap();
+    }
+    let replies: Vec<Reply> = streams.into_iter().map(read_reply).collect();
+
+    // The tentpole invariant: whoever you shared a flight with, your
+    // bytes are the solo daemon's bytes — and all N points are distinct.
+    let mut seen = std::collections::HashSet::new();
+    for (body, reply) in bodies.iter().zip(&replies) {
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let control = post(solo.addr(), "/v1/predict", body);
+        assert_eq!(control.status, 200, "{}", control.body);
+        assert_eq!(
+            reply.body, control.body,
+            "batched bytes must equal solo bytes"
+        );
+        seen.insert(reply.body.clone());
+    }
+    assert_eq!(seen.len(), N, "distinct points get distinct responses");
+
+    // Accounting: every point went through a batch flight, the
+    // extended partition is exact, and at least one pair shared one.
+    assert_eq!(metric(addr, "points_predicted"), N as u64);
+    assert_eq!(metric(addr, "batch_points"), N as u64);
+    assert_eq!(metric(addr, "failed_requests"), 0);
+    assert_eq!(metric(addr, "response_cache_hits"), 0);
+    assert_eq!(
+        metric(addr, "batch_flights"),
+        metric(addr, "flight_leaders")
+    );
+    assert_eq!(partition_terms(addr), N as u64);
+    assert!(
+        metric(addr, "batched_requests") >= 1,
+        "at least two concurrent callers must share one flight"
+    );
+    // Sharing a flight replays memoized curves across callers.
+    assert!(metric(addr, "memo_cache_hits") >= 1);
+
+    server.stop();
+    solo.stop();
+}
+
+#[test]
+fn solo_daemon_counts_leaders_and_cache_hits_in_the_partition() {
+    let solo = serve(ServeConfig {
+        batch_window_ms: 0,
+        ..ServeConfig::default()
+    });
+    let addr = solo.addr();
+    let body = dvfs_request(3.0);
+    let cold = post(addr, "/v1/predict", &body);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let warm = post(addr, "/v1/predict", &body);
+    assert_eq!(warm.body, cold.body, "cache must replay identical bytes");
+    assert_eq!(metric(addr, "flight_leaders"), 1);
+    assert_eq!(metric(addr, "response_cache_hits"), 1);
+    assert_eq!(metric(addr, "batch_flights"), 0);
+    assert_eq!(partition_terms(addr), 2);
+    solo.stop();
+}
+
+/// A predict whose inlined machine has `line_bytes: 0`: resolution
+/// accepts it (only named specs are validated), and the first cache
+/// curve evaluated inside the flight divides by zero.
+fn poison_predict() -> String {
+    let mut m = pmt_api::machine_by_name("nehalem").unwrap();
+    m.caches.l3.line_bytes = 0;
+    serde_json::to_string(&PredictRequest::new("astar", MachineSpec::inline(m))).unwrap()
+}
+
+#[test]
+fn batch_leader_panic_fails_riders_with_structured_500s_and_frees_the_queue() {
+    let server = serve(ServeConfig {
+        threads: 2,
+        batch_window_ms: 500,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = poison_predict();
+
+    const N: usize = 4;
+    let barrier = std::sync::Barrier::new(N);
+    let replies: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let (body, barrier) = (&body, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    post(addr, "/v1/predict", body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &replies {
+        assert_eq!(r.status, 500, "{}", r.body);
+        let err: pmt_api::ErrorBody = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(err.code, "internal");
+        assert!(err.message.contains("panicked"), "{}", err.message);
+    }
+
+    // Every poisoned request is a `failed` term — leaders counted by
+    // the batch guard mid-unwind, riders by the 500 they woke to.
+    assert_eq!(metric(addr, "failed_requests"), N as u64);
+    assert_eq!(metric(addr, "batched_requests"), 0);
+    assert_eq!(partition_terms(addr), N as u64);
+
+    // Nothing was cached and the open-batch key was released: a repeat
+    // panics afresh, and a healthy predict on the same profile is 200.
+    assert_eq!(post(addr, "/v1/predict", &body).status, 500);
+    let good = post(addr, "/v1/predict", &dvfs_request(2.66));
+    assert_eq!(good.status, 200, "{}", good.body);
+    server.stop();
+}
+
+// --------------------------------------------------- graceful shutdown
+
+#[test]
+fn stop_drains_in_flight_requests_and_closes_the_listener() {
+    let server = serve(ServeConfig::default());
+    let addr = server.addr();
+    let stop = server.stop_handle();
+
+    // Half-send a request so a worker is parked reading its body, then
+    // request the stop, then complete the request: drain semantics mean
+    // the worker still answers before the daemon exits.
+    let body = dvfs_request(2.66);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /v1/predict HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    stop.request_stop();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head = String::from_utf8(raw).unwrap();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    server.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the listener must be closed after join"
+    );
 }
 
 #[test]

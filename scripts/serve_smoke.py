@@ -15,10 +15,21 @@ wire API and `/metrics`:
    predicts the space, everyone else is a coalesced follower, a cache
    hit (if they arrived after completion), or a structured 429.
    `cache_hits + coalesced + busy + 1 == N` must hold exactly.
+4. **Micro-batching** (with ``--solo-url`` and ``--predict-request``) —
+   N concurrent *distinct* predicts (DVFS frequency ladder) ride shared
+   `BatchPredictor` flights (``batched_requests`` grows), and every
+   response is byte-identical to replaying the same request against a
+   ``--batch-window-ms 0`` control daemon.
+
+After all phases the extended request partition must hold exactly on
+the batched daemon:
+``hits + coalesced + batched + rejected + failed + leaders == N``.
 
 Usage:
   serve_smoke.py --url http://127.0.0.1:7071 \
-      --request explore-request.json --expect cli-explore.json
+      --solo-url http://127.0.0.1:7072 \
+      --request explore-request.json --expect cli-explore.json \
+      --predict-request predict-request.json
 """
 
 import argparse
@@ -64,10 +75,14 @@ def main():
     ap.add_argument("--url", required=True, help="daemon base URL")
     ap.add_argument("--request", required=True, help="ExploreRequest JSON (from --emit-request)")
     ap.add_argument("--expect", required=True, help="ExploreResponse the CLI wrote (from --out)")
+    ap.add_argument("--solo-url", help="control daemon with --batch-window-ms 0 (phase 4)")
+    ap.add_argument("--predict-request",
+                    help="PredictRequest JSON from `pmt predict --emit-request` (phase 4)")
     ap.add_argument("--concurrency", type=int, default=8)
     args = ap.parse_args()
     base = args.url.rstrip("/")
     n = args.concurrency
+    served = 0  # requests the batched daemon answered (partition N)
 
     wait_healthy(base)
     with open(args.request, "rb") as f:
@@ -83,6 +98,7 @@ def main():
         f"(served {len(body)}B vs CLI {len(expected)}B)"
     )
     evaluated = json.loads(body)["summary"]["evaluated"]
+    served += 1
     print(f"byte-identity: served /v1/explore == CLI --out ({len(body)} bytes, "
           f"{evaluated} points evaluated)")
 
@@ -98,6 +114,7 @@ def main():
     new_hits = after["response_cache_hits"] - before["response_cache_hits"]
     assert new_points == 0, f"warm repeats predicted {new_points} new points"
     assert new_hits == n, f"expected {n} cache hits, saw {new_hits}"
+    served += n
     print(f"warm cache: {n} concurrent repeats → 0 new predictions, {new_hits} cache hits")
 
     # 3. Cold identical requests are computed exactly once.
@@ -130,8 +147,69 @@ def main():
         f"{rejected} busy + 1 leader != {n}"
     )
     assert rejected == len(busy)
+    served += n
     print(f"coalescing: {n} cold identical requests → 1 leader, "
           f"{coalesced} coalesced, {hits} cache hits, {rejected} busy")
+
+    # 4. Distinct concurrent predicts share micro-batch flights, and the
+    #    flights change no one's bytes: every response must equal a solo
+    #    replay against the --batch-window-ms 0 control daemon.
+    if args.solo_url and args.predict_request:
+        solo = args.solo_url.rstrip("/")
+        wait_healthy(solo)
+        with open(args.predict_request) as f:
+            template = json.load(f)
+        variants = []
+        for i in range(n):
+            template["machine"]["config"]["core"]["frequency_ghz"] = 1.0 + 0.001 * i
+            variants.append(json.dumps(template, separators=(",", ":")).encode())
+
+        before = metrics(base)
+        with concurrent.futures.ThreadPoolExecutor(n) as pool:
+            replies = list(pool.map(lambda v: http(base + "/v1/predict", v), variants))
+        after = metrics(base)
+        for status, body, _ in replies:
+            assert status == 200, f"batched predict: {status} {body!r}"
+        assert len({body for _, body, _ in replies}) == n, \
+            "distinct design points returned duplicated response bytes"
+        served += n
+
+        batched = after["batched_requests"] - before["batched_requests"]
+        flights = after["batch_flights"] - before["batch_flights"]
+        leaders = after["flight_leaders"] - before["flight_leaders"]
+        failed = after["failed_requests"] - before["failed_requests"]
+        assert failed == 0, f"{failed} predicts failed"
+        assert batched > 0, (
+            f"no request rode a shared flight ({flights} flights for {n} "
+            f"concurrent distinct predicts)"
+        )
+        assert batched + leaders == n, (
+            f"predict accounting broke: {batched} batched + {leaders} leaders != {n}"
+        )
+
+        for variant, (_, body, _) in zip(variants, replies):
+            status, solo_body, _ = http(solo + "/v1/predict", variant)
+            assert status == 200, f"solo replay: {status} {solo_body!r}"
+            assert solo_body == body, (
+                "a batched response differs from its solo replay — shared "
+                "flights changed someone's bytes"
+            )
+        print(f"micro-batching: {n} concurrent distinct predicts → {flights} flight(s), "
+              f"{batched} answered from a shared flight; all bytes == solo replays")
+
+    # Extended partition: every request the daemon ever answered is
+    # exactly one of hit / coalesced / batched / rejected / failed /
+    # flight leader.
+    after = metrics(base)
+    terms = {k: after[k] for k in (
+        "response_cache_hits", "coalesced_requests", "batched_requests",
+        "rejected_busy", "failed_requests", "flight_leaders")}
+    total = sum(terms.values())
+    assert total == served, (
+        f"extended request partition broke: {terms} sums to {total}, "
+        f"but {served} requests were served"
+    )
+    print(f"partition: {terms} == {served} requests served")
 
     print("serve smoke OK:", json.dumps(after))
 

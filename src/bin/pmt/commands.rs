@@ -118,6 +118,11 @@ pub const PREDICT: Command = Command {
             "print the wire-schema PredictResponse instead of text",
         ),
         Flag::value("--out", "FILE", "write the PredictResponse JSON here"),
+        Flag::value(
+            "--emit-request",
+            "FILE",
+            "also write the wire PredictRequest (machine inlined) here",
+        ),
     ],
 };
 
@@ -125,6 +130,19 @@ pub fn predict(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_or_return!(PREDICT, args);
     let profile = crate::load_profile(&parsed, "predict")?;
     let machine_name = parsed.value("--machine").unwrap_or("nehalem");
+
+    if let Some(path) = parsed.value("--emit-request") {
+        // The machine is inlined (not named) so scripted callers can
+        // mutate individual fields — e.g. `frequency_ghz` — to
+        // synthesize distinct design points against a daemon.
+        let m = MachineSpec::named(machine_name)
+            .resolve()
+            .map_err(api_err)?;
+        let req = PredictRequest::new(&profile.name, MachineSpec::inline(m));
+        let json = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("predict request -> {path}");
+    }
 
     if parsed.switch("--json") || parsed.value("--out").is_some() {
         // The wire path: the same engine call the daemon answers with,

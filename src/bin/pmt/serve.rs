@@ -59,8 +59,48 @@ pub const SERVE: Command = Command {
             "response cache capacity (default 64)",
         ),
         Flag::value("--max-profiles", "N", "registry capacity (default 64)"),
+        Flag::value(
+            "--batch-window-ms",
+            "MS",
+            "predict micro-batch collection window; 0 disables (default 5)",
+        ),
+        Flag::value(
+            "--batch-max-points",
+            "N",
+            "design points per batch flight before early close (default 64)",
+        ),
     ],
 };
+
+/// Signal-to-shutdown plumbing, dependency-free: an async-signal-safe
+/// handler flips an atomic, and a watcher thread turns that into a
+/// [`StopHandle::request_stop`] (which is not safe to call from a
+/// handler — it allocates and takes locks).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP_REQUESTED.store(true, Ordering::Release);
+    }
+
+    pub fn install() {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
 
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let parsed = match SERVE.parse(args)? {
@@ -93,6 +133,16 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "a profile count",
             defaults.max_profiles,
         )?,
+        batch_window_ms: parsed.parsed_or(
+            "--batch-window-ms",
+            "milliseconds",
+            defaults.batch_window_ms,
+        )?,
+        batch_max_points: parsed.parsed_or(
+            "--batch-max-points",
+            "a point count",
+            defaults.batch_max_points,
+        )?,
         ..defaults
     };
 
@@ -119,6 +169,24 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     // The smoke script scrapes this line for the picked port.
     println!("pmt serve listening on http://{}", server.addr());
     eprintln!("endpoints: /healthz /metrics /v1/profiles /v1/predict /v1/explore");
+
+    // Graceful shutdown: SIGINT/SIGTERM close the listener, connections
+    // already accepted are drained, and the process exits 0.
+    #[cfg(unix)]
+    {
+        signals::install();
+        let stop = server.stop_handle();
+        std::thread::spawn(move || loop {
+            if signals::STOP_REQUESTED.load(std::sync::atomic::Ordering::Acquire) {
+                eprintln!("pmt serve: signal received, draining");
+                stop.request_stop();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
     server.join();
+    eprintln!("pmt serve: drained, exiting");
     Ok(())
 }

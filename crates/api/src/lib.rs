@@ -68,14 +68,20 @@ pub use machine::{machine_by_name, MachineSpec, MACHINE_NAMES};
 pub use snapshot::{profile_fingerprint, AccumulatorSnapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use space::{AxisSpec, SpaceSpec, AXIS_NAMES, SPACE_NAMES};
 pub use wire::{
-    ExploreRequest, ExploreResponse, HealthResponse, MemoMetrics, MetricsResponse, PredictRequest,
-    PredictResponse, ProfileInfo, ProfilesResponse, RegisterProfileRequest,
-    RegisterProfileResponse, StackEntry,
+    CorrectorMetrics, ExploreRequest, ExploreResponse, HealthResponse, MemoMetrics,
+    MetricsResponse, PredictRequest, PredictResponse, ProfileInfo, ProfilesResponse,
+    RegisterProfileRequest, RegisterProfileResponse, StackEntry,
 };
 
 // `pmt validate --out` output is part of the wire family; see the
 // crate-level discussion of its independent schema counter.
 pub use pmt_validate::ValidationReport;
+
+// The corrector artifact travels with the wire family too: `pmt train`
+// writes it, `pmt validate --corrector` and `pmt serve --corrector`
+// read it, and it keeps its own independent schema counter just like
+// [`ValidationReport`].
+pub use pmt_ml::{MlError, ResidualModel, ML_SCHEMA_VERSION};
 
 /// Version of the request/response wire schema. Bump on any breaking
 /// change; servers refuse mismatched requests with

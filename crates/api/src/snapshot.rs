@@ -15,9 +15,8 @@
 //! of one fleet run, so their format can evolve without breaking
 //! long-lived clients.
 
-use crate::{fnv1a, ApiError, ExploreRequest};
+use crate::{ApiError, ExploreRequest};
 use pmt_dse::ShardAccumulators;
-use pmt_profiler::ApplicationProfile;
 use serde::{Deserialize, Serialize};
 
 /// Version of the shard-snapshot format. Bumped on any change to
@@ -97,11 +96,10 @@ impl AccumulatorSnapshot {
 /// canonical JSON, hex-encoded — the same construction the serve
 /// registry uses for its `content_hash`, so a snapshot taken against a
 /// registered profile and one taken against the profile file agree.
-pub fn profile_fingerprint(profile: &ApplicationProfile) -> String {
-    let mut json = String::new();
-    Serialize::to_json(profile, &mut json);
-    format!("{:016x}", fnv1a(&[&json]))
-}
+/// The canonical implementation lives in `pmt_ml` (corrector artifacts
+/// pin the same fingerprints in their coverage list); this is a
+/// re-export so every consumer keeps hashing identically.
+pub use pmt_ml::profile_fingerprint;
 
 #[cfg(test)]
 mod tests {

@@ -71,6 +71,17 @@ pub struct PredictResponse {
     pub power_w: f64,
     /// Leakage share of `power_w`.
     pub static_w: f64,
+    /// Whether a learned residual corrector adjusted this prediction.
+    /// `false` when the daemon has no corrector loaded *or* the loaded
+    /// corrector does not cover this profile's fingerprint (the
+    /// analytical answer is served unmodified either way).
+    pub corrected: bool,
+    /// Corrector-fused CPI (null unless `corrected`). The analytical
+    /// `cpi` is always reported alongside — correction is an overlay,
+    /// never a replacement.
+    pub corrected_cpi: Option<f64>,
+    /// Corrector-fused total power in watts (null unless `corrected`).
+    pub corrected_power_w: Option<f64>,
 }
 
 /// `POST /v1/explore` and the JSON `pmt explore --out` writes: stream a
@@ -275,6 +286,8 @@ pub struct MetricsResponse {
     /// Cumulative `BatchPredictor` memo efficacy across every batch
     /// flight since daemon start.
     pub memo: MemoMetrics,
+    /// Learned-residual-corrector activity since daemon start.
+    pub corrector: CorrectorMetrics,
 }
 
 /// Cumulative [`BatchPredictor`](../pmt_core/struct.BatchPredictor.html)
@@ -308,6 +321,22 @@ pub struct MemoMetrics {
     pub branch_hits: u64,
     /// Branch penalties computed.
     pub branch_misses: u64,
+}
+
+/// Corrector counters of a [`MetricsResponse`]: whether a
+/// [`ResidualModel`](crate::ResidualModel) rode along at boot and how
+/// many predictions it actually touched. `skipped_requests` counts
+/// predictions a loaded corrector declined because the requested
+/// profile's fingerprint was outside its training coverage — those
+/// answers stayed purely analytical.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorrectorMetrics {
+    /// Whether a corrector was loaded at boot.
+    pub loaded: bool,
+    /// Predictions the corrector adjusted.
+    pub corrected_requests: u64,
+    /// Predictions a loaded corrector skipped (uncovered profile).
+    pub skipped_requests: u64,
 }
 
 #[cfg(test)]

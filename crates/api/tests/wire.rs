@@ -10,7 +10,8 @@
 use pmt_api::{
     check_schema_version, AxisSpec, ErrorBody, ExploreRequest, ExploreResponse, HealthResponse,
     MachineSpec, MetricsResponse, PredictRequest, PredictResponse, ProfileInfo, ProfilesResponse,
-    RegisterProfileRequest, RegisterProfileResponse, SpaceSpec, StackEntry, WIRE_SCHEMA_VERSION,
+    RegisterProfileRequest, RegisterProfileResponse, ResidualModel, SpaceSpec, StackEntry,
+    WIRE_SCHEMA_VERSION,
 };
 use pmt_dse::{DesignConstraints, Objective, StreamingSweep};
 use pmt_profiler::{Profiler, ProfilerConfig};
@@ -85,9 +86,25 @@ fn every_response_type_round_trips() {
         }],
         power_w: 18.3,
         static_w: 13.8,
+        corrected: false,
+        corrected_cpi: None,
+        corrected_power_w: None,
     };
     let back: PredictResponse = round_trips(&predict);
     assert_eq!(back.cpi.to_bits(), predict.cpi.to_bits());
+
+    // The corrected variant: additive fields populated, analytical
+    // fields untouched.
+    let mut fused = predict.clone();
+    fused.corrected = true;
+    fused.corrected_cpi = Some(5.401_223_984_441_107);
+    fused.corrected_power_w = Some(17.905_512_880_415_63);
+    let back = round_trips(&fused);
+    assert_eq!(back.cpi.to_bits(), predict.cpi.to_bits());
+    assert_eq!(
+        back.corrected_cpi.unwrap().to_bits(),
+        fused.corrected_cpi.unwrap().to_bits()
+    );
 
     // A real streaming summary (frontier, top-K, moments) through a
     // genuinely populated ExploreResponse.
@@ -153,14 +170,62 @@ fn metrics_response_round_trips() {
         "memo":{"cache_entries":2,"cache_hits":6,"cache_misses":2,
         "stride_entries":5,"stride_hits":15,"stride_misses":5,
         "cp_entries":5,"cp_hits":15,"cp_misses":5,
-        "branch_entries":5,"branch_hits":15,"branch_misses":5}}"#;
+        "branch_entries":5,"branch_hits":15,"branch_misses":5},
+        "corrector":{"loaded":true,"corrected_requests":2,"skipped_requests":1}}"#;
     let m: MetricsResponse = serde_json::from_str(json).unwrap();
     assert_eq!(m.points_predicted, 32);
     assert_eq!(m.batched_requests, 3);
     assert_eq!(m.batch_mean_size, 4.0);
     assert_eq!(m.memo.cache_hits, 6);
     assert_eq!(m.memo.branch_misses, 5);
+    assert!(m.corrector.loaded);
+    assert_eq!(m.corrector.corrected_requests, 2);
+    assert_eq!(m.corrector.skipped_requests, 1);
     round_trips(&m);
+}
+
+#[test]
+fn wrong_corrector_schema_version_is_refused() {
+    // A structurally valid artifact claiming a future schema: parsing
+    // must fail with the structured `bad_corrector_version` code, not
+    // load and mispredict.
+    let spec = WorkloadSpec::by_name("astar").unwrap();
+    let profile =
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(20_000));
+    let rows: Vec<pmt_ml::TrainingRow> = pmt_uarch::DesignSpace::small()
+        .enumerate()
+        .into_iter()
+        .take(4)
+        .map(|p| pmt_ml::TrainingRow {
+            workload: "astar".to_string(),
+            machine: p.machine,
+            model_cpi: 1.0,
+            sim_cpi: 1.1,
+            model_power: 10.0,
+            sim_power: 10.5,
+        })
+        .collect();
+    let model = pmt_ml::train(
+        &rows,
+        std::slice::from_ref(&profile),
+        &pmt_ml::TrainOptions::default(),
+    )
+    .unwrap();
+    // The good artifact loads and round-trips byte-for-byte.
+    let json = model.to_json();
+    let back = ResidualModel::from_json(&json).unwrap();
+    assert_eq!(back.to_json(), json);
+
+    let skewed = json.replacen("\"schema_version\":1", "\"schema_version\":99", 1);
+    let err = ResidualModel::from_json(&skewed).unwrap_err();
+    assert_eq!(err.code, "bad_corrector_version");
+    assert!(err.message.contains("99"), "{}", err.message);
+
+    // Garbage is a structured parse error, not a panic.
+    assert_eq!(
+        ResidualModel::from_json("{").unwrap_err().code,
+        "bad_corrector"
+    );
 }
 
 #[test]

@@ -235,7 +235,7 @@ fn measure_pair(
                     .collect()
             })
             .collect();
-        let metrics = server.metrics().snapshot(1, 2, threads as u64);
+        let metrics = server.metrics().snapshot(1, 2, threads as u64, false);
         server.stop();
         (std::mem::take(&mut elapsed[daemon]), replies, metrics)
     })

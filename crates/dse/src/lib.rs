@@ -15,6 +15,10 @@
 //!   accumulators** — an incremental Pareto frontier
 //!   ([`ParetoAccumulator`]), a bounded top-K ([`TopK`]) and streaming
 //!   moments — so memory stays bounded by the *answer*, not the space,
+//! * [`corrected_top`] / [`corrected_frontier`] — the optional learned
+//!   residual layer: apply a trained `pmt_ml` corrector to a summary's
+//!   survivors **after** the fold, leaving the accumulator bytes (and
+//!   every byte-identity contract built on them) untouched,
 //! * [`ParetoFront`] — non-dominated (delay, power) extraction plus the
 //!   pruning-quality metrics of §7.4: sensitivity, specificity, accuracy
 //!   and the hypervolume ratio (HVR, Fig 7.8),
@@ -61,6 +65,7 @@
 //! ```
 
 pub mod constrain;
+mod corrected;
 pub mod dvfs;
 mod empirical;
 mod pareto;
@@ -69,6 +74,7 @@ mod streaming;
 mod sweep;
 
 pub use constrain::DesignConstraints;
+pub use corrected::{corrected_frontier, corrected_top, CorrectedEntry};
 pub use empirical::EmpiricalModel;
 pub use pareto::{FrontEntry, ParetoAccumulator, ParetoFront, PruningQuality};
 pub use space::{Axis, LazyDesignSpace, LazyPoints, ProductSpace};

@@ -1,0 +1,79 @@
+//! The fixed feature vector a corrector regresses over.
+//!
+//! One row per (workload, design point): the machine knobs the design
+//! spaces actually vary, the micro-architecture independent profile
+//! aggregates that distinguish workloads, and the analytical prediction
+//! itself (the strongest single predictor of its own residual). The
+//! order is frozen — [`feature_names`] is stored inside every
+//! [`ResidualModel`](crate::ResidualModel) artifact and checked on
+//! apply, so a model can never be silently evaluated over a reordered
+//! or extended vector.
+
+use pmt_profiler::ApplicationProfile;
+use pmt_uarch::MachineConfig;
+
+/// Length of the feature vector (excluding the regression's bias term).
+pub const FEATURE_COUNT: usize = 21;
+
+/// Names of the features, in vector order.
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "dispatch_width",
+    "rob_size",
+    "iq_size",
+    "lsq_size",
+    "frontend_depth",
+    "frequency_ghz",
+    "l1d_kb",
+    "l1d_latency",
+    "l2_kb",
+    "l2_latency",
+    "l3_kb",
+    "l3_latency",
+    "dram_latency",
+    "mshr_entries",
+    "uops_per_instruction",
+    "loads_per_instruction",
+    "branch_entropy",
+    "branches_per_instruction",
+    "loads_per_uop",
+    "stores_per_uop",
+    "model_cpi",
+];
+
+/// [`FEATURE_NAMES`] as owned strings (the artifact stores these).
+pub fn feature_names() -> Vec<String> {
+    FEATURE_NAMES.iter().map(|s| s.to_string()).collect()
+}
+
+/// Extract the feature vector for one (machine, profile, prediction)
+/// triple. Pure arithmetic on already-computed aggregates — cheap enough
+/// to run per served request.
+pub fn features(
+    machine: &MachineConfig,
+    profile: &ApplicationProfile,
+    model_cpi: f64,
+) -> [f64; FEATURE_COUNT] {
+    [
+        machine.core.dispatch_width as f64,
+        machine.core.rob_size as f64,
+        machine.core.iq_size as f64,
+        machine.core.lsq_size as f64,
+        machine.core.frontend_depth as f64,
+        machine.core.frequency_ghz,
+        machine.caches.l1d.size_kb as f64,
+        machine.caches.l1d.latency as f64,
+        machine.caches.l2.size_kb as f64,
+        machine.caches.l2.latency as f64,
+        machine.caches.l3.size_kb as f64,
+        machine.caches.l3.latency as f64,
+        machine.mem.dram_latency as f64,
+        machine.mem.mshr_entries as f64,
+        profile.uops_per_instruction(),
+        profile.loads_per_instruction(),
+        profile.branch.entropy,
+        profile.branch.branches_per_instruction,
+        profile.memory.loads_per_uop,
+        profile.memory.stores_per_uop,
+        model_cpi,
+    ]
+}

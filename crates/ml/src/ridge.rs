@@ -1,0 +1,140 @@
+//! The closed-form normal-equations solver.
+//!
+//! Ridge regression solves `(XᵀX + λI) w = Xᵀy`. The left-hand matrix is
+//! symmetric positive definite for any λ > 0, so a plain Gaussian
+//! elimination always succeeds; partial pivoting keeps it numerically
+//! honest anyway. Everything here is `+ − × ÷` on `f64` — IEEE-exact,
+//! no libm — which is what makes training bit-reproducible across
+//! platforms and what the differential proptest
+//! (`solve` vs [`solve_reference`]) relies on.
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// `a` is a square row-major matrix (consumed as a copy); returns an
+/// error when the matrix is singular to working precision (a zero
+/// pivot), which a ridge system with λ > 0 never is.
+// Elimination updates read pivot row `col` while writing row `row` of
+// the same matrix — index loops, not iterators, keep that legible.
+#[allow(clippy::needless_range_loop)]
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, String> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining magnitude up.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite matrix")
+            })
+            .expect("non-empty column");
+        if m[pivot_row][col] == 0.0 {
+            return Err(format!("singular system (zero pivot in column {col})"));
+        }
+        m.swap(col, pivot_row);
+        rhs.swap(col, pivot_row);
+
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            m[row][col] = 0.0;
+            for k in col + 1..n {
+                m[row][k] -= factor * m[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+/// Naive reference solver: Gauss–Jordan full reduction **without**
+/// pivoting. Correct for the diagonally loaded SPD systems ridge
+/// produces, and implementationally disjoint from [`solve`] — the
+/// differential proptest in `tests/properties.rs` pins the two against
+/// each other.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_reference(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, String> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    // Augmented [A | b], reduced to [I | x].
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = m[col][col];
+        if pivot == 0.0 {
+            return Err(format!("singular system (zero pivot in column {col})"));
+        }
+        for k in col..=n {
+            m[col][k] /= pivot;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m[row][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                m[row][k] -= factor * m[col][k];
+            }
+        }
+    }
+    Ok(m.into_iter().map(|row| row[n]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_a_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5].
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = [3.0, 5.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+        let r = solve_reference(&a, &b).unwrap();
+        assert!((x[0] - r[0]).abs() < 1e-12 && (x[1] - r[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_solves_to_exact_zero() {
+        let a = vec![
+            vec![3.0, -1.0, 0.5],
+            vec![-1.0, 2.0, 0.0],
+            vec![0.5, 0.0, 4.0],
+        ];
+        let x = solve(&a, &[0.0, 0.0, 0.0]).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0), "{x:?}");
+    }
+
+    #[test]
+    fn singular_matrix_is_an_error() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+    }
+}

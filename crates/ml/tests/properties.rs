@@ -1,0 +1,162 @@
+//! Property-based tests for the ridge corrector: solve invariants,
+//! split determinism, and a differential check of the normal-equations
+//! solver against a naive reference implementation.
+
+use pmt_ml::{ridge, split_indices, train, ResidualModel, TrainOptions, TrainingRow};
+use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
+use pmt_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One profiled workload, shared across cases (profiling is the
+/// expensive part and the properties only need *a* profile).
+fn profile() -> &'static ApplicationProfile {
+    static PROFILE: OnceLock<ApplicationProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let spec = WorkloadSpec::by_name("astar").unwrap();
+        Profiler::new(ProfilerConfig::fast_test()).profile_named("astar", &mut spec.trace(10_000))
+    })
+}
+
+/// Build rows over the small design space with the given per-row
+/// (model_cpi, sim multiplier) pairs.
+fn rows_from(cpis: &[(f64, f64)]) -> Vec<TrainingRow> {
+    let points = pmt_uarch::DesignSpace::small().enumerate();
+    cpis.iter()
+        .enumerate()
+        .map(|(i, &(cpi, mult))| TrainingRow {
+            workload: "astar".to_string(),
+            machine: points[i % points.len()].machine.clone(),
+            model_cpi: cpi,
+            sim_cpi: cpi * mult,
+            model_power: 10.0 + i as f64,
+            sim_power: (10.0 + i as f64) * mult,
+        })
+        .collect()
+}
+
+/// A random symmetric positive-definite ridge system: A = MᵀM + λI.
+fn arb_ridge_system() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>, f64)> {
+    // The vendored proptest has no `prop_flat_map`, so draw at the
+    // maximum dimension and truncate to the drawn size.
+    (
+        2usize..=6,
+        prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 6), 6),
+        prop::collection::vec(-10.0f64..10.0, 6),
+        0.01f64..10.0,
+    )
+        .prop_map(|(n, m, b, lambda)| {
+            let m: Vec<Vec<f64>> = m[..n].iter().map(|row| row[..n].to_vec()).collect();
+            let b = b[..n].to_vec();
+            let mut a = vec![vec![0.0; n]; n];
+            for (i, row_i) in a.iter_mut().enumerate() {
+                for (j, cell) in row_i.iter_mut().enumerate() {
+                    for row in &m {
+                        *cell += row[i] * row[j];
+                    }
+                }
+            }
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] += lambda;
+            }
+            (a, b, lambda)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zero residuals train to a correction that returns the analytical
+    /// prediction **bit-exactly**: sim == model ⇒ all targets are
+    /// exactly 0 ⇒ the ridge solve yields (±)0 weights ⇒ the learned
+    /// multiplier is exactly 1.0.
+    #[test]
+    fn zero_residual_data_corrects_nothing(
+        cpis in prop::collection::vec(0.2f64..5.0, 4..24),
+        seed in 0u64..1000,
+    ) {
+        let rows = rows_from(&cpis.iter().map(|&c| (c, 1.0)).collect::<Vec<_>>());
+        let opts = TrainOptions { seed, ..TrainOptions::default() };
+        let model = train(&rows, std::slice::from_ref(profile()), &opts).unwrap();
+        for row in &rows {
+            let c = model.correct(&row.machine, profile(), row.model_cpi, row.model_power);
+            prop_assert_eq!(c.cpi.to_bits(), row.model_cpi.to_bits());
+            prop_assert_eq!(c.power_w.to_bits(), row.model_power.to_bits());
+        }
+    }
+
+    /// The ridge solution is bounded by the regularization:
+    /// ‖w‖₂ ≤ ‖b‖₂ / λ for any SPD system A + λI (the smallest
+    /// eigenvalue of the left-hand side is at least λ).
+    #[test]
+    fn solution_norm_is_bounded_by_regularization(
+        (a, b, lambda) in arb_ridge_system(),
+    ) {
+        let w = ridge::solve(&a, &b).unwrap();
+        let norm_w = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let norm_b = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(
+            lambda * norm_w <= norm_b * (1.0 + 1e-9) + 1e-12,
+            "lambda*|w| = {} > |b| = {}", lambda * norm_w, norm_b
+        );
+    }
+
+    /// An extreme penalty shrinks the learned correction toward zero:
+    /// the corrected CPI stays within a sliver of the analytical CPI
+    /// even when the data carries a large systematic residual.
+    #[test]
+    fn huge_lambda_suppresses_the_correction(
+        cpis in prop::collection::vec(0.2f64..5.0, 8..24),
+    ) {
+        let rows = rows_from(&cpis.iter().map(|&c| (c, 1.5)).collect::<Vec<_>>());
+        let opts = TrainOptions { lambda: 1e9, ..TrainOptions::default() };
+        let model = train(&rows, std::slice::from_ref(profile()), &opts).unwrap();
+        for row in &rows {
+            let c = model.correct(&row.machine, profile(), row.model_cpi, row.model_power);
+            prop_assert!((c.cpi / row.model_cpi - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// The train/test split partitions 0..n exactly and is a pure
+    /// function of (n, fraction, seed).
+    #[test]
+    fn split_is_a_seed_stable_partition(
+        n in 1usize..500,
+        fraction in 0.0f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let (train_idx, test_idx) = split_indices(n, fraction, seed);
+        prop_assert_eq!(test_idx.len(), (n as f64 * fraction).floor() as usize);
+        let mut all: Vec<usize> = train_idx.iter().chain(&test_idx).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let again = split_indices(n, fraction, seed);
+        prop_assert_eq!(&again.0, &train_idx);
+        prop_assert_eq!(&again.1, &test_idx);
+    }
+
+    /// Differential: the partial-pivot Gaussian elimination and the
+    /// naive Gauss–Jordan reference agree on random SPD ridge systems.
+    #[test]
+    fn solver_matches_the_naive_reference((a, b, _lambda) in arb_ridge_system()) {
+        let fast = ridge::solve(&a, &b).unwrap();
+        let naive = ridge::solve_reference(&a, &b).unwrap();
+        for (x, y) in fast.iter().zip(&naive) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!((x - y).abs() <= 1e-6 * scale, "{x} vs {y}");
+        }
+    }
+}
+
+/// Training twice over identical rows is byte-identical — the artifact
+/// determinism the committed goldens and CI `fusion-smoke` rely on.
+#[test]
+fn training_twice_is_byte_identical() {
+    let rows = rows_from(&[(0.9, 1.1), (1.3, 1.05), (2.0, 0.92), (0.7, 1.2), (1.1, 1.0)]);
+    let opts = TrainOptions::default();
+    let a = train(&rows, std::slice::from_ref(profile()), &opts).unwrap();
+    let b = train(&rows, std::slice::from_ref(profile()), &opts).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    let back = ResidualModel::from_json(&a.to_json()).unwrap();
+    assert_eq!(back, a);
+}

@@ -61,7 +61,36 @@ pub fn summary_response(
             .collect(),
         power_w: power.total(),
         static_w: power.static_w,
+        corrected: false,
+        corrected_cpi: None,
+        corrected_power_w: None,
     }
+}
+
+/// Overlay a learned residual corrector onto an assembled
+/// [`PredictResponse`], when one is loaded and it covers the profile.
+///
+/// The analytical `cpi`/`power_w` fields are never touched — correction
+/// is additive wire data. Returns whether the corrector was applied
+/// (`false` both when `corrector` is `None` and when the loaded
+/// corrector does not cover `fingerprint`; the caller's metrics
+/// distinguish the two cases by whether a corrector is loaded at all).
+pub fn apply_corrector(
+    response: &mut PredictResponse,
+    corrector: Option<&pmt_api::ResidualModel>,
+    fingerprint: &str,
+    machine: &MachineConfig,
+    profile: &pmt_profiler::ApplicationProfile,
+) -> bool {
+    let Some(model) = corrector else { return false };
+    if model.check_version().is_err() || !model.covers(&response.workload, fingerprint) {
+        return false;
+    }
+    let corrected = model.correct(machine, profile, response.cpi, response.power_w);
+    response.corrected = true;
+    response.corrected_cpi = Some(corrected.cpi);
+    response.corrected_power_w = Some(corrected.power_w);
+    true
 }
 
 /// Stream a design space through the prepared profile: Pareto frontier,

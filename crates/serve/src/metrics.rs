@@ -1,7 +1,7 @@
 //! Service counters: lock-free atomics, snapshotted into a
 //! [`MetricsResponse`] on `GET /metrics`.
 
-use pmt_api::{MemoMetrics, MetricsResponse, WIRE_SCHEMA_VERSION};
+use pmt_api::{CorrectorMetrics, MemoMetrics, MetricsResponse, WIRE_SCHEMA_VERSION};
 use pmt_core::MemoStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -78,6 +78,10 @@ pub struct Metrics {
     pub inflight_sweeps: AtomicU64,
     /// Connections accepted but not yet picked up by a worker.
     pub queue_depth: AtomicU64,
+    /// Predictions the loaded residual corrector adjusted.
+    pub corrected_requests: AtomicU64,
+    /// Predictions a loaded corrector skipped (uncovered profile).
+    pub corrector_skipped: AtomicU64,
 }
 
 impl Metrics {
@@ -113,13 +117,15 @@ impl Metrics {
         Metrics::add(&self.memo_branch_misses, stats.branch_misses);
     }
 
-    /// Snapshot into the wire type. `profiles`, `max_inflight_sweeps`
-    /// and `worker_threads` are configuration the counters don't know.
+    /// Snapshot into the wire type. `profiles`, `max_inflight_sweeps`,
+    /// `worker_threads` and `corrector_loaded` are configuration the
+    /// counters don't know.
     pub fn snapshot(
         &self,
         profiles: usize,
         max_inflight_sweeps: u64,
         worker_threads: u64,
+        corrector_loaded: bool,
     ) -> MetricsResponse {
         let points = self.points_predicted.load(Ordering::Relaxed);
         let secs = self.predict_nanos.load(Ordering::Relaxed) as f64 / 1e9;
@@ -172,6 +178,11 @@ impl Metrics {
                 branch_hits: self.memo_branch_hits.load(Ordering::Relaxed),
                 branch_misses: self.memo_branch_misses.load(Ordering::Relaxed),
             },
+            corrector: CorrectorMetrics {
+                loaded: corrector_loaded,
+                corrected_requests: self.corrected_requests.load(Ordering::Relaxed),
+                skipped_requests: self.corrector_skipped.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -187,19 +198,22 @@ mod tests {
         Metrics::bump(&m.requests);
         Metrics::add(&m.points_predicted, 1000);
         Metrics::add(&m.predict_nanos, 500_000_000); // 0.5 s
-        let snap = m.snapshot(3, 2, 4);
+        let snap = m.snapshot(3, 2, 4, true);
         assert_eq!(snap.schema_version, WIRE_SCHEMA_VERSION);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.profiles, 3);
         assert_eq!(snap.max_inflight_sweeps, 2);
         assert_eq!(snap.worker_threads, 4);
+        assert!(snap.corrector.loaded);
+        assert_eq!(snap.corrector.corrected_requests, 0);
         assert!((snap.points_per_s - 2000.0).abs() < 1e-9);
     }
 
     #[test]
     fn zero_time_means_zero_rate_not_nan() {
-        let snap = Metrics::new().snapshot(0, 1, 1);
+        let snap = Metrics::new().snapshot(0, 1, 1, false);
         assert_eq!(snap.points_per_s, 0.0);
         assert_eq!(snap.predict_seconds, 0.0);
+        assert!(!snap.corrector.loaded);
     }
 }

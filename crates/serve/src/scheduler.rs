@@ -35,8 +35,9 @@
 //!   summary a rider's point gets inside a batch is the summary it would
 //!   have gotten solo;
 //! * both the solo path and the batch demux assemble the wire response
-//!   through the same [`engine::summary_response`], so equal summaries
-//!   become equal bytes.
+//!   through the same `predict_json` (which wraps
+//!   [`crate::engine::summary_response`] plus the optional corrector
+//!   overlay), so equal summaries become equal bytes.
 //!
 //! # Failure isolation
 //!
@@ -48,11 +49,10 @@
 //! `failed_requests`, the `failed` term the extended `/metrics`
 //! partition invariant sums.
 
-use crate::engine;
 use crate::http::Response;
 use crate::metrics::Metrics;
 use crate::registry::RegisteredProfile;
-use crate::server::{cache_insert, json_200, Shared};
+use crate::server::{cache_insert, predict_json, Shared};
 use pmt_api::ApiError;
 use pmt_core::{BatchPredictor, ModelConfig};
 use pmt_uarch::MachineConfig;
@@ -352,11 +352,7 @@ fn lead(
                         )
                         .into_iter()
                         .map(|(i, summary)| {
-                            json_200(&engine::summary_response(
-                                &profile.name,
-                                &lane[i].machine,
-                                &summary,
-                            ))
+                            predict_json(shared, profile, &lane[i].machine, &summary)
                         })
                         .collect();
                     (responses, predictor.memo_stats())

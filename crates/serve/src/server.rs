@@ -70,6 +70,11 @@ pub struct ServeConfig {
     pub batch_window_ms: u64,
     /// Most design points admitted into one batch flight.
     pub batch_max_points: usize,
+    /// Learned residual corrector loaded at boot (`pmt serve
+    /// --corrector`). Predictions against profiles the corrector covers
+    /// gain the additive `corrected_*` wire fields; everything else —
+    /// including every analytical field — is untouched.
+    pub corrector: Option<Arc<pmt_api::ResidualModel>>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             max_profiles: 64,
             batch_window_ms: 5,
             batch_max_points: 64,
+            corrector: None,
         }
     }
 }
@@ -380,6 +386,7 @@ fn handle(shared: &Shared, request: &Request, stream: &mut Option<TcpStream>) ->
                 shared.registry.len(),
                 shared.config.max_inflight_sweeps as u64,
                 shared.config.threads as u64,
+                shared.config.corrector.is_some(),
             );
             json_200(&snap)
         }
@@ -412,6 +419,38 @@ fn handle(shared: &Shared, request: &Request, stream: &mut Option<TcpStream>) ->
 
 pub(crate) fn json_200<T: serde::Serialize>(value: &T) -> Response {
     Response::json(serde_json::to_string(value).expect("wire types serialize"))
+}
+
+/// Assemble one predict response through the engine, overlay the
+/// daemon's corrector (when one is loaded), and keep the corrector
+/// counters honest. Both the solo predict path and every batch lane
+/// answer through this one function, so a corrected batched response is
+/// byte-identical to the corrected solo response.
+pub(crate) fn predict_json(
+    shared: &Shared,
+    profile: &crate::registry::RegisteredProfile,
+    machine: &pmt_uarch::MachineConfig,
+    summary: &pmt_core::PredictionSummary,
+) -> Response {
+    let mut response = engine::summary_response(&profile.name, machine, summary);
+    if shared.config.corrector.is_some() {
+        // The registry's content hash is the profile fingerprint's
+        // pre-hex form, so no per-request re-serialization happens here.
+        let fingerprint = format!("{:016x}", profile.content_hash);
+        let applied = engine::apply_corrector(
+            &mut response,
+            shared.config.corrector.as_deref(),
+            &fingerprint,
+            machine,
+            profile.prepared.profile(),
+        );
+        Metrics::bump(if applied {
+            &shared.metrics.corrected_requests
+        } else {
+            &shared.metrics.corrector_skipped
+        });
+    }
+    json_200(&response)
 }
 
 fn or_error(result: Result<Response, ApiError>) -> Response {
@@ -510,7 +549,7 @@ fn handle_predict(
     let flight = SoloFlight::start(&shared.metrics);
     let started = Instant::now();
     let summary = pmt_core::IntervalModel::new(&machine).predict_summary(&profile.prepared);
-    let response = json_200(&engine::summary_response(&profile.name, &machine, &summary));
+    let response = predict_json(shared, &profile, &machine, &summary);
     Metrics::add(&shared.metrics.points_predicted, 1);
     Metrics::add(
         &shared.metrics.predict_nanos,

@@ -605,3 +605,106 @@ fn errors_are_structured_and_versioned() {
 
     server.stop();
 }
+
+/// Train a tiny corrector covering `profile`, with a deliberate
+/// systematic +10% residual so the correction is visibly nonzero.
+fn corrector_for(profile: &ApplicationProfile) -> pmt_api::ResidualModel {
+    let rows: Vec<pmt_ml::TrainingRow> = pmt_uarch::DesignSpace::small()
+        .enumerate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| pmt_ml::TrainingRow {
+            workload: profile.name.clone(),
+            machine: p.machine,
+            model_cpi: 0.8 + 0.1 * i as f64,
+            sim_cpi: (0.8 + 0.1 * i as f64) * 1.1,
+            model_power: 12.0 + i as f64,
+            sim_power: (12.0 + i as f64) * 1.1,
+        })
+        .collect();
+    pmt_ml::train(
+        &rows,
+        std::slice::from_ref(profile),
+        &pmt_ml::TrainOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn corrector_overlays_covered_predicts_and_skips_uncovered_ones() {
+    let astar = profile("astar");
+    let corrector = corrector_for(&astar);
+    let registry = Arc::new(Registry::new(8));
+    registry.register(astar).unwrap();
+    registry.register(profile("mcf")).unwrap();
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_window_ms: 0,
+            corrector: Some(Arc::new(corrector)),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Covered profile: the additive fields ride along, the analytical
+    // fields are the uncorrected daemon's bytes.
+    let req = PredictRequest::new("astar", MachineSpec::named("nehalem"));
+    let reply = post(addr, "/v1/predict", &serde_json::to_string(&req).unwrap());
+    assert_eq!(reply.status, 200);
+    let resp: pmt_api::PredictResponse = serde_json::from_str(&reply.body).unwrap();
+    assert!(resp.corrected);
+    let corrected_cpi = resp.corrected_cpi.expect("corrected CPI");
+    assert!(
+        corrected_cpi > resp.cpi,
+        "systematic +10% residual raises CPI"
+    );
+    assert!(resp.corrected_power_w.expect("corrected power") > 0.0);
+
+    // Uncovered profile (mcf was not in the training set): analytical
+    // answer, marked uncorrected, counted as skipped.
+    let req = PredictRequest::new("mcf", MachineSpec::named("nehalem"));
+    let reply = post(addr, "/v1/predict", &serde_json::to_string(&req).unwrap());
+    assert_eq!(reply.status, 200);
+    let resp: pmt_api::PredictResponse = serde_json::from_str(&reply.body).unwrap();
+    assert!(!resp.corrected);
+    assert_eq!(resp.corrected_cpi, None);
+
+    let m: pmt_api::MetricsResponse = serde_json::from_str(&get(addr, "/metrics").body).unwrap();
+    assert!(m.corrector.loaded);
+    assert_eq!(m.corrector.corrected_requests, 1);
+    assert_eq!(m.corrector.skipped_requests, 1);
+    server.stop();
+}
+
+#[test]
+fn corrected_batched_predicts_match_corrected_solo_bytes() {
+    let astar = profile("astar");
+    let corrector = Arc::new(corrector_for(&astar));
+    let start = |batch_window_ms| {
+        let registry = Arc::new(Registry::new(8));
+        registry.register(profile("astar")).unwrap();
+        Server::start(
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                batch_window_ms,
+                corrector: Some(Arc::clone(&corrector)),
+                ..ServeConfig::default()
+            },
+            registry,
+        )
+        .unwrap()
+    };
+    let batched = start(5);
+    let solo = start(0);
+    let req = PredictRequest::new("astar", MachineSpec::named("nehalem"));
+    let body = serde_json::to_string(&req).unwrap();
+    let from_batched = post(batched.addr(), "/v1/predict", &body);
+    let from_solo = post(solo.addr(), "/v1/predict", &body);
+    assert_eq!(from_batched.status, 200);
+    assert_eq!(from_batched.body, from_solo.body, "corrected bytes agree");
+    batched.stop();
+    solo.stop();
+}

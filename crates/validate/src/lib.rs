@@ -44,6 +44,11 @@ mod report;
 mod run;
 mod stats;
 
-pub use report::{CacheActivity, ValidationReport, WorkloadValidation, SCHEMA_VERSION};
-pub use run::{ValidationConfig, Validator};
-pub use stats::{relative_error, spearman, ErrorStats};
+pub use report::{
+    CacheActivity, CorrectorInfo, FusedValidation, FusedWorkload, ValidationReport,
+    WorkloadValidation, SCHEMA_VERSION,
+};
+pub use run::{TrainingData, ValidationConfig, Validator};
+pub use stats::{
+    relative_error, series_agreement, signed_errors, spearman, ErrorStats, SeriesAgreement,
+};

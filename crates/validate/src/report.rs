@@ -6,7 +6,70 @@ use serde::{Deserialize, Serialize};
 /// Version of the [`ValidationReport`] JSON schema. Bump on any breaking
 /// change (field rename/removal/semantic change); consumers — the golden
 /// snapshot test, CI threshold checks, downstream dashboards — key on it.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the `fused` section (corrector-applied error columns and Spearman
+/// deltas). The field is additive — `null` when no corrector ran — but
+/// the vendored serde requires every declared field on parse, so v1
+/// bytes no longer round-trip and the version moves with them.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Provenance of the corrector a fused section was produced with (a
+/// summary of the [`pmt_ml::ResidualModel`] artifact's own metadata).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorrectorInfo {
+    /// The artifact's `ML_SCHEMA_VERSION`.
+    pub schema_version: u32,
+    /// Train/test split seed.
+    pub seed: u64,
+    /// Ridge penalty λ.
+    pub lambda: f64,
+    /// Rows the corrector was trained on.
+    pub rows_train: usize,
+    /// Rows held out for the artifact's honesty metrics.
+    pub rows_test: usize,
+}
+
+/// Fused (corrector-applied) agreement for one workload, alongside the
+/// analytical [`WorkloadValidation`] it refines.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FusedWorkload {
+    /// Workload name.
+    pub workload: String,
+    /// Signed relative CPI error distribution of the *corrected* model.
+    pub cpi: ErrorStats,
+    /// Signed relative power error distribution of the corrected model.
+    pub power: ErrorStats,
+    /// Spearman ρ between the corrected CPI ordering and the simulator's.
+    pub cpi_rank_correlation: f64,
+    /// Fused ρ minus analytical ρ (positive: the corrector also *ranks*
+    /// better; the CI fusion gate asserts this never goes notably
+    /// negative).
+    pub cpi_rank_delta: f64,
+}
+
+/// The corrector-applied half of a validation run: fused error columns
+/// and Spearman deltas against the analytical baseline in the same
+/// report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FusedValidation {
+    /// Which corrector produced this section.
+    pub corrector: CorrectorInfo,
+    /// Per-workload fused agreement, same order as the analytical
+    /// `workloads` section.
+    pub workloads: Vec<FusedWorkload>,
+    /// Pooled fused CPI error distribution.
+    pub cpi: ErrorStats,
+    /// Pooled fused power error distribution.
+    pub power: ErrorStats,
+    /// Mean per-workload fused CPI rank correlation.
+    pub mean_cpi_rank_correlation: f64,
+    /// Worst per-workload fused CPI rank correlation.
+    pub min_cpi_rank_correlation: f64,
+    /// Mean per-workload rank delta (fused ρ − analytical ρ).
+    pub mean_cpi_rank_delta: f64,
+    /// Worst per-workload rank delta.
+    pub min_cpi_rank_delta: f64,
+}
 
 /// Simulation-cache traffic attributable to one validation run
 /// (before/after counter deltas, not cache lifetime totals).
@@ -72,6 +135,9 @@ pub struct ValidationReport {
     pub min_cpi_rank_correlation: f64,
     /// Cache traffic of this run.
     pub cache: CacheActivity,
+    /// Corrector-applied columns — `null` unless the run was given a
+    /// trained [`pmt_ml::ResidualModel`] (`pmt validate --corrector`).
+    pub fused: Option<FusedValidation>,
 }
 
 impl ValidationReport {
@@ -161,6 +227,39 @@ impl ValidationReport {
             "  simulations: {} fresh, {} from cache ({} cached total)\n",
             self.cache.misses, self.cache.hits, self.cache.entries
         ));
+        if let Some(fused) = &self.fused {
+            out.push_str(&format!(
+                "\nfused (ridge corrector: seed {}, lambda {}, {} train / {} test rows):\n",
+                fused.corrector.seed,
+                fused.corrector.lambda,
+                fused.corrector.rows_train,
+                fused.corrector.rows_test
+            ));
+            for w in &fused.workloads {
+                out.push_str(&format!(
+                    "{:<12} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7.3} {:>+7.3}\n",
+                    w.workload,
+                    w.cpi.n,
+                    pct(w.cpi.mean),
+                    pct(w.cpi.mean_abs),
+                    pct(w.cpi.p95_abs),
+                    pct(w.cpi.max_abs),
+                    pct(w.power.mean_abs),
+                    w.cpi_rank_correlation,
+                    w.cpi_rank_delta,
+                ));
+            }
+            out.push_str(&format!(
+                "  fused CPI mean|e| {} (analytical {})  rank correlation: mean {:.3} \
+                 ({:+.3}), worst {:.3} ({:+.3})\n",
+                pct(fused.cpi.mean_abs),
+                pct(self.cpi.mean_abs),
+                fused.mean_cpi_rank_correlation,
+                fused.mean_cpi_rank_delta,
+                fused.min_cpi_rank_correlation,
+                fused.min_cpi_rank_delta
+            ));
+        }
         out
     }
 
@@ -255,6 +354,33 @@ mod tests {
                 misses: 3,
                 entries: 3,
             },
+            fused: None,
+        }
+    }
+
+    fn fused_sample() -> FusedValidation {
+        let stats = ErrorStats::of_signed(&[0.01, -0.02, 0.015]);
+        FusedValidation {
+            corrector: CorrectorInfo {
+                schema_version: 1,
+                seed: 42,
+                lambda: 1e-3,
+                rows_train: 40,
+                rows_test: 14,
+            },
+            workloads: vec![FusedWorkload {
+                workload: "astar".into(),
+                cpi: stats,
+                power: stats,
+                cpi_rank_correlation: 0.95,
+                cpi_rank_delta: 0.05,
+            }],
+            cpi: stats,
+            power: stats,
+            mean_cpi_rank_correlation: 0.95,
+            min_cpi_rank_correlation: 0.95,
+            mean_cpi_rank_delta: 0.05,
+            min_cpi_rank_delta: 0.05,
         }
     }
 
@@ -282,6 +408,7 @@ mod tests {
             "\"mean_cpi_rank_correlation\":",
             "\"min_cpi_rank_correlation\":",
             "\"cache\":",
+            "\"fused\":",
         ];
         let mut last = 0;
         for f in fields {
@@ -304,5 +431,27 @@ mod tests {
         let t = sample().render_table();
         assert!(t.contains("astar"));
         assert!(t.contains("rank correlation"));
+        assert!(!t.contains("fused"), "no fused block without a corrector");
+    }
+
+    #[test]
+    fn fused_section_round_trips_and_renders() {
+        let mut r = sample();
+        r.fused = Some(fused_sample());
+        let json = r.to_json();
+        let back = ValidationReport::from_json(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(json, back.to_json());
+        // Declared order inside the fused section too.
+        for f in [
+            "\"corrector\":",
+            "\"mean_cpi_rank_delta\":",
+            "\"min_cpi_rank_delta\":",
+        ] {
+            assert!(json.contains(f), "{f} missing");
+        }
+        let t = r.render_table();
+        assert!(t.contains("fused"));
+        assert!(t.contains("lambda"));
     }
 }

@@ -1,9 +1,13 @@
 //! The differential validation runner.
 
-use crate::report::{CacheActivity, ValidationReport, WorkloadValidation, SCHEMA_VERSION};
-use crate::stats::{spearman, ErrorStats};
+use crate::report::{
+    CacheActivity, CorrectorInfo, FusedValidation, FusedWorkload, ValidationReport,
+    WorkloadValidation, SCHEMA_VERSION,
+};
+use crate::stats::{series_agreement, ErrorStats};
 use pmt_core::ModelConfig;
-use pmt_dse::{LazyDesignSpace, PointOutcome, SpaceEvaluation, SweepBuilder, SweepConfig};
+use pmt_dse::{BatchEvaluation, LazyDesignSpace, PointOutcome, SweepBuilder, SweepConfig};
+use pmt_ml::{MlError, ResidualModel, TrainingRow};
 use pmt_profiler::{ApplicationProfile, Profiler, ProfilerConfig};
 use pmt_sim::SimCache;
 use pmt_trace::SamplingConfig;
@@ -181,8 +185,107 @@ impl Validator {
     /// whole (workload × point) grid — rayon-parallel on cache misses —
     /// and distill the error distributions into a [`ValidationReport`].
     pub fn run(&self) -> ValidationReport {
-        assert!(!self.specs.is_empty(), "add at least one workload");
+        self.run_corrected(None)
+            .expect("uncorrected validation cannot fail")
+    }
+
+    /// [`run`](Self::run), optionally fusing a trained
+    /// [`ResidualModel`] on top of the analytical predictions.
+    ///
+    /// With a corrector the report gains a [`FusedValidation`] section:
+    /// per-workload and pooled corrected-vs-simulator error
+    /// distributions plus the Spearman-ρ delta versus the purely
+    /// analytical columns. Correction is applied **after** the sweep —
+    /// the simulated references, the analytical columns and the cache
+    /// counters are byte-identical to an uncorrected run over the same
+    /// grid.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a structured [`MlError`] when the corrector's schema
+    /// version or feature layout is unknown
+    /// (`bad_corrector_version`), or when any validated workload's
+    /// profile fingerprint is absent from the corrector's training
+    /// coverage (`corrector_profile_mismatch`) — a corrector trained on
+    /// different profiles would silently grade itself on its own
+    /// training mistakes.
+    pub fn run_corrected(
+        &self,
+        corrector: Option<&ResidualModel>,
+    ) -> Result<ValidationReport, MlError> {
         let before = self.cache.stats();
+        let (profiles, batch) = self.evaluate();
+        let after = self.cache.stats();
+
+        let fused = match corrector {
+            Some(model) => Some(self.fuse(model, &profiles, &batch)?),
+            None => None,
+        };
+
+        let workloads: Vec<WorkloadValidation> = batch
+            .evaluations
+            .iter()
+            .zip(&batch.workloads)
+            .map(|(eval, name)| Self::summarize_workload(name, &eval.outcomes))
+            .collect();
+
+        let all: Vec<&PointOutcome> = batch.outcomes().collect();
+        let pooled = |f: fn(&PointOutcome) -> Option<f64>| {
+            ErrorStats::of_signed(&all.iter().filter_map(|o| f(o)).collect::<Vec<f64>>())
+        };
+        let rhos: Vec<f64> = workloads.iter().map(|w| w.cpi_rank_correlation).collect();
+
+        Ok(ValidationReport {
+            schema_version: SCHEMA_VERSION,
+            design_points: self.points.len(),
+            profile_instructions: self.config.profile_instructions,
+            sim_instructions: self.config.sim_instructions,
+            workloads,
+            cpi: pooled(PointOutcome::cpi_error),
+            ipc: pooled(PointOutcome::ipc_error),
+            power: pooled(PointOutcome::power_error),
+            mean_cpi_rank_correlation: rhos.iter().sum::<f64>() / rhos.len() as f64,
+            min_cpi_rank_correlation: rhos.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+            cache: CacheActivity {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                entries: after.entries,
+            },
+            fused,
+        })
+    }
+
+    /// Evaluate the grid and emit one [`TrainingRow`] per simulated
+    /// (workload, point) pair, plus the profiles the rows were predicted
+    /// from — exactly the inputs [`pmt_ml::train`] wants. Rows come out
+    /// in deterministic workload-major, point-order traversal, so a
+    /// fixed grid always yields the byte-identical training set.
+    pub fn training_data(&self) -> TrainingData {
+        let (profiles, batch) = self.evaluate();
+        let mut rows = Vec::new();
+        for (eval, name) in batch.evaluations.iter().zip(&batch.workloads) {
+            debug_assert_eq!(eval.outcomes.len(), self.points.len());
+            for (outcome, point) in eval.outcomes.iter().zip(&self.points) {
+                let (Some(sim_cpi), Some(sim_power)) = (outcome.sim_cpi, outcome.sim_power) else {
+                    continue;
+                };
+                rows.push(TrainingRow {
+                    workload: name.clone(),
+                    machine: point.machine.clone(),
+                    model_cpi: outcome.model_cpi,
+                    sim_cpi,
+                    model_power: outcome.model_power,
+                    sim_power,
+                });
+            }
+        }
+        TrainingData { rows, profiles }
+    }
+
+    /// The shared grid evaluation behind [`run_corrected`](Self::run_corrected)
+    /// and [`training_data`](Self::training_data).
+    fn evaluate(&self) -> (Vec<ApplicationProfile>, BatchEvaluation) {
+        assert!(!self.specs.is_empty(), "add at least one workload");
 
         // The micro-architecture independent step: one profile per
         // workload, reused for every design point. (The sweep below also
@@ -215,58 +318,129 @@ impl Validator {
             builder = builder.profile_with_spec(profile, spec);
         }
         let batch = builder.run();
-
-        let workloads: Vec<WorkloadValidation> = batch
-            .evaluations
-            .iter()
-            .zip(&batch.workloads)
-            .map(|(eval, name)| Self::summarize_workload(name, eval))
-            .collect();
-
-        let all: Vec<&PointOutcome> = batch.outcomes().collect();
-        let pooled = |f: fn(&PointOutcome) -> Option<f64>| {
-            ErrorStats::of_signed(&all.iter().filter_map(|o| f(o)).collect::<Vec<f64>>())
-        };
-        let rhos: Vec<f64> = workloads.iter().map(|w| w.cpi_rank_correlation).collect();
-        let after = self.cache.stats();
-
-        ValidationReport {
-            schema_version: SCHEMA_VERSION,
-            design_points: self.points.len(),
-            profile_instructions: self.config.profile_instructions,
-            sim_instructions: self.config.sim_instructions,
-            workloads,
-            cpi: pooled(PointOutcome::cpi_error),
-            ipc: pooled(PointOutcome::ipc_error),
-            power: pooled(PointOutcome::power_error),
-            mean_cpi_rank_correlation: rhos.iter().sum::<f64>() / rhos.len() as f64,
-            min_cpi_rank_correlation: rhos.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-            cache: CacheActivity {
-                hits: after.hits - before.hits,
-                misses: after.misses - before.misses,
-                entries: after.entries,
-            },
-        }
+        (profiles, batch)
     }
 
-    fn summarize_workload(name: &str, eval: &SpaceEvaluation) -> WorkloadValidation {
-        let collect = |f: fn(&PointOutcome) -> Option<f64>| {
-            ErrorStats::of_signed(&eval.outcomes.iter().filter_map(f).collect::<Vec<f64>>())
+    /// Apply `model` on top of every simulated outcome and summarize the
+    /// corrected-vs-simulator agreement per workload and pooled.
+    fn fuse(
+        &self,
+        model: &ResidualModel,
+        profiles: &[ApplicationProfile],
+        batch: &BatchEvaluation,
+    ) -> Result<FusedValidation, MlError> {
+        model.check_version()?;
+        for profile in profiles {
+            model.check_profile(&profile.name, &pmt_ml::profile_fingerprint(profile))?;
+        }
+
+        let mut workloads = Vec::new();
+        let mut pooled_fused_cpi = Vec::new();
+        let mut pooled_sim_cpi = Vec::new();
+        let mut pooled_fused_power = Vec::new();
+        let mut pooled_sim_power = Vec::new();
+        for ((eval, name), profile) in batch.evaluations.iter().zip(&batch.workloads).zip(profiles)
+        {
+            debug_assert_eq!(eval.outcomes.len(), self.points.len());
+            let mut fused_cpi = Vec::new();
+            let mut sim_cpi = Vec::new();
+            let mut fused_power = Vec::new();
+            let mut sim_power = Vec::new();
+            let mut analytical_cpi = Vec::new();
+            for (outcome, point) in eval.outcomes.iter().zip(&self.points) {
+                let (Some(s_cpi), Some(s_power)) = (outcome.sim_cpi, outcome.sim_power) else {
+                    continue;
+                };
+                let corrected = model.correct(
+                    &point.machine,
+                    profile,
+                    outcome.model_cpi,
+                    outcome.model_power,
+                );
+                fused_cpi.push(corrected.cpi);
+                fused_power.push(corrected.power_w);
+                sim_cpi.push(s_cpi);
+                sim_power.push(s_power);
+                analytical_cpi.push(outcome.model_cpi);
+            }
+            let cpi = series_agreement(&fused_cpi, &sim_cpi);
+            let power = series_agreement(&fused_power, &sim_power);
+            let analytical = series_agreement(&analytical_cpi, &sim_cpi);
+            workloads.push(FusedWorkload {
+                workload: name.clone(),
+                cpi: cpi.errors,
+                power: power.errors,
+                cpi_rank_correlation: cpi.rank_correlation,
+                cpi_rank_delta: cpi.rank_correlation - analytical.rank_correlation,
+            });
+            pooled_fused_cpi.extend(fused_cpi);
+            pooled_sim_cpi.extend(sim_cpi);
+            pooled_fused_power.extend(fused_power);
+            pooled_sim_power.extend(sim_power);
+        }
+
+        let n = workloads.len() as f64;
+        let mean = |f: fn(&FusedWorkload) -> f64| workloads.iter().map(f).sum::<f64>() / n;
+        let min = |f: fn(&FusedWorkload) -> f64| {
+            workloads.iter().map(f).fold(f64::INFINITY, |a, b| a.min(b))
         };
-        let model_cpi: Vec<f64> = eval.outcomes.iter().map(|o| o.model_cpi).collect();
-        let sim_cpi: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.sim_cpi).collect();
-        let model_power: Vec<f64> = eval.outcomes.iter().map(|o| o.model_power).collect();
-        let sim_power: Vec<f64> = eval.outcomes.iter().filter_map(|o| o.sim_power).collect();
+        let (mean_rho, min_rho) = (
+            mean(|w| w.cpi_rank_correlation),
+            min(|w| w.cpi_rank_correlation),
+        );
+        let (mean_delta, min_delta) = (mean(|w| w.cpi_rank_delta), min(|w| w.cpi_rank_delta));
+        Ok(FusedValidation {
+            corrector: CorrectorInfo {
+                schema_version: model.schema_version,
+                seed: model.seed,
+                lambda: model.lambda,
+                rows_train: model.rows_train,
+                rows_test: model.rows_test,
+            },
+            workloads,
+            cpi: series_agreement(&pooled_fused_cpi, &pooled_sim_cpi).errors,
+            power: series_agreement(&pooled_fused_power, &pooled_sim_power).errors,
+            mean_cpi_rank_correlation: mean_rho,
+            min_cpi_rank_correlation: min_rho,
+            mean_cpi_rank_delta: mean_delta,
+            min_cpi_rank_delta: min_delta,
+        })
+    }
+
+    fn summarize_workload(name: &str, outcomes: &[PointOutcome]) -> WorkloadValidation {
+        let collect = |f: fn(&PointOutcome) -> Option<f64>| {
+            ErrorStats::of_signed(&outcomes.iter().filter_map(f).collect::<Vec<f64>>())
+        };
+        let model_cpi: Vec<f64> = outcomes.iter().map(|o| o.model_cpi).collect();
+        let sim_cpi: Vec<f64> = outcomes.iter().filter_map(|o| o.sim_cpi).collect();
+        let model_power: Vec<f64> = outcomes.iter().map(|o| o.model_power).collect();
+        let sim_power: Vec<f64> = outcomes.iter().filter_map(|o| o.sim_power).collect();
+        // The per-workload CPI/power columns flow through the same
+        // `series_agreement` path as the fused section — one convention,
+        // one implementation — while IPC keeps its dedicated helper
+        // (its error is defined on the *inverted* series).
+        let cpi = series_agreement(&model_cpi, &sim_cpi);
+        let power = series_agreement(&model_power, &sim_power);
         WorkloadValidation {
             workload: name.to_string(),
-            points: eval.outcomes.len(),
-            cpi: collect(PointOutcome::cpi_error),
+            points: outcomes.len(),
+            cpi: cpi.errors,
             ipc: collect(PointOutcome::ipc_error),
-            power: collect(PointOutcome::power_error),
-            cpi_rank_correlation: spearman(&model_cpi, &sim_cpi),
-            power_rank_correlation: spearman(&model_power, &sim_power),
+            power: power.errors,
+            cpi_rank_correlation: cpi.rank_correlation,
+            power_rank_correlation: power.rank_correlation,
         }
     }
+}
+
+/// The per-(workload, point) rows and per-workload profiles emitted by
+/// [`Validator::training_data`] — the inputs to [`pmt_ml::train`].
+pub struct TrainingData {
+    /// One row per simulated (workload, design point) pair, in
+    /// deterministic workload-major order.
+    pub rows: Vec<TrainingRow>,
+    /// The profile each workload's rows were predicted from.
+    pub profiles: Vec<ApplicationProfile>,
 }
 
 #[cfg(test)]

@@ -66,6 +66,38 @@ impl ErrorStats {
     }
 }
 
+/// Signed relative errors of paired model/reference series
+/// (element-wise [`relative_error`]).
+pub fn signed_errors(model: &[f64], reference: &[f64]) -> Vec<f64> {
+    assert_eq!(model.len(), reference.len(), "error series must pair up");
+    model
+        .iter()
+        .zip(reference)
+        .map(|(&m, &r)| relative_error(m, r))
+        .collect()
+}
+
+/// Error distribution **and** rank agreement of one model-vs-reference
+/// series pair — the single summarization path the analytical and the
+/// fused (corrector-applied) validation columns both flow through, so
+/// the two can never drift apart in convention.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesAgreement {
+    /// Signed relative error distribution.
+    pub errors: ErrorStats,
+    /// Spearman ρ between the two orderings.
+    pub rank_correlation: f64,
+}
+
+/// Summarize how `model` agrees with `reference`: [`ErrorStats`] over
+/// the signed relative errors plus the [`spearman`] rank correlation.
+pub fn series_agreement(model: &[f64], reference: &[f64]) -> SeriesAgreement {
+    SeriesAgreement {
+        errors: ErrorStats::of_signed(&signed_errors(model, reference)),
+        rank_correlation: spearman(model, reference),
+    }
+}
+
 /// Nearest-rank index of quantile `q` in a sorted sample of `n` items:
 /// the smallest index covering at least a `q` fraction of the mass.
 fn nearest_rank_index(n: usize, q: f64) -> usize {

@@ -1,0 +1,160 @@
+//! The rank-correlation conformance suite for the fused (corrected)
+//! validation layer.
+//!
+//! The anti-regression property this file exists for: a corrector
+//! trained on a validation grid must never *wreck* the analytical
+//! model's design ranking. Spearman ρ over random subsets of the grid —
+//! random "validation subspaces" — must stay within a small epsilon of
+//! the analytical ρ, and on the full grid correction must help, not
+//! hurt. A corrector that shrinks point-wise error while scrambling the
+//! ordering would be worse than useless for design-space exploration,
+//! which consumes rankings, not absolute CPIs.
+//!
+//! The grid evaluation is expensive, so it runs once (`OnceLock`) and
+//! every property draws subsets from the shared fixture.
+
+use pmt_core::ModelConfig;
+use pmt_ml::{train, ResidualModel, TrainOptions};
+use pmt_profiler::ProfilerConfig;
+use pmt_uarch::DesignSpace;
+use pmt_validate::{spearman, ValidationConfig, Validator};
+use pmt_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One workload's per-point CPI triples, in point order.
+struct Series {
+    analytical: Vec<f64>,
+    fused: Vec<f64>,
+    simulated: Vec<f64>,
+}
+
+struct Fixture {
+    model: ResidualModel,
+    series: Vec<Series>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let config = ValidationConfig {
+            profile_instructions: 20_000,
+            sim_instructions: 20_000,
+            profiler: ProfilerConfig::fast_test(),
+            model: ModelConfig::default(),
+        };
+        let validator = Validator::new(config)
+            .space(&DesignSpace::validation_subspace())
+            .workload(WorkloadSpec::baseline("fused-a", 42))
+            .workload(WorkloadSpec::baseline("fused-b", 7));
+        let data = validator.training_data();
+        let model = train(&data.rows, &data.profiles, &TrainOptions::default()).unwrap();
+
+        // Rows come out workload-major in point order, so chunk them
+        // back into per-workload series and apply the corrector the way
+        // the fused report does: post-hoc, per point.
+        let series = data
+            .profiles
+            .iter()
+            .map(|profile| {
+                let rows = data.rows.iter().filter(|r| r.workload == profile.name);
+                let mut s = Series {
+                    analytical: Vec::new(),
+                    fused: Vec::new(),
+                    simulated: Vec::new(),
+                };
+                for row in rows {
+                    let corrected =
+                        model.correct(&row.machine, profile, row.model_cpi, row.model_power);
+                    s.analytical.push(row.model_cpi);
+                    s.fused.push(corrected.cpi);
+                    s.simulated.push(row.sim_cpi);
+                }
+                assert_eq!(s.analytical.len(), 27, "every grid point is simulated");
+                s
+            })
+            .collect();
+        Fixture { model, series }
+    })
+}
+
+/// Correction never degrades ranking on a subset by more than this.
+/// Subsets go down to 8 points, where one swapped adjacent pair already
+/// moves ρ by ~0.1 — the bound is about catastrophe, not noise.
+const SUBSET_EPSILON: f64 = 0.25;
+
+/// On the full grid the corrector must actually help (or tie): this is
+/// the bound CI's fusion-smoke job enforces end-to-end.
+const FULL_GRID_EPSILON: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// For random validation subspaces (point subsets of the grid), the
+    /// fused ranking tracks the simulator at least as well as the
+    /// analytical ranking, up to a small-subset epsilon.
+    #[test]
+    fn fused_spearman_never_collapses_on_subsets(
+        which in 0usize..2,
+        mask in prop::collection::vec(any::<bool>(), 27),
+    ) {
+        let s = &fixture().series[which];
+        let mut idx: Vec<usize> = (0..27).filter(|&i| mask[i]).collect();
+        // Tiny subsets make rank correlation meaningless; widen them
+        // deterministically instead of rejecting the case.
+        let mut next = 0;
+        while idx.len() < 8 {
+            if !idx.contains(&next) {
+                idx.push(next);
+            }
+            next += 1;
+        }
+        let pick = |v: &[f64]| -> Vec<f64> { idx.iter().map(|&i| v[i]).collect() };
+        let rho_analytical = spearman(&pick(&s.analytical), &pick(&s.simulated));
+        let rho_fused = spearman(&pick(&s.fused), &pick(&s.simulated));
+        prop_assert!(
+            rho_fused >= rho_analytical - SUBSET_EPSILON,
+            "fused rho {rho_fused} collapsed below analytical {rho_analytical} \
+             on subset {idx:?}"
+        );
+    }
+}
+
+/// On each full workload grid, correction improves (or ties) the rank
+/// correlation — the exact quantity `FusedWorkload::cpi_rank_delta`
+/// reports.
+#[test]
+fn fused_spearman_improves_on_the_full_grid() {
+    for s in &fixture().series {
+        let rho_analytical = spearman(&s.analytical, &s.simulated);
+        let rho_fused = spearman(&s.fused, &s.simulated);
+        assert!(
+            rho_fused >= rho_analytical - FULL_GRID_EPSILON,
+            "fused rho {rho_fused} < analytical rho {rho_analytical}"
+        );
+    }
+}
+
+/// A corrector trained on different profile content is refused with the
+/// structured `corrector_profile_mismatch` error — the exact failure
+/// `pmt validate --corrector` surfaces. Grading a corrector against
+/// profiles it never saw would silently mix training mistakes into the
+/// report.
+#[test]
+fn mismatched_profile_fingerprint_is_a_structured_error() {
+    let model = &fixture().model;
+    let config = ValidationConfig {
+        profile_instructions: 20_000,
+        sim_instructions: 20_000,
+        profiler: ProfilerConfig::fast_test(),
+        model: ModelConfig::default(),
+    };
+    // Same workload *name* as a trained one, different trace seed →
+    // different profile content → different fingerprint.
+    let validator = Validator::new(config)
+        .space(&DesignSpace::validation_subspace())
+        .workload(WorkloadSpec::baseline("fused-a", 1234));
+    let err = validator.run_corrected(Some(model)).unwrap_err();
+    assert_eq!(err.code, "corrector_profile_mismatch");
+    assert!(err.message.contains("fused-a"), "{}", err.message);
+}

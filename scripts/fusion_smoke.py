@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI gate for the learned residual corrector (stdlib only).
+
+Reads two ValidationReport JSON files from the same grid — one plain
+analytical run and one run with ``--corrector`` — plus the trained
+corrector artifact, and asserts the contract the fused layer makes:
+
+1. the corrected run's analytical section is untouched (byte-comparable
+   field by field: correction is strictly post-fold);
+2. fused mean |CPI error| <= analytical mean |CPI error| — pooled and
+   per workload;
+3. Spearman rank correlation is not degraded: per-workload fused rho >=
+   analytical rho - epsilon, and the mean rank delta is >= 0;
+4. the fused section's corrector metadata matches the artifact that was
+   applied (seed, lambda, split sizes, schema version).
+
+Exit code 0 on success; any violated gate raises with a message naming
+the offending number.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-workload Spearman may wobble by a hair on a tiny smoke grid; the
+# mean delta must still be >= 0 (correction helps overall, never hurts).
+RHO_EPSILON = 0.02
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--analytical", required=True, help="plain validate --out report")
+    ap.add_argument("--fused", required=True, help="validate --corrector --out report")
+    ap.add_argument("--corrector", required=True, help="pmt train --out artifact")
+    args = ap.parse_args()
+
+    plain = load(args.analytical)
+    fused_report = load(args.fused)
+    artifact = load(args.corrector)
+
+    assert plain.get("fused") is None, "the analytical report must not carry a fused section"
+    fused = fused_report.get("fused")
+    assert fused, "the corrected report carries no fused section"
+
+    # Gate 1: correction is post-fold — the analytical columns of both
+    # reports are identical (same grid, warm cache on both runs keeps the
+    # cache section comparable too, but compare the model columns only so
+    # the gate doesn't depend on cache temperature).
+    for key in ("schema_version", "design_points", "workloads", "cpi", "ipc", "power",
+                "mean_cpi_rank_correlation", "min_cpi_rank_correlation"):
+        assert plain[key] == fused_report[key], (
+            f"analytical column `{key}` differs between the plain and corrected runs: "
+            f"{plain[key]!r} vs {fused_report[key]!r}"
+        )
+
+    # Gate 2: corrected error never exceeds analytical error.
+    a_err, f_err = plain["cpi"]["mean_abs"], fused["cpi"]["mean_abs"]
+    print(f"pooled mean |CPI error|: analytical {a_err:.4f} -> fused {f_err:.4f}")
+    assert f_err <= a_err, f"fused mean |CPI error| {f_err} exceeds analytical {a_err}"
+    for pw, fw in zip(plain["workloads"], fused["workloads"]):
+        assert pw["workload"] == fw["workload"], "workload order diverged"
+        a, f = pw["cpi"]["mean_abs"], fw["cpi"]["mean_abs"]
+        print(f"  {pw['workload']}: |CPI error| {a:.4f} -> {f:.4f}, "
+              f"rho {pw['cpi_rank_correlation']:.3f} -> {fw['cpi_rank_correlation']:.3f} "
+              f"(delta {fw['cpi_rank_delta']:+.3f})")
+        assert f <= a, f"{pw['workload']}: fused |CPI error| {f} exceeds analytical {a}"
+
+    # Gate 3: ranking is preserved or improved.
+    for pw, fw in zip(plain["workloads"], fused["workloads"]):
+        a_rho, f_rho = pw["cpi_rank_correlation"], fw["cpi_rank_correlation"]
+        assert f_rho >= a_rho - RHO_EPSILON, (
+            f"{pw['workload']}: fused Spearman {f_rho} degraded below "
+            f"analytical {a_rho} - {RHO_EPSILON}"
+        )
+    mean_delta = fused["mean_cpi_rank_delta"]
+    print(f"mean CPI rank delta: {mean_delta:+.4f} (min {fused['min_cpi_rank_delta']:+.4f})")
+    assert mean_delta >= 0.0, f"mean rank delta {mean_delta} is negative — correction hurt ranking"
+
+    # Gate 4: the fused section names the artifact that was applied.
+    info = fused["corrector"]
+    for key in ("schema_version", "seed", "lambda", "rows_train", "rows_test"):
+        assert info[key] == artifact[key], (
+            f"fused corrector metadata `{key}` {info[key]!r} does not match "
+            f"the artifact's {artifact[key]!r}"
+        )
+    assert artifact["rows_train"] + artifact["rows_test"] == artifact["rows_total"]
+
+    print("fusion smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

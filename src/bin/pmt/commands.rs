@@ -294,6 +294,11 @@ pub const VALIDATE: Command = Command {
         Flag::value("--out", "FILE", "write the ValidationReport JSON here"),
         Flag::value("--cache", "FILE", "memoized simulation cache to load/save"),
         Flag::value(
+            "--corrector",
+            "FILE",
+            "residual corrector (from `pmt train`) to grade alongside",
+        ),
+        Flag::value(
             "--max-mean-cpi-error",
             "F",
             "fail if mean |CPI error| exceeds F",
@@ -355,6 +360,17 @@ pub fn validate(args: &[String]) -> Result<(), CliError> {
             validator = validator.cache(std::sync::Arc::new(SimCache::load(path)?));
         }
     }
+    let corrector = match parsed.value("--corrector") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
+            Some(
+                pmt::ml::ResidualModel::from_json(&json)
+                    .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?,
+            )
+        }
+        None => None,
+    };
 
     eprintln!(
         "validating {} workloads x {} points ({} sim instructions each)...",
@@ -362,7 +378,11 @@ pub fn validate(args: &[String]) -> Result<(), CliError> {
         space.len(),
         config.sim_instructions
     );
-    let report = validator.run();
+    // A fingerprint mismatch (corrector trained on different profiles)
+    // is a structured runtime error, not a silently self-graded report.
+    let report = validator
+        .run_corrected(corrector.as_ref())
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     print!("{}", report.render_table());
 
     if let Some(path) = cache_path {

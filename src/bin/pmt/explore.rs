@@ -65,6 +65,11 @@ pub const EXPLORE: Command = Command {
             "write the wire-schema ExploreResponse here",
         ),
         Flag::value(
+            "--corrector",
+            "FILE",
+            "residual corrector (from `pmt train`): also print corrected top-K",
+        ),
+        Flag::value(
             "--emit-request",
             "FILE",
             "also write the ExploreRequest this run answers",
@@ -132,10 +137,38 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         eprintln!("wire request -> {path}");
     }
 
-    if parsed.value("--shard").is_some()
+    let sharded = parsed.value("--shard").is_some()
         || parsed.value("--resume").is_some()
-        || parsed.value("--snapshot-out").is_some()
-    {
+        || parsed.value("--snapshot-out").is_some();
+    if sharded && parsed.value("--corrector").is_some() {
+        return Err(CliError::Usage(
+            "`--corrector` applies to a full run's survivors — shard runs write raw \
+             snapshots; pass it to the plain `pmt explore` over the merged space instead"
+                .to_string(),
+        ));
+    }
+
+    // Load (and sanity-check) the corrector *before* the sweep: a wrong
+    // schema version or a profile the model was never trained over must
+    // fail fast, not after minutes of folding. The sweep itself never
+    // sees the corrector — correction is applied to the survivors after
+    // the fold, so `--out` bytes are identical with or without it.
+    let corrector = match parsed.value("--corrector") {
+        Some(path) => {
+            let model = pmt::ml::ResidualModel::from_json(
+                &std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?,
+            )
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            model
+                .check_profile(&profile.name, &pmt::ml::profile_fingerprint(&profile))
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            Some(model)
+        }
+        None => None,
+    };
+
+    if sharded {
         return run_shard(&parsed, &profile, &req);
     }
     for flag in ["--checkpoint", "--checkpoint-every"] {
@@ -150,6 +183,25 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let prepared = PreparedProfile::new(&profile);
     let resp = pmt::serve::engine::explore_response(&prepared, &req).map_err(api_err)?;
     print_response(&resp, space_name);
+
+    if let Some(model) = &corrector {
+        let space = req.space.resolve().map_err(api_err)?;
+        let corrected = pmt::dse::corrected_top(&resp.summary, space.as_ref(), model, &profile);
+        println!(
+            "top {} with the learned residual applied (ranking unchanged):",
+            corrected.len()
+        );
+        println!(
+            "{:>8} {:>34} {:>9} {:>9} {:>9} {:>9}",
+            "id", "design", "CPI", "corr CPI", "watts", "corr W"
+        );
+        for (c, name) in corrected.iter().zip(&resp.top_machines) {
+            println!(
+                "{:>8} {:>34} {:>9.3} {:>9.3} {:>9.2} {:>9.2}",
+                c.id, name, c.cpi, c.corrected_cpi, c.power_w, c.corrected_power_w
+            );
+        }
+    }
 
     if let Some(path) = parsed.value("--out") {
         let json = serde_json::to_string(&resp).map_err(|e| e.to_string())?;

@@ -10,6 +10,8 @@
 //! $ pmt explore --profile mcf.profile.json --space big --out summary.json
 //! $ pmt corun milc mcf --instructions 200000
 //! $ pmt validate --workloads astar,mcf --smoke
+//! $ pmt train --smoke --cache sim.cache.json --out corrector.json
+//! $ pmt validate --smoke --corrector corrector.json
 //! $ pmt serve --profile-file mcf.profile.json --addr 127.0.0.1:7071
 //! ```
 //!
@@ -24,6 +26,7 @@ mod commands;
 mod explore;
 mod merge;
 mod serve;
+mod train;
 
 use args::CliError;
 use pmt::prelude::*;
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "explore" => explore::run(rest),
         "merge" => merge::run(rest),
         "validate" => commands::validate(rest),
+        "train" => train::run(rest),
         "report" => commands::report(rest),
         "corun" => commands::corun(rest),
         "smt" => commands::smt(rest),
@@ -95,6 +99,7 @@ fn all_commands() -> Vec<&'static args::Command> {
         &explore::EXPLORE,
         &merge::MERGE,
         &commands::VALIDATE,
+        &train::TRAIN,
         &commands::REPORT,
         &commands::CORUN,
         &commands::SMT,

@@ -69,6 +69,11 @@ pub const SERVE: Command = Command {
             "N",
             "design points per batch flight before early close (default 64)",
         ),
+        Flag::value(
+            "--corrector",
+            "FILE",
+            "residual corrector (from `pmt train`) applied to covered predicts",
+        ),
     ],
 };
 
@@ -108,6 +113,25 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         None => return Ok(()),
     };
 
+    // The corrector is boot-time configuration, deliberately: every
+    // worker shares one immutable model, so cached responses can never
+    // disagree with freshly computed ones.
+    let corrector = match parsed.value("--corrector") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
+            let model = pmt::ml::ResidualModel::from_json(&json)
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            eprintln!(
+                "corrector loaded from {path} ({} training rows, {} workloads)",
+                model.rows_total,
+                model.profiles.len()
+            );
+            Some(Arc::new(model))
+        }
+        None => None,
+    };
+
     let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: parsed.value("--addr").unwrap_or(&defaults.addr).to_string(),
@@ -143,6 +167,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "a point count",
             defaults.batch_max_points,
         )?,
+        corrector,
         ..defaults
     };
 

@@ -18,6 +18,9 @@
 //! * [`model`] — the micro-architecture independent interval model (the
 //!   paper's contribution),
 //! * [`power`] — the McPAT-style power model,
+//! * [`ml`] — the learned residual corrector: hand-rolled ridge
+//!   regression over machine + profile features, trained from
+//!   validation outputs and applied on top of the analytical model,
 //! * [`dse`] — design-space exploration: materializing and streaming
 //!   sweeps, lazy spaces, Pareto pruning and DVFS,
 //! * [`validate`] — differential model-vs-simulator validation with
@@ -95,6 +98,7 @@ pub use pmt_branch as branch;
 pub use pmt_cachesim as cachesim;
 pub use pmt_core as model;
 pub use pmt_dse as dse;
+pub use pmt_ml as ml;
 pub use pmt_power as power;
 pub use pmt_profiler as profiler;
 pub use pmt_report as report;

@@ -1,0 +1,123 @@
+//! Golden-snapshot test for the learned residual layer: a fixed-seed
+//! grid is validated, a corrector is trained from it, and both the
+//! trained artifact (`tests/golden/corrector.json`) and the fused
+//! validation report (`tests/golden/fused_report.json`) must be
+//! **bit-stable**. On top of the usual drift protection this pins the
+//! training pipeline itself: the Fisher–Yates split, the chunk-ordered
+//! accumulation and the ridge solve all feed these bytes.
+//!
+//! After an *intentional* model/trainer change, regenerate with
+//!
+//! ```console
+//! $ PMT_UPDATE_GOLDEN=1 cargo test --test fused_report
+//! ```
+//!
+//! and commit the new snapshots alongside the change that explains them.
+
+use pmt::ml::{train, ResidualModel, TrainOptions};
+use pmt::prelude::*;
+use pmt::validate::Validator;
+
+fn golden_path(file: &str) -> String {
+    format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Compare `json` against the pinned snapshot (or rewrite it under
+/// `PMT_UPDATE_GOLDEN=1`).
+fn assert_golden(file: &str, json: &str) {
+    let path = golden_path(file);
+    if std::env::var("PMT_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, json).expect("writing golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "{file} missing — regenerate with PMT_UPDATE_GOLDEN=1 cargo test --test fused_report"
+        )
+    });
+    assert_eq!(
+        json, expected,
+        "{file} drifted from the golden snapshot. If the model, trainer or \
+         simulator change was intentional, regenerate with \
+         PMT_UPDATE_GOLDEN=1 cargo test --test fused_report"
+    );
+}
+
+/// The pinned scenario, mirroring `tests/validation_report.rs`: one
+/// deterministic seed-42 workload over the 27-point subspace.
+fn golden_validator() -> Validator {
+    let config = ValidationConfig {
+        profile_instructions: 20_000,
+        sim_instructions: 20_000,
+        profiler: ProfilerConfig::fast_test(),
+        model: ModelConfig::default(),
+    };
+    Validator::new(config)
+        .space(&DesignSpace::validation_subspace())
+        .workload(WorkloadSpec::baseline("golden", 42))
+}
+
+#[test]
+fn trained_corrector_and_fused_report_match_golden_snapshots() {
+    let validator = golden_validator();
+    let data = validator.training_data();
+    let model = train(&data.rows, &data.profiles, &TrainOptions::default()).unwrap();
+    assert_golden("corrector.json", &model.to_json());
+
+    // The grid is warm from training_data(), so the fused report's cache
+    // section deterministically reads 27 hits / 0 misses.
+    let fused = validator.run_corrected(Some(&model)).unwrap();
+    assert_golden("fused_report.json", &fused.to_json());
+
+    // The artifact round-trips bit-for-bit through its own parser.
+    let back = ResidualModel::from_json(&model.to_json()).unwrap();
+    assert_eq!(back.to_json(), model.to_json());
+}
+
+/// Two *independent* trainings — fresh validator, fresh simulations,
+/// fresh split — must write byte-identical artifacts and byte-identical
+/// fused reports. This is the determinism contract the committed goldens
+/// (and CI's fusion-smoke double-train) stand on.
+#[test]
+fn training_twice_from_scratch_is_byte_identical() {
+    let one = {
+        let validator = golden_validator();
+        let data = validator.training_data();
+        let model = train(&data.rows, &data.profiles, &TrainOptions::default()).unwrap();
+        let report = validator.run_corrected(Some(&model)).unwrap();
+        (model.to_json(), report.to_json())
+    };
+    let two = {
+        let validator = golden_validator();
+        let data = validator.training_data();
+        let model = train(&data.rows, &data.profiles, &TrainOptions::default()).unwrap();
+        let report = validator.run_corrected(Some(&model)).unwrap();
+        (model.to_json(), report.to_json())
+    };
+    assert_eq!(one.0, two.0, "corrector artifacts diverged across runs");
+    assert_eq!(one.1, two.1, "fused reports diverged across runs");
+}
+
+/// Correction is strictly post-fold: stripping the fused section from a
+/// corrected report leaves bytes identical to an uncorrected run over
+/// the same (warm) grid — the analytical columns, rank correlations and
+/// cache counters never see the corrector.
+#[test]
+fn fused_report_only_adds_the_fused_section() {
+    let validator = golden_validator();
+    let data = validator.training_data();
+    let model = train(&data.rows, &data.profiles, &TrainOptions::default()).unwrap();
+
+    let plain = validator.run();
+    let mut fused = validator.run_corrected(Some(&model)).unwrap();
+    assert!(fused.fused.is_some(), "corrected run grows a fused section");
+    let fused_block = fused.fused.take().unwrap();
+    assert_eq!(fused.to_json(), plain.to_json());
+
+    // And the section itself is sane: the corrector metadata matches the
+    // artifact, and correction helped on this grid.
+    assert_eq!(fused_block.corrector.seed, model.seed);
+    assert_eq!(fused_block.corrector.rows_train, model.rows_train);
+    assert!(fused_block.cpi.mean_abs <= plain.cpi.mean_abs);
+    assert!(fused_block.mean_cpi_rank_delta >= 0.0);
+}
